@@ -1,0 +1,239 @@
+// Scaling benchmarks backing the complexity claims of Sections 5.1-5.2:
+//
+//   * offline ingestion is a one-time cost that scales near-linearly in
+//     |V| + |E| (plus the mapping and frequency terms);
+//   * online relaxation is Θ(N log N) in the candidate count and is kept
+//     fast by the shortcut edges (small radius suffices);
+//   * the shortcut customization shrinks the radius needed to reach the
+//     flagged set.
+//
+// google-benchmark binary: run with --benchmark_filter=... to narrow.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "medrelax/graph/traversal.h"
+
+using namespace medrelax;         // NOLINT — bench brevity
+using namespace medrelax::bench;  // NOLINT
+
+namespace {
+
+// Shared worlds per size, built once (1-core box: keep them modest).
+std::unique_ptr<StandardWorld>& WorldForSize(size_t num_concepts) {
+  static std::map<size_t, std::unique_ptr<StandardWorld>> cache;
+  auto& slot = cache[num_concepts];
+  if (slot == nullptr) {
+    slot = BuildStandardWorld(num_concepts, /*drugs=*/80,
+                              /*findings=*/num_concepts / 16,
+                              /*seed=*/2026);
+  }
+  return slot;
+}
+
+void BM_OfflineIngestion(benchmark::State& state) {
+  const size_t num_concepts = static_cast<size_t>(state.range(0));
+  SnomedGeneratorOptions eks_opts;
+  eks_opts.num_concepts = num_concepts;
+  eks_opts.seed = 99;
+  KbGeneratorOptions kb_opts;
+  kb_opts.num_drugs = 60;
+  kb_opts.num_findings = num_concepts / 16;
+  kb_opts.seed = 100;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Regenerate the DAG each iteration: ingestion mutates it (shortcuts).
+    Result<GeneratedWorld> world = GenerateWorld(eks_opts, kb_opts);
+    if (!world.ok()) state.SkipWithError("world generation failed");
+    NameIndex index(&world->eks.dag);
+    EditDistanceMatcher matcher(&index, EditMatcherOptions{});
+    state.ResumeTiming();
+    Result<IngestionResult> result = RunIngestion(
+        world->kb, &world->eks.dag, matcher, nullptr, IngestionOptions{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("concepts=" + std::to_string(num_concepts));
+}
+BENCHMARK(BM_OfflineIngestion)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OnlineRelaxation(benchmark::State& state) {
+  const size_t num_concepts = static_cast<size_t>(state.range(0));
+  auto& s = WorldForSize(num_concepts);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  RelaxationOptions ropts;
+  ropts.radius = 4;
+  ropts.top_k = 10;
+  QueryRelaxer relaxer(&s->world.eks.dag, &s->with_corpus, s->edit.get(),
+                       SimilarityOptions{}, ropts);
+  const std::vector<ConceptId>& region = s->world.eks.finding_concepts;
+  size_t i = 0;
+  for (auto _ : state) {
+    RelaxationOutcome outcome = relaxer.RelaxConcept(
+        region[i % region.size()], s->world.ctx_indication);
+    benchmark::DoNotOptimize(outcome);
+    ++i;
+  }
+  state.SetLabel("concepts=" + std::to_string(num_concepts));
+}
+BENCHMARK(BM_OnlineRelaxation)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OnlineRelaxationByRadius(benchmark::State& state) {
+  auto& s = WorldForSize(4000);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  RelaxationOptions ropts;
+  ropts.radius = static_cast<uint32_t>(state.range(0));
+  ropts.dynamic_radius = false;
+  ropts.top_k = 10;
+  QueryRelaxer relaxer(&s->world.eks.dag, &s->with_corpus, s->edit.get(),
+                       SimilarityOptions{}, ropts);
+  const std::vector<ConceptId>& region = s->world.eks.finding_concepts;
+  size_t i = 0;
+  size_t candidates = 0, runs = 0;
+  for (auto _ : state) {
+    RelaxationOutcome outcome = relaxer.RelaxConcept(
+        region[i % region.size()], s->world.ctx_indication);
+    candidates += outcome.concepts.size();
+    ++runs;
+    benchmark::DoNotOptimize(outcome);
+    ++i;
+  }
+  state.counters["avg_concepts"] =
+      runs == 0 ? 0.0 : static_cast<double>(candidates) / runs;
+}
+BENCHMARK(BM_OnlineRelaxationByRadius)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NeighborhoodWithVsWithoutShortcuts(benchmark::State& state) {
+  const bool with_shortcuts = state.range(0) == 1;
+  // Build two DAG variants once.
+  static std::unique_ptr<StandardWorld> customized =
+      BuildStandardWorld(4000, 80, 250, 1234);
+  static std::unique_ptr<GeneratedWorld> plain = [] {
+    SnomedGeneratorOptions eks;
+    eks.num_concepts = 4000;
+    eks.seed = 1234;
+    KbGeneratorOptions kb;
+    kb.num_drugs = 80;
+    kb.num_findings = 250;
+    kb.seed = 1235;
+    auto w = GenerateWorld(eks, kb);
+    return w.ok() ? std::make_unique<GeneratedWorld>(std::move(*w)) : nullptr;
+  }();
+  if (customized == nullptr || plain == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  const ConceptDag& dag =
+      with_shortcuts ? customized->world.eks.dag : plain->eks.dag;
+  const std::vector<ConceptId>& region =
+      with_shortcuts ? customized->world.eks.finding_concepts
+                     : plain->eks.finding_concepts;
+  size_t i = 0;
+  size_t reached = 0, runs = 0;
+  for (auto _ : state) {
+    std::vector<Neighbor> n =
+        NeighborsWithinRadius(dag, region[i % region.size()], 2);
+    reached += n.size();
+    ++runs;
+    benchmark::DoNotOptimize(n);
+    ++i;
+  }
+  state.counters["avg_reached"] =
+      runs == 0 ? 0.0 : static_cast<double>(reached) / runs;
+  state.SetLabel(with_shortcuts ? "with-shortcuts" : "without-shortcuts");
+}
+BENCHMARK(BM_NeighborhoodWithVsWithoutShortcuts)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PrecomputeSimilarities(benchmark::State& state) {
+  auto& s = WorldForSize(2000);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  RelaxationOptions ropts;
+  ropts.radius = 4;
+  for (auto _ : state) {
+    // A fresh relaxer each iteration so the cache starts cold.
+    QueryRelaxer relaxer(&s->world.eks.dag, &s->with_corpus, s->edit.get(),
+                         SimilarityOptions{}, ropts);
+    size_t pairs = relaxer.PrecomputeSimilarities();
+    benchmark::DoNotOptimize(pairs);
+    state.counters["pairs"] = static_cast<double>(pairs);
+  }
+}
+BENCHMARK(BM_PrecomputeSimilarities)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineRelaxationWarm(benchmark::State& state) {
+  auto& s = WorldForSize(4000);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  RelaxationOptions ropts;
+  ropts.radius = 4;
+  ropts.top_k = 10;
+  static QueryRelaxer* warm = [&] {
+    auto* r = new QueryRelaxer(&s->world.eks.dag, &s->with_corpus,
+                               s->edit.get(), SimilarityOptions{}, ropts);
+    r->PrecomputeSimilarities();
+    return r;
+  }();
+  const std::vector<ConceptId>& pool = s->world.kb_finding_concepts;
+  size_t i = 0;
+  for (auto _ : state) {
+    RelaxationOutcome outcome =
+        warm->RelaxConcept(pool[i % pool.size()], s->world.ctx_indication);
+    benchmark::DoNotOptimize(outcome);
+    ++i;
+  }
+}
+BENCHMARK(BM_OnlineRelaxationWarm)->Unit(benchmark::kMicrosecond);
+
+void BM_SimilarityComputation(benchmark::State& state) {
+  auto& s = WorldForSize(4000);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  SimilarityModel model(&s->world.eks.dag, &s->with_corpus.frequencies,
+                        SimilarityOptions{});
+  const std::vector<ConceptId>& pool = s->world.kb_finding_concepts;
+  size_t i = 0;
+  for (auto _ : state) {
+    double sim = model.Similarity(pool[i % pool.size()],
+                                  pool[(i + 7) % pool.size()],
+                                  s->world.ctx_indication);
+    benchmark::DoNotOptimize(sim);
+    ++i;
+  }
+}
+BENCHMARK(BM_SimilarityComputation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

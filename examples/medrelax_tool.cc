@@ -1,0 +1,214 @@
+// medrelax_tool: a small command-line front end for the library.
+//
+//   medrelax_tool generate <dir> [--concepts N] [--findings N] [--seed S]
+//       Generates a synthetic world and writes eks.tsv + kb.tsv into <dir>.
+//
+//   medrelax_tool ingest <dir>
+//       Runs the offline ingestion (Algorithm 1) over <dir>/eks.tsv +
+//       <dir>/kb.tsv, then writes the customized DAG back and the
+//       ingestion snapshot to <dir>/ingestion.tsv — the batch half of the
+//       paper's two-phase design.
+//
+//   medrelax_tool relax <dir> <term> [--context LABEL] [--k N] [--radius R]
+//       Loads <dir>/eks.tsv + <dir>/kb.tsv (+ the ingestion snapshot when
+//       present, re-ingesting otherwise), then relaxes <term> and prints
+//       the expanded answers.
+//
+//   medrelax_tool contexts <dir>
+//       Lists the context labels available for --context.
+//
+// The files are the plain text formats of medrelax/io, so a downstream
+// user can swap in their own external source and KB.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "medrelax/datasets/kb_generator.h"
+#include "medrelax/io/dag_io.h"
+#include "medrelax/io/ingestion_io.h"
+#include "medrelax/io/kb_io.h"
+#include "medrelax/matching/edit_matcher.h"
+#include "medrelax/relax/ingestion.h"
+#include "medrelax/relax/query_relaxer.h"
+
+using namespace medrelax;  // NOLINT — example brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  medrelax_tool generate <dir> [--concepts N] [--findings N]"
+               " [--seed S]\n"
+               "  medrelax_tool ingest <dir>\n"
+               "  medrelax_tool relax <dir> <term> [--context LABEL]"
+               " [--k N] [--radius R]\n"
+               "  medrelax_tool contexts <dir>\n");
+  return 2;
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Generate(int argc, char** argv) {
+  std::string dir = argv[2];
+  SnomedGeneratorOptions eks;
+  KbGeneratorOptions kb;
+  if (const char* v = FlagValue(argc, argv, "--concepts")) {
+    eks.num_concepts = std::strtoul(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--findings")) {
+    kb.num_findings = std::strtoul(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--seed")) {
+    eks.seed = std::strtoull(v, nullptr, 10);
+    kb.seed = eks.seed + 1;
+  }
+  Result<GeneratedWorld> world = GenerateWorld(eks, kb);
+  if (!world.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  Status s1 = SaveDagToFile(world->eks.dag, dir + "/eks.tsv");
+  Status s2 = SaveKbToFile(world->kb, dir + "/kb.tsv");
+  if (!s1.ok() || !s2.ok()) {
+    std::fprintf(stderr, "save failed: %s %s\n", s1.ToString().c_str(),
+                 s2.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s/eks.tsv (%zu concepts) and %s/kb.tsv "
+              "(%zu instances)\n",
+              dir.c_str(), world->eks.dag.num_concepts(), dir.c_str(),
+              world->kb.instances.num_instances());
+  return 0;
+}
+
+int Contexts(const std::string& dir) {
+  Result<KnowledgeBase> kb = LoadKbFromFile(dir + "/kb.tsv");
+  if (!kb.ok()) {
+    std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+  for (const Context& c : GenerateContexts(kb->ontology)) {
+    std::printf("%s\n", c.Label().c_str());
+  }
+  return 0;
+}
+
+int Ingest(const std::string& dir) {
+  Result<ConceptDag> dag = LoadDagFromFile(dir + "/eks.tsv");
+  Result<KnowledgeBase> kb = LoadKbFromFile(dir + "/kb.tsv");
+  if (!dag.ok() || !kb.ok()) {
+    std::fprintf(stderr, "load failed: %s %s\n",
+                 dag.status().ToString().c_str(),
+                 kb.status().ToString().c_str());
+    return 1;
+  }
+  NameIndex index(&*dag);
+  EditDistanceMatcher matcher(&index, EditMatcherOptions{});
+  Result<IngestionResult> ingestion =
+      RunIngestion(*kb, &*dag, matcher, nullptr, IngestionOptions{});
+  if (!ingestion.ok()) {
+    std::fprintf(stderr, "ingestion failed: %s\n",
+                 ingestion.status().ToString().c_str());
+    return 1;
+  }
+  // Persist the customized DAG (shortcut edges) and the snapshot.
+  Status s1 = SaveDagToFile(*dag, dir + "/eks.tsv");
+  Status s2 = SaveIngestionToFile(*ingestion, dir + "/ingestion.tsv");
+  if (!s1.ok() || !s2.ok()) {
+    std::fprintf(stderr, "save failed: %s %s\n", s1.ToString().c_str(),
+                 s2.ToString().c_str());
+    return 1;
+  }
+  size_t flagged = 0;
+  for (bool f : ingestion->flagged) flagged += f ? 1 : 0;
+  std::printf("ingested: %zu contexts, %zu mappings, %zu flagged concepts, "
+              "%zu shortcut edges -> %s/ingestion.tsv\n",
+              ingestion->contexts.size(), ingestion->mappings.size(), flagged,
+              ingestion->shortcuts_added, dir.c_str());
+  return 0;
+}
+
+int Relax(int argc, char** argv) {
+  std::string dir = argv[2];
+  std::string term = argv[3];
+  Result<ConceptDag> dag = LoadDagFromFile(dir + "/eks.tsv");
+  Result<KnowledgeBase> kb = LoadKbFromFile(dir + "/kb.tsv");
+  if (!dag.ok() || !kb.ok()) {
+    std::fprintf(stderr, "load failed: %s %s\n",
+                 dag.status().ToString().c_str(),
+                 kb.status().ToString().c_str());
+    return 1;
+  }
+
+  NameIndex index(&*dag);
+  EditDistanceMatcher matcher(&index, EditMatcherOptions{});
+  // Prefer the persisted snapshot (the online half of the two-phase
+  // split); fall back to ingesting in-process.
+  Result<IngestionResult> ingestion =
+      LoadIngestionFromFile(dir + "/ingestion.tsv", *dag);
+  if (!ingestion.ok()) {
+    ingestion = RunIngestion(*kb, &*dag, matcher, nullptr, IngestionOptions{});
+  }
+  if (!ingestion.ok()) {
+    std::fprintf(stderr, "ingestion failed: %s\n",
+                 ingestion.status().ToString().c_str());
+    return 1;
+  }
+
+  ContextId context = kNoContext;
+  if (const char* v = FlagValue(argc, argv, "--context")) {
+    context = ingestion->contexts.FindByLabel(v);
+    if (context == kNoContext) {
+      std::fprintf(stderr, "unknown context '%s' (see `contexts`)\n", v);
+      return 1;
+    }
+  }
+  RelaxationOptions ropts;
+  if (const char* v = FlagValue(argc, argv, "--k")) {
+    ropts.top_k = std::strtoul(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--radius")) {
+    ropts.radius = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+  }
+
+  QueryRelaxer relaxer(&*dag, &*ingestion, &matcher, SimilarityOptions{},
+                       ropts);
+  Result<RelaxationOutcome> outcome = relaxer.Relax(term, context);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "relaxation failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query concept: %s (radius %u)\n",
+              dag->name(outcome->query_concept).c_str(),
+              outcome->effective_radius);
+  for (const ScoredConcept& sc : outcome->concepts) {
+    std::printf("  %-55s sim=%.4f\n", dag->name(sc.concept_id).c_str(),
+                sc.similarity);
+    for (InstanceId i : sc.instances) {
+      std::printf("      -> %s\n", kb->instances.instance(i).name.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
+  if (std::strcmp(argv[1], "ingest") == 0) return Ingest(argv[2]);
+  if (std::strcmp(argv[1], "contexts") == 0) return Contexts(argv[2]);
+  if (std::strcmp(argv[1], "relax") == 0 && argc >= 4) {
+    return Relax(argc, argv);
+  }
+  return Usage();
+}

@@ -1,0 +1,59 @@
+#ifndef MEDRELAX_COMMON_LOGGING_H_
+#define MEDRELAX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace medrelax {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line that emits to stderr on destruction; aborts the
+/// process after emitting when constructed as fatal (MEDRELAX_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MEDRELAX_LOG(level)                                              \
+  if (::medrelax::LogLevel::k##level < ::medrelax::GetLogLevel()) {      \
+  } else                                                                 \
+    ::medrelax::internal::LogMessage(::medrelax::LogLevel::k##level,     \
+                                     __FILE__, __LINE__)                 \
+        .stream()
+
+/// Unconditional invariant check that aborts with a message. Used for
+/// internal invariants only; API misuse is reported via Status instead.
+#define MEDRELAX_CHECK(cond)                                            \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::medrelax::internal::LogMessage(::medrelax::LogLevel::kError,      \
+                                     __FILE__, __LINE__, /*fatal=*/true) \
+            .stream()                                                   \
+        << "Check failed: " #cond " "
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_COMMON_LOGGING_H_

@@ -1,0 +1,92 @@
+#ifndef MEDRELAX_COMMON_RESULT_H_
+#define MEDRELAX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "medrelax/common/status.h"
+
+namespace medrelax {
+
+/// Either a value of type T or an error Status (never both, never neither).
+///
+/// The Arrow-style companion of Status for fallible functions that produce a
+/// value. Converting constructors allow `return value;` and `return status;`
+/// directly from a function declared to return Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status. Passing an OK status
+  /// is a programming error (there would be no value to hold).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Borrows the held value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Mutable access to the held value. Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the held value out. Precondition: ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Pointer-style access. Precondition: ok().
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-producing expression, otherwise binds
+/// its value to `lhs`.
+#define MEDRELAX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#define MEDRELAX_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define MEDRELAX_ASSIGN_OR_RETURN_NAME(x, y) \
+  MEDRELAX_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define MEDRELAX_ASSIGN_OR_RETURN(lhs, expr)                               \
+  MEDRELAX_ASSIGN_OR_RETURN_IMPL(                                          \
+      MEDRELAX_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_COMMON_RESULT_H_

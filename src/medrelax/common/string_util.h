@@ -1,0 +1,35 @@
+#ifndef MEDRELAX_COMMON_STRING_UTIL_H_
+#define MEDRELAX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace medrelax {
+
+/// Lowercases ASCII letters; other bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAscii(std::string_view s);
+
+/// Splits on a single delimiter character; no empty-segment suppression.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins items with the separator.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_COMMON_STRING_UTIL_H_

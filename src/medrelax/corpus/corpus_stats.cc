@@ -1,0 +1,96 @@
+#include "medrelax/corpus/corpus_stats.h"
+
+#include <cmath>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+MentionStats::MentionStats(std::vector<std::string> phrases)
+    : phrases_(std::move(phrases)) {
+  totals_.assign(phrases_.size(), 0);
+  doc_frequency_.assign(phrases_.size(), 0);
+}
+
+void MentionStats::Process(const Corpus& corpus, size_t num_contexts) {
+  num_contexts_ = num_contexts;
+  num_documents_ = corpus.size();
+  per_context_.assign(phrases_.size(), std::vector<size_t>(num_contexts, 0));
+  totals_.assign(phrases_.size(), 0);
+  doc_frequency_.assign(phrases_.size(), 0);
+
+  // Index phrases by first token for the sliding-window scan.
+  struct PhraseRef {
+    size_t phrase;
+    std::vector<std::string> tokens;
+  };
+  std::unordered_map<std::string, std::vector<PhraseRef>> by_first_token;
+  for (size_t p = 0; p < phrases_.size(); ++p) {
+    std::vector<std::string> tokens = Split(phrases_[p], ' ');
+    if (tokens.empty() || tokens[0].empty()) continue;
+    by_first_token[tokens[0]].push_back({p, std::move(tokens)});
+  }
+
+  std::vector<bool> seen_in_doc(phrases_.size(), false);
+  for (const Document& doc : corpus.documents()) {
+    std::fill(seen_in_doc.begin(), seen_in_doc.end(), false);
+    for (const DocumentSection& section : doc.sections) {
+      const std::vector<std::string>& toks = section.tokens;
+      for (size_t i = 0; i < toks.size(); ++i) {
+        auto it = by_first_token.find(toks[i]);
+        if (it == by_first_token.end()) continue;
+        for (const PhraseRef& ref : it->second) {
+          if (i + ref.tokens.size() > toks.size()) continue;
+          bool match = true;
+          for (size_t k = 1; k < ref.tokens.size(); ++k) {
+            if (toks[i + k] != ref.tokens[k]) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          ++totals_[ref.phrase];
+          if (section.context != kNoContext &&
+              section.context < num_contexts_) {
+            ++per_context_[ref.phrase][section.context];
+          }
+          if (!seen_in_doc[ref.phrase]) {
+            seen_in_doc[ref.phrase] = true;
+            ++doc_frequency_[ref.phrase];
+          }
+        }
+      }
+    }
+  }
+}
+
+size_t MentionStats::MentionCount(size_t p, ContextId ctx) const {
+  if (p >= per_context_.size() || ctx >= num_contexts_) return 0;
+  return per_context_[p][ctx];
+}
+
+size_t MentionStats::TotalMentions(size_t p) const {
+  return p < totals_.size() ? totals_[p] : 0;
+}
+
+size_t MentionStats::DocumentFrequency(size_t p) const {
+  return p < doc_frequency_.size() ? doc_frequency_[p] : 0;
+}
+
+double MentionStats::TfIdfWeight(size_t p, ContextId ctx) const {
+  size_t df = DocumentFrequency(p);
+  if (df == 0 || num_documents_ == 0) return 0.0;
+  double idf = std::log(1.0 + static_cast<double>(num_documents_) /
+                                  static_cast<double>(df));
+  return static_cast<double>(MentionCount(p, ctx)) * idf;
+}
+
+double MentionStats::TfIdfWeightTotal(size_t p) const {
+  size_t df = DocumentFrequency(p);
+  if (df == 0 || num_documents_ == 0) return 0.0;
+  double idf = std::log(1.0 + static_cast<double>(num_documents_) /
+                                  static_cast<double>(df));
+  return static_cast<double>(TotalMentions(p)) * idf;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,67 @@
+#ifndef MEDRELAX_CORPUS_CORPUS_STATS_H_
+#define MEDRELAX_CORPUS_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/corpus/document.h"
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+/// Per-phrase, per-context mention statistics over a corpus.
+///
+/// This computes the |A| of Equation (2): the number of times a concept
+/// name is *directly* mentioned in the corpus, split by the context of the
+/// section the mention appears in, plus the document frequency used for
+/// the tf-idf adjustment of Section 5.1 ("the concept frequency is further
+/// adjusted based on the number of documents in which the concept name
+/// appears").
+class MentionStats {
+ public:
+  /// `phrases` are normalized multi-word names (e.g. "pain in throat");
+  /// index in the vector is the phrase id used by all accessors.
+  explicit MentionStats(std::vector<std::string> phrases);
+
+  /// Scans the corpus, counting phrase occurrences per section context.
+  /// `num_contexts` sizes the per-context tables; sections tagged with
+  /// kNoContext contribute to every accessor's untyped totals only.
+  /// Matching is token-based: a phrase matches wherever its token sequence
+  /// occurs; nested phrases each count ("pain" also counts inside "pain in
+  /// throat"), mirroring naive string counting over a corpus.
+  void Process(const Corpus& corpus, size_t num_contexts);
+
+  size_t num_phrases() const { return phrases_.size(); }
+  size_t num_documents() const { return num_documents_; }
+
+  /// Mentions of phrase `p` inside sections tagged with context `ctx`.
+  size_t MentionCount(size_t p, ContextId ctx) const;
+
+  /// Mentions of phrase `p` across all sections (any or no context).
+  size_t TotalMentions(size_t p) const;
+
+  /// Documents containing at least one mention of phrase `p`.
+  size_t DocumentFrequency(size_t p) const;
+
+  /// tf-idf adjusted mention weight for (p, ctx):
+  /// mention_count * log(1 + N / df). 0 when the phrase never occurs.
+  double TfIdfWeight(size_t p, ContextId ctx) const;
+
+  /// tf-idf adjusted weight using total (context-agnostic) mentions.
+  double TfIdfWeightTotal(size_t p) const;
+
+ private:
+  std::vector<std::string> phrases_;
+  size_t num_documents_ = 0;
+  size_t num_contexts_ = 0;
+  // [phrase][context] -> mentions ; parallel totals and document counts.
+  std::vector<std::vector<size_t>> per_context_;
+  std::vector<size_t> totals_;
+  std::vector<size_t> doc_frequency_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_CORPUS_CORPUS_STATS_H_

@@ -1,0 +1,15 @@
+#include "medrelax/corpus/document.h"
+
+namespace medrelax {
+
+size_t Corpus::TotalTokens() const {
+  size_t total = 0;
+  for (const Document& doc : documents_) {
+    for (const DocumentSection& section : doc.sections) {
+      total += section.tokens.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,64 @@
+#ifndef MEDRELAX_CORPUS_DOCUMENT_H_
+#define MEDRELAX_CORPUS_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+/// One contiguous piece of a document tagged with the context it evidences.
+///
+/// Medical KBs like *MED* are curated from structured monographs (DrugBank
+/// entries, clinical summaries) whose sections carry semantics: a finding
+/// mentioned under "Indications" supports the treat-context, the same
+/// finding under "Adverse Reactions" supports the cause-context. Section
+/// 5.1 of the paper differentiates concept frequency per context; tagging
+/// corpus text at section granularity is what makes that countable.
+struct DocumentSection {
+  /// Context this section evidences, or kNoContext for untyped prose.
+  ContextId context = kNoContext;
+  /// Normalized word tokens of the section.
+  std::vector<std::string> tokens;
+};
+
+/// One document of the corpus the KB is curated from.
+struct Document {
+  /// Stable identifier, e.g. the monograph's drug name.
+  std::string name;
+  std::vector<DocumentSection> sections;
+};
+
+/// The document corpus (Section 5.1, "Concept frequency").
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Appends a document.
+  void AddDocument(Document doc) { documents_.push_back(std::move(doc)); }
+
+  /// Number of documents.
+  size_t size() const { return documents_.size(); }
+
+  /// The i-th document. Precondition: i < size().
+  const Document& document(size_t i) const { return documents_[i]; }
+
+  /// All documents.
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// Total token count across all sections (corpus size metric).
+  size_t TotalTokens() const;
+
+ private:
+  std::vector<Document> documents_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_CORPUS_DOCUMENT_H_

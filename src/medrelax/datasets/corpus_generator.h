@@ -1,0 +1,55 @@
+#ifndef MEDRELAX_DATASETS_CORPUS_GENERATOR_H_
+#define MEDRELAX_DATASETS_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "medrelax/corpus/document.h"
+#include "medrelax/datasets/kb_generator.h"
+
+namespace medrelax {
+
+/// Knobs of the monograph-corpus generator.
+struct CorpusGeneratorOptions {
+  /// Scale on the expected mention count of a finding in a relevant
+  /// section (popularity-weighted Poisson).
+  double mention_scale = 12.0;
+  /// Probability of also mentioning each ancestor of a mentioned finding
+  /// once (this produces the corpus mass on general concepts that makes
+  /// IC informative).
+  double ancestor_mention_prob = 0.5;
+  /// Filler prose tokens interleaved per section.
+  size_t filler_tokens = 60;
+  uint64_t seed = 7;
+};
+
+/// Generates the document corpus the MED-like KB is "curated from"
+/// (Section 5.1): one monograph per drug with an Indications section
+/// (tagged ctx_indication), an Adverse Reactions section (ctx_risk) and an
+/// untyped prose section. Mention counts follow the external concepts'
+/// popularity, so frequency propagation (Equation 2) sees the skew the
+/// paper's tf-idf adjustment targets.
+Corpus GenerateMonographCorpus(const GeneratedWorld& world,
+                               const CorpusGeneratorOptions& options);
+
+/// Knobs of the out-of-domain corpus used to train the
+/// Embedding-pre-trained baseline.
+struct GeneralCorpusOptions {
+  size_t num_documents = 200;
+  size_t tokens_per_document = 120;
+  /// Maximum external-concept depth whose names may appear; deeper (more
+  /// specific) names become OOV for the pre-trained model, reproducing the
+  /// vocabulary mismatch Section 7.2 reports ("many of the words contained
+  /// in SNOMED CT are out of its vocabulary"). Depth 2 = category and
+  /// site-disorder names only: condition/qualifier vocabulary stays OOV.
+  uint32_t max_concept_depth = 2;
+  uint64_t seed = 11;
+};
+
+/// Generates a "different medical corpus": general prose with a distinct
+/// filler vocabulary that only mentions shallow (general) concepts.
+Corpus GenerateGeneralCorpus(const GeneratedEks& eks,
+                             const GeneralCorpusOptions& options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_DATASETS_CORPUS_GENERATOR_H_

@@ -1,0 +1,93 @@
+#ifndef MEDRELAX_DATASETS_KB_GENERATOR_H_
+#define MEDRELAX_DATASETS_KB_GENERATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/datasets/snomed_generator.h"
+#include "medrelax/kb/kb_query.h"
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+/// Context-participation ground truth per external concept: which query
+/// contexts the concept is genuinely appropriate for. This is the synthetic
+/// stand-in for the SME judgment "drugs for hypothermia should not be
+/// returned in the context of treatment" (Introduction): sibling concepts
+/// can participate in disjoint contexts.
+enum ParticipationBit : uint8_t {
+  kParticipatesTreat = 1 << 0,  // Indication-hasFinding-Finding
+  kParticipatesRisk = 1 << 1,   // Risk-hasFinding-Finding
+};
+
+/// Knobs of the MED-like KB generator.
+struct KbGeneratorOptions {
+  size_t num_drugs = 120;
+  /// Findings sampled from the external source's finding region into the
+  /// KB (popularity-weighted, so the KB covers the common conditions).
+  size_t num_findings = 300;
+  /// Fraction of KB finding instances whose surface name deviates from the
+  /// external concept's canonical name (synonym or typo) — these exercise
+  /// the EDIT / EMBEDDING mapping methods.
+  double name_noise_rate = 0.15;
+  /// Treated findings per drug (sampled, popularity-weighted).
+  size_t treats_per_drug = 4;
+  /// Caused (risk) findings per drug.
+  size_t causes_per_drug = 3;
+  /// Probability that a drug's next linked finding comes from the drug's
+  /// primary therapeutic area (its site subtree) rather than the global
+  /// pool. Real drugs specialize; this is what makes co-mentions in the
+  /// monograph corpus taxonomy-correlated (and distributional embeddings
+  /// informative).
+  double site_focus = 0.7;
+  uint64_t seed = 99;
+};
+
+/// A fully generated world: external source + KB + ground truth.
+struct GeneratedWorld {
+  GeneratedEks eks;
+  KnowledgeBase kb;
+  ContextRegistry contexts;
+  /// The two headline contexts of the evaluation.
+  ContextId ctx_indication = kNoContext;  // Indication-hasFinding-Finding
+  ContextId ctx_risk = kNoContext;        // Risk-hasFinding-Finding
+  /// Ontology concept ids inside kb.ontology.
+  OntologyConceptId onto_drug = kInvalidOntologyConcept;
+  OntologyConceptId onto_finding = kInvalidOntologyConcept;
+  OntologyConceptId onto_indication = kInvalidOntologyConcept;
+  OntologyConceptId onto_risk = kInvalidOntologyConcept;
+  /// Ground truth: ParticipationBit mask per external concept.
+  std::vector<uint8_t> participation;
+  /// Ground truth: KB finding instance -> the external concept it was
+  /// sampled from (what a perfect mapper would produce).
+  std::unordered_map<InstanceId, ConceptId> true_link;
+  /// The external concepts that have KB instances (ground truth FEC).
+  std::vector<ConceptId> kb_finding_concepts;
+  std::vector<InstanceId> drug_instances;
+  std::vector<InstanceId> finding_instances;
+  /// Findings each drug treats / causes (instance ids).
+  std::unordered_map<InstanceId, std::vector<InstanceId>> treats;
+  std::unordered_map<InstanceId, std::vector<InstanceId>> causes;
+
+  GeneratedWorld() = default;
+  GeneratedWorld(GeneratedWorld&&) = default;
+  GeneratedWorld& operator=(GeneratedWorld&&) = default;
+  GeneratedWorld(const GeneratedWorld&) = delete;
+  GeneratedWorld& operator=(const GeneratedWorld&) = delete;
+};
+
+/// Builds the MED-shaped domain ontology: 43 concepts and 58 relationships
+/// (the sizes Section 7.1 reports for the paper's proprietary data set),
+/// including the Figure 1 fragment.
+Result<DomainOntology> BuildMedOntology();
+
+/// Generates the full world: external source (via GenerateSnomedLike), the
+/// MED-like KB populated against it, and all ground-truth metadata.
+Result<GeneratedWorld> GenerateWorld(const SnomedGeneratorOptions& eks_options,
+                                     const KbGeneratorOptions& kb_options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_DATASETS_KB_GENERATOR_H_

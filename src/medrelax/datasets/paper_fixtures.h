@@ -1,0 +1,77 @@
+#ifndef MEDRELAX_DATASETS_PAPER_FIXTURES_H_
+#define MEDRELAX_DATASETS_PAPER_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/corpus/document.h"
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/kb/kb_query.h"
+
+namespace medrelax {
+
+/// The curated fixtures reproduce, concept for concept and number for
+/// number, every concrete fragment printed in the paper, so the worked
+/// examples (Examples 1-4, Figures 1, 4, 5, 6) can be verified exactly.
+
+/// Figure 1: the medical domain-ontology snippet — Drug treat Indication,
+/// Drug cause Risk, Indication/Risk hasFinding Finding, with Risk's TBox
+/// descendants Black Box Warning, Adverse Effect, Contra Indication, and
+/// the surrounding concepts the examples mention.
+Result<DomainOntology> BuildFigure1Ontology();
+
+/// Handle bundle for the Figure 4 fixture.
+struct Figure4Fixture {
+  ConceptDag dag;
+  ConceptId root = kInvalidConcept;
+  ConceptId pain_of_head_and_neck_region = kInvalidConcept;
+  ConceptId craniofacial_pain = kInvalidConcept;
+  ConceptId pain_in_throat = kInvalidConcept;
+  ConceptId headache = kInvalidConcept;
+  ConceptId frequent_headache = kInvalidConcept;
+  /// Direct per-context mention counts (|A| of Equation 2) exactly as
+  /// printed in Figure 4 for the Indication-hasFinding-Finding context:
+  /// headache 18878, pain in throat 283, craniofacial pain 0 + headache,
+  /// pain of head and neck region direct 3 -> propagated 19164.
+  std::vector<std::pair<ConceptId, double>> indication_direct_counts;
+  /// Risk-hasFinding-Finding direct counts summing to the printed 1656.
+  std::vector<std::pair<ConceptId, double>> risk_direct_counts;
+};
+
+/// Figure 4: the SNOMED CT snippet around "pain of head and neck region"
+/// with the paper's printed frequencies for two contexts.
+Result<Figure4Fixture> BuildFigure4Fixture();
+
+/// Handle bundle for the Figure 5 fixture.
+struct Figure5Fixture {
+  ConceptDag dag;
+  ConceptId root = kInvalidConcept;
+  ConceptId kidney_disease = kInvalidConcept;
+  ConceptId hypertensive_renal_disease = kInvalidConcept;
+  ConceptId hypertensive_nephropathy = kInvalidConcept;
+  ConceptId ckd_stage1_due_to_hypertension = kInvalidConcept;
+};
+
+/// Figure 5: the 3-hop chain from "chronic kidney disease stage 1 due to
+/// hypertension" up to "kidney disease" used to demonstrate shortcut edges.
+Result<Figure5Fixture> BuildFigure5Fixture();
+
+/// Handle bundle for the Figure 6 fixture.
+struct Figure6Fixture {
+  ConceptDag dag;
+  ConceptId root = kInvalidConcept;
+  ConceptId pneumonia = kInvalidConcept;
+  ConceptId lower_respiratory_tract_infection = kInvalidConcept;
+  /// The 4-hop path's intermediate concepts, pneumonia-side first.
+  std::vector<ConceptId> intermediates;
+};
+
+/// Figure 6: the respiratory fragment where pneumonia and lower
+/// respiratory tract infection are 4 hops apart with direction-dependent
+/// penalties (Example 4).
+Result<Figure6Fixture> BuildFigure6Fixture();
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_DATASETS_PAPER_FIXTURES_H_

@@ -1,0 +1,101 @@
+#ifndef MEDRELAX_DATASETS_QUERY_GENERATOR_H_
+#define MEDRELAX_DATASETS_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "medrelax/datasets/kb_generator.h"
+
+namespace medrelax {
+
+/// How a mapping-workload surface form is derived from its gold concept.
+enum class SurfaceNoise : uint8_t {
+  kExactName,   // canonical name verbatim
+  kSynonym,     // one of the concept's synonyms
+  kTypo,        // 1-2 character edits
+  kReorder,     // token order shuffled ("kidney infection acute")
+  kDropToken,   // one token dropped ("infection kidney due diabetes" ...)
+};
+
+/// One Table 1 workload item: a noisy surface form with its gold concept.
+struct MappingQuery {
+  std::string surface;
+  ConceptId gold = kInvalidConcept;
+  SurfaceNoise noise = SurfaceNoise::kExactName;
+};
+
+/// Options for the mapping workload (Table 1: "100 commonly used concepts
+/// of medical conditions").
+struct MappingWorkloadOptions {
+  size_t num_queries = 100;
+  /// Mix of noise kinds (normalized internally).
+  double p_exact = 0.35;
+  double p_synonym = 0.25;
+  double p_typo = 0.20;
+  double p_reorder = 0.10;
+  double p_drop = 0.10;
+  uint64_t seed = 21;
+};
+
+/// Samples mapping queries from the finding region, popularity-weighted
+/// ("commonly used"), with the configured surface-noise mix.
+std::vector<MappingQuery> GenerateMappingQueries(
+    const GeneratedEks& eks, const MappingWorkloadOptions& options);
+
+/// One Table 2 workload item: a query concept with its query context.
+struct RelaxationQuery {
+  /// The external concept the query term resolves to.
+  ConceptId concept_id = kInvalidConcept;
+  /// Query context (ctx_indication or ctx_risk).
+  ContextId context = kNoContext;
+  /// A natural surface form for the term (for end-to-end runs).
+  std::string surface;
+};
+
+/// Options for the relaxation workload.
+struct RelaxationWorkloadOptions {
+  size_t num_queries = 100;
+  /// Fraction of query concepts that do NOT have a KB instance (the
+  /// "pyelectasia" case: relaxation must find in-KB relatives).
+  double out_of_kb_fraction = 0.5;
+  uint64_t seed = 22;
+};
+
+/// Samples relaxation queries: popularity-weighted condition concepts whose
+/// participation truth includes the sampled context.
+std::vector<RelaxationQuery> GenerateRelaxationQueries(
+    const GeneratedWorld& world, const RelaxationWorkloadOptions& options);
+
+/// One natural-language question for the NLI layers / user study.
+struct NlQuestion {
+  std::string text;
+  /// The gold context of the question.
+  ContextId context = kNoContext;
+  /// The gold external concept of the query term.
+  ConceptId concept_id = kInvalidConcept;
+  /// The surface form embedded in the text.
+  std::string term_surface;
+};
+
+/// Options for the NL-question workload.
+struct NlWorkloadOptions {
+  size_t num_questions = 20;
+  /// When true, questions may use out-of-KB terms (task T2 of the user
+  /// study); otherwise terms come from in-KB concepts (task T1).
+  bool free_form = false;
+  /// Users phrase conditions colloquially in both tasks: probability of
+  /// using a synonym / a typo'd surface instead of the canonical name.
+  double colloquial_synonym = 0.35;
+  double colloquial_typo = 0.20;
+  uint64_t seed = 23;
+};
+
+/// Generates templated NL questions ("what drugs treat <term>", "which
+/// drugs have the risk of causing <term>", ...).
+std::vector<NlQuestion> GenerateNlQuestions(const GeneratedWorld& world,
+                                            const NlWorkloadOptions& options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_DATASETS_QUERY_GENERATOR_H_

@@ -1,0 +1,57 @@
+#ifndef MEDRELAX_DATASETS_SNOMED_GENERATOR_H_
+#define MEDRELAX_DATASETS_SNOMED_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/graph/concept_dag.h"
+
+namespace medrelax {
+
+/// Knobs of the SNOMED-CT-like external-knowledge-source generator.
+///
+/// SNOMED CT itself is license-gated, so scale experiments run on a
+/// synthetic DAG with the properties the relaxation method actually
+/// consumes: a single root, deep is-a hierarchies with compositional
+/// names ("acute infection of kidney due to diabetes" under "infection of
+/// kidney" under "disorder of kidney"), synonyms (latinate variants:
+/// "renal infection"), moderate polyhierarchy, and a designated clinical-
+/// finding region the KB draws from. Everything is deterministic in the
+/// seed.
+struct SnomedGeneratorOptions {
+  /// Total concept budget (>= ~50; the generator stops when reached).
+  size_t num_concepts = 4000;
+  /// Fraction of the budget under the clinical-finding category.
+  double finding_fraction = 0.7;
+  /// Probability that a concept gains a second parent (polyhierarchy).
+  double polyhierarchy_rate = 0.06;
+  /// Mean synonyms per concept (Poisson).
+  double synonym_mean = 0.7;
+  /// Zipf exponent for the popularity weights the corpus generator uses.
+  double popularity_zipf = 1.1;
+  uint64_t seed = 1234;
+};
+
+/// A generated external knowledge source with its ground-truth metadata.
+struct GeneratedEks {
+  ConceptDag dag;
+  ConceptId root = kInvalidConcept;
+  /// Root of the clinical-finding region.
+  ConceptId finding_root = kInvalidConcept;
+  /// Every concept in the finding region (excluding finding_root itself).
+  std::vector<ConceptId> finding_concepts;
+  /// Depth of each concept (root = 0) in the generated tree skeleton.
+  std::vector<uint32_t> depth;
+  /// Popularity weight per concept (Zipf-distributed); drives how often
+  /// the corpus generator mentions it.
+  std::vector<double> popularity;
+};
+
+/// Generates a SNOMED-like DAG. Fails only on degenerate options.
+Result<GeneratedEks> GenerateSnomedLike(const SnomedGeneratorOptions& options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_DATASETS_SNOMED_GENERATOR_H_

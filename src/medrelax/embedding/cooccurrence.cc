@@ -1,0 +1,72 @@
+#include "medrelax/embedding/cooccurrence.h"
+
+#include <algorithm>
+
+namespace medrelax {
+
+WordId Vocabulary::Add(const std::string& word) {
+  auto [it, inserted] = index_.emplace(word, static_cast<WordId>(words_.size()));
+  if (inserted) {
+    words_.push_back(word);
+    counts_.push_back(0);
+  }
+  ++counts_[it->second];
+  ++total_;
+  return it->second;
+}
+
+WordId Vocabulary::AddWithCount(const std::string& word, uint64_t count) {
+  auto [it, inserted] = index_.emplace(word, static_cast<WordId>(words_.size()));
+  if (inserted) {
+    words_.push_back(word);
+    counts_.push_back(0);
+  }
+  counts_[it->second] += count;
+  total_ += count;
+  return it->second;
+}
+
+WordId Vocabulary::Find(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kOovWord : it->second;
+}
+
+double Vocabulary::Probability(WordId id) const {
+  if (id >= counts_.size() || total_ == 0) return 0.0;
+  return static_cast<double>(counts_[id]) / static_cast<double>(total_);
+}
+
+void CooccurrenceCounter::Process(const Corpus& corpus) {
+  std::vector<WordId> ids;
+  for (const Document& doc : corpus.documents()) {
+    for (const DocumentSection& section : doc.sections) {
+      ids.clear();
+      ids.reserve(section.tokens.size());
+      for (const std::string& tok : section.tokens) ids.push_back(vocab_.Add(tok));
+      if (rows_.size() < vocab_.size()) rows_.resize(vocab_.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        size_t end = std::min(ids.size(), i + 1 + window_);
+        for (size_t j = i + 1; j < end; ++j) {
+          ++rows_[ids[i]][ids[j]];
+          ++rows_[ids[j]][ids[i]];
+          total_pairs_ += 2;
+        }
+      }
+    }
+  }
+  if (rows_.size() < vocab_.size()) rows_.resize(vocab_.size());
+}
+
+uint64_t CooccurrenceCounter::Count(WordId a, WordId b) const {
+  if (a >= rows_.size()) return 0;
+  auto it = rows_[a].find(b);
+  return it == rows_[a].end() ? 0 : it->second;
+}
+
+const std::unordered_map<WordId, uint64_t>& CooccurrenceCounter::Row(
+    WordId a) const {
+  if (a >= rows_.size()) return empty_;
+  return rows_[a];
+}
+
+}  // namespace medrelax

@@ -1,0 +1,85 @@
+#ifndef MEDRELAX_EMBEDDING_COOCCURRENCE_H_
+#define MEDRELAX_EMBEDDING_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/corpus/document.h"
+
+namespace medrelax {
+
+/// Dense word identifier inside a Vocabulary.
+using WordId = uint32_t;
+
+/// Sentinel for "word not in vocabulary".
+inline constexpr WordId kOovWord = UINT32_MAX;
+
+/// Interned corpus vocabulary with unigram counts.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns a word, bumping its count.
+  WordId Add(const std::string& word);
+
+  /// Interns a word, bumping its count by `count` in one step.
+  WordId AddWithCount(const std::string& word, uint64_t count);
+
+  /// Lookup without interning; kOovWord when absent.
+  WordId Find(const std::string& word) const;
+
+  size_t size() const { return words_.size(); }
+  const std::string& word(WordId id) const { return words_[id]; }
+  uint64_t count(WordId id) const { return counts_[id]; }
+  uint64_t total_count() const { return total_; }
+
+  /// Unigram probability p(w) = count / total, used by SIF weighting.
+  double Probability(WordId id) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+  std::unordered_map<std::string, WordId> index_;
+  uint64_t total_ = 0;
+};
+
+/// Symmetric word-word co-occurrence counts within a sliding window.
+///
+/// The counting substrate for the PPMI+SVD word vectors that implement the
+/// paper's EMBEDDING mapping method and the Embedding-trained /
+/// Embedding-pre-trained baselines (Section 7.2).
+class CooccurrenceCounter {
+ public:
+  /// `window` is the max distance (in tokens) between co-occurring words.
+  explicit CooccurrenceCounter(uint32_t window) : window_(window) {}
+
+  /// Scans every section of every document, interning words and counting
+  /// symmetric co-occurrences (each unordered pair counted once per
+  /// occurrence, both orientations recorded).
+  void Process(const Corpus& corpus);
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Co-occurrence count for the ordered pair (a, b). Symmetric by
+  /// construction.
+  uint64_t Count(WordId a, WordId b) const;
+
+  /// Row of co-occurrence counts for word `a` (unordered column order).
+  const std::unordered_map<WordId, uint64_t>& Row(WordId a) const;
+
+  /// Sum of all co-occurrence counts (both orientations).
+  uint64_t total_pairs() const { return total_pairs_; }
+
+ private:
+  uint32_t window_;
+  Vocabulary vocab_;
+  std::vector<std::unordered_map<WordId, uint64_t>> rows_;
+  std::unordered_map<WordId, uint64_t> empty_;
+  uint64_t total_pairs_ = 0;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EMBEDDING_COOCCURRENCE_H_

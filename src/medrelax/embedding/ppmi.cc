@@ -1,0 +1,60 @@
+#include "medrelax/embedding/ppmi.h"
+
+#include <cmath>
+
+namespace medrelax {
+
+size_t SparseMatrix::nnz() const {
+  size_t n = 0;
+  for (const auto& row : rows_) n += row.size();
+  return n;
+}
+
+void SparseMatrix::Multiply(const std::vector<double>& x,
+                            std::vector<double>* y) const {
+  y->assign(rows_.size(), 0.0);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    double acc = 0.0;
+    for (const Entry& e : rows_[r]) acc += e.value * x[e.col];
+    (*y)[r] = acc;
+  }
+}
+
+SparseMatrix BuildPpmiMatrix(const CooccurrenceCounter& counts, double alpha) {
+  const Vocabulary& vocab = counts.vocabulary();
+  const size_t v = vocab.size();
+  SparseMatrix m(v);
+  const double total = static_cast<double>(counts.total_pairs());
+  if (total <= 0.0) return m;
+
+  // Marginals: row sums (word totals) and alpha-smoothed context totals.
+  std::vector<double> row_sum(v, 0.0);
+  for (WordId a = 0; a < v; ++a) {
+    for (const auto& [b, c] : counts.Row(a)) {
+      (void)b;
+      row_sum[a] += static_cast<double>(c);
+    }
+  }
+  double smoothed_total = 0.0;
+  std::vector<double> ctx_smoothed(v, 0.0);
+  for (WordId b = 0; b < v; ++b) {
+    ctx_smoothed[b] = std::pow(row_sum[b], alpha);
+    smoothed_total += ctx_smoothed[b];
+  }
+  if (smoothed_total <= 0.0) return m;
+
+  for (WordId a = 0; a < v; ++a) {
+    if (row_sum[a] <= 0.0) continue;
+    for (const auto& [b, c] : counts.Row(a)) {
+      double p_ab = static_cast<double>(c) / total;
+      double p_a = row_sum[a] / total;
+      double p_b = ctx_smoothed[b] / smoothed_total;
+      if (p_a <= 0.0 || p_b <= 0.0) continue;
+      double pmi = std::log(p_ab / (p_a * p_b));
+      if (pmi > 0.0) m.Add(a, b, pmi);
+    }
+  }
+  return m;
+}
+
+}  // namespace medrelax

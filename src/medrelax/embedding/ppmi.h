@@ -1,0 +1,51 @@
+#ifndef MEDRELAX_EMBEDDING_PPMI_H_
+#define MEDRELAX_EMBEDDING_PPMI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "medrelax/embedding/cooccurrence.h"
+
+namespace medrelax {
+
+/// Sparse symmetric matrix in row-major coordinate lists, the input to the
+/// truncated SVD. Row i holds (column, value) pairs sorted by column.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(size_t dim) : rows_(dim) {}
+
+  size_t dim() const { return rows_.size(); }
+
+  /// Appends an entry; caller guarantees one entry per (row, col).
+  void Add(uint32_t row, uint32_t col, double value) {
+    rows_[row].push_back({col, value});
+  }
+
+  /// Number of stored non-zeros.
+  size_t nnz() const;
+
+  /// y = M x (dense vector product).
+  void Multiply(const std::vector<double>& x, std::vector<double>* y) const;
+
+  struct Entry {
+    uint32_t col;
+    double value;
+  };
+  const std::vector<Entry>& row(uint32_t r) const { return rows_[r]; }
+
+ private:
+  std::vector<std::vector<Entry>> rows_;
+};
+
+/// Builds the Positive Pointwise Mutual Information matrix from
+/// co-occurrence counts:
+///   PPMI(a, b) = max(0, log( p(a,b) / (p(a) p(b)) ))
+/// with probabilities estimated from the co-occurrence totals. A standard
+/// context-distribution smoothing exponent `alpha` (default 0.75) tempers
+/// the bias toward rare words.
+SparseMatrix BuildPpmiMatrix(const CooccurrenceCounter& counts,
+                             double alpha = 0.75);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EMBEDDING_PPMI_H_

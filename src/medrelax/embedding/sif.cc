@@ -1,0 +1,83 @@
+#include "medrelax/embedding/sif.h"
+
+#include <cmath>
+
+#include "medrelax/embedding/svd.h"
+
+namespace medrelax {
+
+SifModel::SifModel(const WordVectors* vectors,
+                   const std::vector<std::vector<std::string>>& reference_phrases,
+                   const SifOptions& options)
+    : vectors_(vectors), options_(options) {
+  if (!options_.remove_first_component || vectors_->dimensions() == 0) return;
+
+  const size_t d = vectors_->dimensions();
+  std::vector<double> rows;
+  rows.reserve(reference_phrases.size() * d);
+  size_t n = 0;
+  for (const auto& phrase : reference_phrases) {
+    std::vector<double> v = WeightedAverage(phrase);
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    if (norm < 1e-24) continue;  // fully OOV phrase carries no signal
+    rows.insert(rows.end(), v.begin(), v.end());
+    ++n;
+  }
+  if (n < 2) return;
+  common_component_ =
+      DominantDirection(rows, n, d, options_.pca_iterations, options_.seed);
+}
+
+std::vector<double> SifModel::WeightedAverage(
+    const std::vector<std::string>& tokens) const {
+  const size_t d = vectors_->dimensions();
+  std::vector<double> v(d, 0.0);
+  size_t in_vocab = 0;
+  for (const std::string& tok : tokens) {
+    WordId id = vectors_->vocabulary().Find(tok);
+    if (id != kOovWord) {
+      const double* w = vectors_->Vector(id);
+      double p = vectors_->vocabulary().Probability(id);
+      double weight = options_.weight_a / (options_.weight_a + p);
+      for (size_t j = 0; j < d; ++j) v[j] += weight * w[j];
+      ++in_vocab;
+      continue;
+    }
+    if (!options_.subword_backoff) continue;
+    // OOV (typo, unseen inflection): fastText-style subword backoff,
+    // weighted by the subword-estimated probability so the token sits on
+    // the same SIF scale as the in-vocabulary word it approximates.
+    std::vector<double> sub = vectors_->EmbedWord(tok);
+    if (sub.size() != d) continue;
+    double p = vectors_->EstimateProbability(tok);
+    double weight = options_.weight_a / (options_.weight_a + p);
+    for (size_t j = 0; j < d; ++j) v[j] += weight * sub[j];
+    ++in_vocab;
+  }
+  if (in_vocab > 0) {
+    for (double& x : v) x /= static_cast<double>(in_vocab);
+  }
+  return v;
+}
+
+std::vector<double> SifModel::Embed(
+    const std::vector<std::string>& tokens) const {
+  std::vector<double> v = WeightedAverage(tokens);
+  if (!common_component_.empty()) {
+    double dot = 0.0;
+    for (size_t j = 0; j < v.size(); ++j) dot += v[j] * common_component_[j];
+    for (size_t j = 0; j < v.size(); ++j) v[j] -= dot * common_component_[j];
+  }
+  return v;
+}
+
+double SifModel::PhraseCosine(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) const {
+  std::vector<double> va = Embed(a);
+  std::vector<double> vb = Embed(b);
+  if (va.empty() || vb.empty()) return 0.0;
+  return CosineSimilarity(va.data(), vb.data(), va.size());
+}
+
+}  // namespace medrelax

@@ -1,0 +1,68 @@
+#ifndef MEDRELAX_EMBEDDING_SIF_H_
+#define MEDRELAX_EMBEDDING_SIF_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/embedding/word_vectors.h"
+
+namespace medrelax {
+
+/// Options for the SIF sentence-embedding model.
+struct SifOptions {
+  /// The `a` of the a/(a + p(w)) reweighting; 1e-3 is the paper's default.
+  double weight_a = 1e-3;
+  /// Power-iteration rounds for the common-component estimation.
+  size_t pca_iterations = 40;
+  /// Seed for the deterministic power iteration.
+  uint64_t seed = 7;
+  /// When true, remove the projection on the corpus-level first principal
+  /// component (the full Arora et al. construction). When false the model
+  /// degrades to a plain probability-weighted average, which is the
+  /// "average of its words' embeddings" fallback the paper applies to
+  /// Embedding-pre-trained multi-word terms.
+  bool remove_first_component = true;
+  /// Back off to subword (char-n-gram) vectors for OOV words when the
+  /// underlying WordVectors carry a subword table.
+  bool subword_backoff = true;
+};
+
+/// Smooth Inverse Frequency sentence embeddings (Arora, Liang, Ma — ICLR
+/// 2017, the paper's reference [3]): probability-weighted average of word
+/// vectors with the common discourse component removed. Used to embed
+/// multi-word concept names ("pain of head and neck region") for the
+/// EMBEDDING mapping method and the Embedding-trained baseline.
+class SifModel {
+ public:
+  /// Fits the common component on a reference phrase set (typically all
+  /// external-concept names). Borrows `vectors`, which must outlive the
+  /// model.
+  SifModel(const WordVectors* vectors,
+           const std::vector<std::vector<std::string>>& reference_phrases,
+           const SifOptions& options);
+
+  /// Embeds a tokenized phrase; returns a zero vector when every token is
+  /// OOV. Output has vectors->dimensions() entries.
+  std::vector<double> Embed(const std::vector<std::string>& tokens) const;
+
+  /// Cosine similarity of two tokenized phrases.
+  double PhraseCosine(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) const;
+
+  /// The fitted common-component direction (empty when removal disabled).
+  const std::vector<double>& common_component() const {
+    return common_component_;
+  }
+
+ private:
+  std::vector<double> WeightedAverage(
+      const std::vector<std::string>& tokens) const;
+
+  const WordVectors* vectors_;
+  SifOptions options_;
+  std::vector<double> common_component_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EMBEDDING_SIF_H_

@@ -1,0 +1,125 @@
+#include "medrelax/embedding/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medrelax {
+
+namespace {
+
+// Modified Gram-Schmidt on k column vectors stored column-major in `cols`
+// (each of length n). Columns that collapse to ~zero are re-randomized.
+void Orthonormalize(std::vector<std::vector<double>>* cols, Rng* rng) {
+  for (size_t j = 0; j < cols->size(); ++j) {
+    std::vector<double>& v = (*cols)[j];
+    for (size_t prev = 0; prev < j; ++prev) {
+      const std::vector<double>& u = (*cols)[prev];
+      double dot = 0.0;
+      for (size_t i = 0; i < v.size(); ++i) dot += v[i] * u[i];
+      for (size_t i = 0; i < v.size(); ++i) v[i] -= dot * u[i];
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (double& x : v) x = rng->Gaussian();
+      // One re-orthogonalization pass for the regenerated column.
+      for (size_t prev = 0; prev < j; ++prev) {
+        const std::vector<double>& u = (*cols)[prev];
+        double dot = 0.0;
+        for (size_t i = 0; i < v.size(); ++i) dot += v[i] * u[i];
+        for (size_t i = 0; i < v.size(); ++i) v[i] -= dot * u[i];
+      }
+      norm = 0.0;
+      for (double x : v) norm += x * x;
+      norm = std::sqrt(std::max(norm, 1e-12));
+    }
+    for (double& x : v) x /= norm;
+  }
+}
+
+}  // namespace
+
+TruncatedEigen TruncatedSymmetricEigen(const SparseMatrix& m, size_t k,
+                                       size_t iterations, uint64_t seed) {
+  TruncatedEigen out;
+  const size_t n = m.dim();
+  out.dim = n;
+  out.rank = std::min(k, n);
+  if (n == 0 || out.rank == 0) return out;
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> q(out.rank, std::vector<double>(n));
+  for (auto& col : q) {
+    for (double& x : col) x = rng.Gaussian();
+  }
+  Orthonormalize(&q, &rng);
+
+  std::vector<double> tmp;
+  for (size_t it = 0; it < iterations; ++it) {
+    for (auto& col : q) {
+      m.Multiply(col, &tmp);
+      col.swap(tmp);
+    }
+    Orthonormalize(&q, &rng);
+  }
+
+  // Rayleigh quotients as eigenvalue estimates.
+  out.values.resize(out.rank);
+  for (size_t j = 0; j < out.rank; ++j) {
+    m.Multiply(q[j], &tmp);
+    double lambda = 0.0;
+    for (size_t i = 0; i < n; ++i) lambda += q[j][i] * tmp[i];
+    out.values[j] = lambda;
+  }
+
+  // Sort eigenpairs by |lambda| descending.
+  std::vector<size_t> order(out.rank);
+  for (size_t j = 0; j < out.rank; ++j) order[j] = j;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::fabs(out.values[a]) > std::fabs(out.values[b]);
+  });
+
+  out.vectors.assign(n * out.rank, 0.0);
+  std::vector<double> sorted_values(out.rank);
+  for (size_t j = 0; j < out.rank; ++j) {
+    sorted_values[j] = out.values[order[j]];
+    const std::vector<double>& col = q[order[j]];
+    for (size_t i = 0; i < n; ++i) out.vectors[i * out.rank + j] = col[i];
+  }
+  out.values = std::move(sorted_values);
+  return out;
+}
+
+std::vector<double> DominantDirection(const std::vector<double>& rows,
+                                      size_t n, size_t d, size_t iterations,
+                                      uint64_t seed) {
+  std::vector<double> v(d, 0.0);
+  if (n == 0 || d == 0) return v;
+  Rng rng(seed);
+  for (double& x : v) x = rng.Gaussian();
+
+  std::vector<double> proj(n, 0.0);
+  for (size_t it = 0; it < iterations; ++it) {
+    // w = (X^T X) v computed as X^T (X v) without materializing X^T X.
+    for (size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      const double* row = &rows[i * d];
+      for (size_t j = 0; j < d; ++j) dot += row[j] * v[j];
+      proj[i] = dot;
+    }
+    std::vector<double> w(d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = &rows[i * d];
+      for (size_t j = 0; j < d; ++j) w[j] += proj[i] * row[j];
+    }
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) break;
+    for (size_t j = 0; j < d; ++j) v[j] = w[j] / norm;
+  }
+  return v;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,41 @@
+#ifndef MEDRELAX_EMBEDDING_SVD_H_
+#define MEDRELAX_EMBEDDING_SVD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "medrelax/common/random.h"
+#include "medrelax/embedding/ppmi.h"
+
+namespace medrelax {
+
+/// Rank-k eigendecomposition of a symmetric matrix.
+struct TruncatedEigen {
+  /// Row-major V x k matrix of eigenvectors (columns orthonormal).
+  std::vector<double> vectors;
+  /// The k dominant eigenvalues, descending by magnitude.
+  std::vector<double> values;
+  size_t dim = 0;
+  size_t rank = 0;
+};
+
+/// Computes the k dominant eigenpairs of a symmetric sparse matrix by
+/// subspace (orthogonal) iteration: Q <- orth(M Q) repeated `iterations`
+/// times from a seeded random start. Deterministic given the seed.
+///
+/// PPMI matrices are symmetric positive-semidefinite-ish in practice, so
+/// the dominant eigenpairs coincide with the top singular triplets and the
+/// standard SVD word-vector construction W = U_k diag(sqrt(sigma_k))
+/// applies (see word_vectors.h).
+TruncatedEigen TruncatedSymmetricEigen(const SparseMatrix& m, size_t k,
+                                       size_t iterations, uint64_t seed);
+
+/// Dominant eigenvector of the covariance of a set of row vectors (used by
+/// SIF's first-principal-component removal). `rows` is row-major n x d.
+std::vector<double> DominantDirection(const std::vector<double>& rows,
+                                      size_t n, size_t d, size_t iterations,
+                                      uint64_t seed);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EMBEDDING_SVD_H_

@@ -1,0 +1,149 @@
+#include "medrelax/embedding/word_vectors.h"
+
+#include <cmath>
+
+#include "medrelax/embedding/ppmi.h"
+#include "medrelax/embedding/svd.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+WordVectors WordVectors::Train(const Corpus& corpus,
+                               const WordVectorOptions& options) {
+  WordVectors model;
+  CooccurrenceCounter counter(options.window);
+  counter.Process(corpus);
+  // Rebuild the vocabulary in id order so WordIds line up with matrix rows.
+  for (WordId id = 0; id < counter.vocabulary().size(); ++id) {
+    model.vocab_.AddWithCount(counter.vocabulary().word(id),
+                              counter.vocabulary().count(id));
+  }
+
+  SparseMatrix ppmi = BuildPpmiMatrix(counter, options.ppmi_alpha);
+  TruncatedEigen eig = TruncatedSymmetricEigen(
+      ppmi, options.dimensions, options.svd_iterations, options.seed);
+
+  model.dims_ = eig.rank;
+  const size_t v = counter.vocabulary().size();
+  model.matrix_.assign(v * model.dims_, 0.0);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < model.dims_; ++j) {
+      double scale =
+          std::pow(std::fabs(eig.values[j]), options.eigenvalue_power);
+      model.matrix_[i * model.dims_ + j] =
+          eig.vectors[i * eig.rank + j] * scale;
+    }
+  }
+
+  // Subword table: each boundary-marked char n-gram maps to the mean of
+  // the vectors of the words containing it (a cheap, deterministic stand-in
+  // for fastText's jointly trained subword vectors).
+  if (options.use_subword && model.dims_ > 0) {
+    model.min_ngram_ = options.min_ngram;
+    model.max_ngram_ = options.max_ngram;
+    std::unordered_map<std::string, size_t> counts;
+    for (WordId id = 0; id < v; ++id) {
+      std::string marked = "<" + model.vocab_.word(id) + ">";
+      const double* row = &model.matrix_[static_cast<size_t>(id) * model.dims_];
+      double prob = model.vocab_.Probability(id);
+      for (size_t n = options.min_ngram; n <= options.max_ngram; ++n) {
+        for (const std::string& gram : CharNgrams(marked, n)) {
+          std::vector<double>& acc = model.ngram_vectors_[gram];
+          if (acc.empty()) acc.assign(model.dims_, 0.0);
+          for (size_t j = 0; j < model.dims_; ++j) acc[j] += row[j];
+          model.ngram_probs_[gram] += prob;
+          ++counts[gram];
+        }
+      }
+    }
+    for (auto& [gram, vec] : model.ngram_vectors_) {
+      double c = static_cast<double>(counts[gram]);
+      for (double& x : vec) x /= c;
+      model.ngram_probs_[gram] /= c;
+    }
+  }
+  return model;
+}
+
+std::vector<double> WordVectors::EmbedWord(const std::string& word) const {
+  const double* direct = Vector(word);
+  if (direct != nullptr) {
+    return std::vector<double>(direct, direct + dims_);
+  }
+  if (ngram_vectors_.empty() || dims_ == 0) return {};
+  std::vector<double> out(dims_, 0.0);
+  size_t hits = 0;
+  std::string marked = "<" + word + ">";
+  for (size_t n = min_ngram_; n <= max_ngram_; ++n) {
+    for (const std::string& gram : CharNgrams(marked, n)) {
+      auto it = ngram_vectors_.find(gram);
+      if (it == ngram_vectors_.end()) continue;
+      for (size_t j = 0; j < dims_; ++j) out[j] += it->second[j];
+      ++hits;
+    }
+  }
+  if (hits == 0) return {};
+  for (double& x : out) x /= static_cast<double>(hits);
+  return out;
+}
+
+double WordVectors::EstimateProbability(const std::string& word) const {
+  WordId id = vocab_.Find(word);
+  if (id != kOovWord) return vocab_.Probability(id);
+  if (ngram_probs_.empty()) return 0.0;
+  double total = 0.0;
+  size_t hits = 0;
+  std::string marked = "<" + word + ">";
+  for (size_t n = min_ngram_; n <= max_ngram_; ++n) {
+    for (const std::string& gram : CharNgrams(marked, n)) {
+      auto it = ngram_probs_.find(gram);
+      if (it == ngram_probs_.end()) continue;
+      total += it->second;
+      ++hits;
+    }
+  }
+  return hits == 0 ? 0.0 : total / static_cast<double>(hits);
+}
+
+bool WordVectors::Contains(const std::string& word) const {
+  return vocab_.Find(word) != kOovWord;
+}
+
+const double* WordVectors::Vector(const std::string& word) const {
+  WordId id = vocab_.Find(word);
+  return id == kOovWord ? nullptr : Vector(id);
+}
+
+const double* WordVectors::Vector(WordId id) const {
+  if (id >= vocab_.size() || dims_ == 0) return nullptr;
+  return &matrix_[static_cast<size_t>(id) * dims_];
+}
+
+double WordVectors::Cosine(const std::string& a, const std::string& b) const {
+  const double* va = Vector(a);
+  const double* vb = Vector(b);
+  if (va == nullptr || vb == nullptr) return 0.0;
+  return CosineSimilarity(va, vb, dims_);
+}
+
+double WordVectors::OovRate(const std::vector<std::string>& words) const {
+  if (words.empty()) return 0.0;
+  size_t oov = 0;
+  for (const std::string& w : words) {
+    if (!Contains(w)) ++oov;
+  }
+  return static_cast<double>(oov) / static_cast<double>(words.size());
+}
+
+double CosineSimilarity(const double* a, const double* b, size_t d) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace medrelax

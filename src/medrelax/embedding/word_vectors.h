@@ -1,0 +1,104 @@
+#ifndef MEDRELAX_EMBEDDING_WORD_VECTORS_H_
+#define MEDRELAX_EMBEDDING_WORD_VECTORS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/corpus/document.h"
+#include "medrelax/embedding/cooccurrence.h"
+
+namespace medrelax {
+
+/// Training knobs for the PPMI+SVD word-vector model.
+struct WordVectorOptions {
+  /// Co-occurrence window size.
+  uint32_t window = 5;
+  /// Embedding dimensionality.
+  size_t dimensions = 50;
+  /// Subspace-iteration rounds for the truncated SVD.
+  size_t svd_iterations = 30;
+  /// Context-distribution smoothing of PPMI.
+  double ppmi_alpha = 0.75;
+  /// Seed for the deterministic SVD start.
+  uint64_t seed = 42;
+  /// Eigenvalue weighting exponent: W = U diag(|lambda|^p). p = 0.5 is the
+  /// standard symmetric split of the spectrum.
+  double eigenvalue_power = 0.5;
+  /// Build character-n-gram vectors (fastText-style, the paper's reference
+  /// [8]) so out-of-vocabulary words — typos, unseen inflections — can be
+  /// embedded from their subwords.
+  bool use_subword = true;
+  /// Character n-gram range for the subword table (boundary-marked).
+  size_t min_ngram = 3;
+  size_t max_ngram = 5;
+};
+
+/// Dense word vectors over an interned vocabulary, with cosine lookup.
+///
+/// These implement the "word embedding" mapping method of Section 7.2 and
+/// serve as the base of the SIF sentence embeddings [Arora et al., ICLR'17]
+/// the paper uses for multi-word query terms.
+class WordVectors {
+ public:
+  WordVectors() = default;
+
+  /// Trains vectors on a corpus: co-occurrence -> PPMI -> truncated SVD.
+  static WordVectors Train(const Corpus& corpus,
+                           const WordVectorOptions& options);
+
+  /// Embedding dimensionality (0 before training).
+  size_t dimensions() const { return dims_; }
+
+  /// The vocabulary the model was trained on.
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// True iff the word is in-vocabulary.
+  bool Contains(const std::string& word) const;
+
+  /// The vector for a word; nullptr for OOV.
+  const double* Vector(const std::string& word) const;
+  const double* Vector(WordId id) const;
+
+  /// Cosine similarity of two words; 0 when either is OOV.
+  double Cosine(const std::string& a, const std::string& b) const;
+
+  /// Embeds a word even when OOV: in-vocabulary words return their trained
+  /// vector; OOV words back off to the average of their known character-
+  /// n-gram vectors (fastText-style). Returns an empty vector when nothing
+  /// is known about the word (no subword table or no known n-grams).
+  std::vector<double> EmbedWord(const std::string& word) const;
+
+  /// True iff the subword table was built.
+  bool has_subwords() const { return !ngram_vectors_.empty(); }
+
+  /// Estimates the unigram probability of a word: the true probability for
+  /// in-vocabulary words, and the mean probability of subword-sharing
+  /// vocabulary words for OOV words (0 when nothing is known). Keeps the
+  /// SIF weight of a typo'd token on the same scale as its intended word.
+  double EstimateProbability(const std::string& word) const;
+
+  /// Fraction of `words` that are OOV (the vocabulary-mismatch metric that
+  /// explains Embedding-pre-trained's poor showing in Table 2).
+  double OovRate(const std::vector<std::string>& words) const;
+
+ private:
+  Vocabulary vocab_;
+  size_t dims_ = 0;
+  std::vector<double> matrix_;  // row-major |V| x dims
+  size_t min_ngram_ = 3;
+  size_t max_ngram_ = 5;
+  /// Boundary-marked char n-gram -> mean vector of the words containing it.
+  std::unordered_map<std::string, std::vector<double>> ngram_vectors_;
+  /// Boundary-marked char n-gram -> mean unigram probability of the words
+  /// containing it.
+  std::unordered_map<std::string, double> ngram_probs_;
+};
+
+/// Cosine similarity of two raw vectors of length d (0 if either is ~zero).
+double CosineSimilarity(const double* a, const double* b, size_t d);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EMBEDDING_WORD_VECTORS_H_

@@ -1,0 +1,44 @@
+#include "medrelax/eval/gold_standard.h"
+
+#include <limits>
+
+namespace medrelax {
+
+GoldStandard::GoldStandard(const GeneratedWorld* world,
+                           const GoldStandardOptions& options)
+    : world_(world), options_(options) {}
+
+uint32_t GoldStandard::TrueDistance(ConceptId a, ConceptId b) const {
+  if (a == b) return 0;
+  uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  auto it = distance_cache_.find(key);
+  if (it != distance_cache_.end()) return it->second;
+  TaxonomicPath path = ShortestTaxonomicPath(world_->eks.dag, a, b);
+  uint32_t d =
+      path.found ? path.length() : std::numeric_limits<uint32_t>::max();
+  distance_cache_.emplace(key, d);
+  return d;
+}
+
+bool GoldStandard::IsRelevant(ConceptId query, ContextId ctx,
+                              ConceptId candidate) const {
+  if (options_.require_context_participation && ctx != kNoContext) {
+    uint8_t mask = world_->participation[candidate];
+    uint8_t need = 0;
+    if (ctx == world_->ctx_indication) need = kParticipatesTreat;
+    if (ctx == world_->ctx_risk) need = kParticipatesRisk;
+    if (need != 0 && (mask & need) == 0) return false;
+  }
+  return TrueDistance(query, candidate) <= options_.max_distance;
+}
+
+size_t GoldStandard::CountRelevant(ConceptId query, ContextId ctx,
+                                   const std::vector<ConceptId>& pool) const {
+  size_t n = 0;
+  for (ConceptId c : pool) {
+    if (IsRelevant(query, ctx, c)) ++n;
+  }
+  return n;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,29 @@
+#include "medrelax/eval/mapping_eval.h"
+
+namespace medrelax {
+
+MappingEvalRow EvaluateMappingMethod(const MappingFunction& mapper,
+                                     const std::vector<MappingQuery>& queries) {
+  MappingEvalRow row;
+  row.method = mapper.name();
+  row.total = queries.size();
+  PrCounter counter;
+  for (const MappingQuery& q : queries) {
+    std::optional<ConceptMatch> match = mapper.Map(q.surface);
+    if (!match.has_value()) {
+      counter.AddFalseNegative();
+      continue;
+    }
+    ++row.answered;
+    if (match->id == q.gold) {
+      counter.AddTruePositive();
+    } else {
+      counter.AddFalsePositive();
+      counter.AddFalseNegative();
+    }
+  }
+  row.scores = counter.Compute();
+  return row;
+}
+
+}  // namespace medrelax

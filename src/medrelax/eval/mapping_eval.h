@@ -1,0 +1,31 @@
+#ifndef MEDRELAX_EVAL_MAPPING_EVAL_H_
+#define MEDRELAX_EVAL_MAPPING_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/datasets/query_generator.h"
+#include "medrelax/eval/metrics.h"
+#include "medrelax/matching/matcher.h"
+
+namespace medrelax {
+
+/// One row of Table 1: a mapping method with its accuracy.
+struct MappingEvalRow {
+  std::string method;
+  PrF1 scores;
+  /// Queries the method answered (returned any mapping).
+  size_t answered = 0;
+  size_t total = 0;
+};
+
+/// Scores a mapping method against the gold links (Table 1, Section 7.2):
+/// a returned mapping equal to the gold concept is a true positive, a
+/// different returned concept is a false positive (and the gold a false
+/// negative), an abstention is a false negative.
+MappingEvalRow EvaluateMappingMethod(const MappingFunction& mapper,
+                                     const std::vector<MappingQuery>& queries);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EVAL_MAPPING_EVAL_H_

@@ -1,0 +1,55 @@
+#include "medrelax/eval/metrics.h"
+
+#include <algorithm>
+
+namespace medrelax {
+
+double F1(double precision_pct, double recall_pct) {
+  if (precision_pct + recall_pct <= 0.0) return 0.0;
+  return 2.0 * precision_pct * recall_pct / (precision_pct + recall_pct);
+}
+
+PrF1 PrCounter::Compute() const {
+  PrF1 out;
+  if (tp_ + fp_ > 0) {
+    out.precision =
+        100.0 * static_cast<double>(tp_) / static_cast<double>(tp_ + fp_);
+  }
+  if (tp_ + fn_ > 0) {
+    out.recall =
+        100.0 * static_cast<double>(tp_) / static_cast<double>(tp_ + fn_);
+  }
+  out.f1 = F1(out.precision, out.recall);
+  return out;
+}
+
+double PrecisionAtK(const std::vector<bool>& relevance_of_ranked, size_t k) {
+  size_t take = std::min(k, relevance_of_ranked.size());
+  if (take == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < take; ++i) {
+    if (relevance_of_ranked[i]) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(take);
+}
+
+double RecallAtK(const std::vector<bool>& relevance_of_ranked, size_t k,
+                 size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  size_t take = std::min(k, relevance_of_ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < take; ++i) {
+    if (relevance_of_ranked[i]) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) /
+         static_cast<double>(total_relevant);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace medrelax

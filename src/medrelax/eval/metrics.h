@@ -1,0 +1,54 @@
+#ifndef MEDRELAX_EVAL_METRICS_H_
+#define MEDRELAX_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace medrelax {
+
+/// Precision / recall / F1 triple (percent, matching the paper's tables).
+struct PrF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Combines precision and recall (percent) into the harmonic-mean F1.
+double F1(double precision_pct, double recall_pct);
+
+/// Accumulates binary classification outcomes and reports P/R/F1 percent.
+class PrCounter {
+ public:
+  void AddTruePositive(size_t n = 1) { tp_ += n; }
+  void AddFalsePositive(size_t n = 1) { fp_ += n; }
+  void AddFalseNegative(size_t n = 1) { fn_ += n; }
+
+  size_t tp() const { return tp_; }
+  size_t fp() const { return fp_; }
+  size_t fn() const { return fn_; }
+
+  PrF1 Compute() const;
+
+ private:
+  size_t tp_ = 0;
+  size_t fp_ = 0;
+  size_t fn_ = 0;
+};
+
+/// Precision@k for one ranked result list (percent): fraction of the first
+/// min(k, |ranked|) results that are relevant. Returns 0 for empty input.
+double PrecisionAtK(const std::vector<bool>& relevance_of_ranked, size_t k);
+
+/// Recall@k for one ranked result list (percent): relevant results among
+/// the top k over the total number of relevant items. Returns 0 when
+/// total_relevant is 0.
+double RecallAtK(const std::vector<bool>& relevance_of_ranked, size_t k,
+                 size_t total_relevant);
+
+/// Macro-average of per-query values.
+double Mean(const std::vector<double>& values);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EVAL_METRICS_H_

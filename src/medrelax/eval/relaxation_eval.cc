@@ -1,0 +1,92 @@
+#include "medrelax/eval/relaxation_eval.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "medrelax/eval/metrics.h"
+#include "medrelax/text/normalize.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+Table2Row EvaluateRanker(const std::string& method, const ConceptRanker& ranker,
+                         const std::vector<RelaxationQuery>& queries,
+                         const GoldStandard& gold,
+                         const std::vector<ConceptId>& pool, size_t k) {
+  Table2Row row;
+  row.method = method;
+  std::vector<double> precisions;
+  std::vector<double> recalls;
+  for (const RelaxationQuery& q : queries) {
+    std::vector<ConceptId> ranked = ranker(q);
+    std::vector<bool> relevance;
+    relevance.reserve(ranked.size());
+    for (ConceptId c : ranked) {
+      relevance.push_back(gold.IsRelevant(q.concept_id, q.context, c));
+    }
+    size_t total_relevant = gold.CountRelevant(q.concept_id, q.context, pool);
+    if (total_relevant == 0) continue;  // nothing to find for this query
+    precisions.push_back(PrecisionAtK(relevance, k));
+    recalls.push_back(RecallAtK(relevance, k, std::min(total_relevant, k)));
+  }
+  row.p_at_10 = Mean(precisions);
+  row.r_at_10 = Mean(recalls);
+  row.f1 = F1(row.p_at_10, row.r_at_10);
+  return row;
+}
+
+ConceptRanker MakeRelaxerRanker(const QueryRelaxer* relaxer) {
+  return [relaxer](const RelaxationQuery& q) {
+    RelaxationOutcome outcome = relaxer->RelaxConcept(q.concept_id, q.context);
+    std::vector<ConceptId> ranked;
+    ranked.reserve(outcome.concepts.size());
+    for (const ScoredConcept& sc : outcome.concepts) {
+      ranked.push_back(sc.concept_id);
+    }
+    return ranked;
+  };
+}
+
+ConceptRanker MakeEmbeddingRanker(const ConceptDag* dag, const SifModel* sif,
+                                  std::vector<ConceptId> pool) {
+  // Precompute candidate embeddings once; the returned lambda owns them.
+  struct Prepared {
+    std::vector<ConceptId> pool;
+    std::vector<std::vector<double>> embeddings;
+  };
+  auto prepared = std::make_shared<Prepared>();
+  prepared->pool = std::move(pool);
+  prepared->embeddings.reserve(prepared->pool.size());
+  for (ConceptId c : prepared->pool) {
+    prepared->embeddings.push_back(
+        sif->Embed(Tokenize(NormalizeTerm(dag->name(c)))));
+  }
+  return [dag, sif, prepared](const RelaxationQuery& q) {
+    std::vector<double> query_vec =
+        sif->Embed(Tokenize(NormalizeTerm(dag->name(q.concept_id))));
+    std::vector<std::pair<double, ConceptId>> scored;
+    scored.reserve(prepared->pool.size());
+    for (size_t i = 0; i < prepared->pool.size(); ++i) {
+      const std::vector<double>& cand = prepared->embeddings[i];
+      double sim = 0.0;
+      if (!query_vec.empty() && cand.size() == query_vec.size()) {
+        sim = CosineSimilarity(query_vec.data(), cand.data(),
+                               query_vec.size());
+      }
+      scored.emplace_back(sim, prepared->pool[i]);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::vector<ConceptId> ranked;
+    ranked.reserve(scored.size());
+    for (const auto& [sim, c] : scored) {
+      (void)sim;
+      ranked.push_back(c);
+    }
+    return ranked;
+  };
+}
+
+}  // namespace medrelax

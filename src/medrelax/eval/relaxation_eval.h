@@ -1,0 +1,50 @@
+#ifndef MEDRELAX_EVAL_RELAXATION_EVAL_H_
+#define MEDRELAX_EVAL_RELAXATION_EVAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "medrelax/datasets/query_generator.h"
+#include "medrelax/embedding/sif.h"
+#include "medrelax/eval/gold_standard.h"
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+
+/// A ranker maps a relaxation query to ranked external concepts (best
+/// first). The six Table 2 methods are all expressed as rankers.
+using ConceptRanker =
+    std::function<std::vector<ConceptId>(const RelaxationQuery&)>;
+
+/// One row of Table 2.
+struct Table2Row {
+  std::string method;
+  double p_at_10 = 0.0;
+  double r_at_10 = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores a ranker: macro-averaged Precision@k and Recall@k against the
+/// gold standard, with the recall denominator counted over `pool` (the
+/// concepts any method could return — the flagged set).
+Table2Row EvaluateRanker(const std::string& method, const ConceptRanker& ranker,
+                         const std::vector<RelaxationQuery>& queries,
+                         const GoldStandard& gold,
+                         const std::vector<ConceptId>& pool, size_t k);
+
+/// Wraps a QueryRelaxer (any SimilarityOptions configuration — QR,
+/// QR-no-context, QR-no-corpus, IC) as a ranker. The relaxer's ingestion
+/// and options determine the method's behavior.
+ConceptRanker MakeRelaxerRanker(const QueryRelaxer* relaxer);
+
+/// Wraps a SIF embedding model as a ranker over `pool`: candidates are
+/// ordered by phrase-cosine between the query concept's name and the
+/// candidate's name (the Embedding-trained / Embedding-pre-trained
+/// baselines; context is ignored, which is exactly their weakness).
+ConceptRanker MakeEmbeddingRanker(const ConceptDag* dag, const SifModel* sif,
+                                  std::vector<ConceptId> pool);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EVAL_RELAXATION_EVAL_H_

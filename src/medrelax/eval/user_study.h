@@ -1,0 +1,71 @@
+#ifndef MEDRELAX_EVAL_USER_STUDY_H_
+#define MEDRELAX_EVAL_USER_STUDY_H_
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "medrelax/datasets/query_generator.h"
+#include "medrelax/eval/gold_standard.h"
+
+namespace medrelax {
+
+/// The system under study: given a question and the surface form the
+/// simulated participant used this attempt, return the external concepts
+/// the conversational system surfaced (empty = "I don't understand").
+using ConversationalAnswerFn = std::function<std::vector<ConceptId>(
+    const NlQuestion& question, const std::string& surface_this_attempt)>;
+
+/// Knobs of the simulated user study (Table 3 protocol, Section 7.2).
+struct UserStudyOptions {
+  size_t participants = 20;
+  size_t t1_questions_per_participant = 20;
+  size_t t2_questions_per_participant = 10;
+  /// Probability that a participant knows an alternative surface form to
+  /// rephrase with on a failed attempt (otherwise they repeat variants of
+  /// the same wording and keep failing).
+  double knows_alternative_surface = 0.40;
+  /// Orthogonal noise, mirroring the incident classes the paper reports:
+  /// answers genuinely missing from the KB (7 incidences), conversational-
+  /// flow complaints (11), unexplained low grades (10), overwhelming
+  /// result volume (6) — all independent of relaxation quality.
+  double missing_answer_rate = 0.03;
+  double flow_complaint_rate = 0.05;
+  double unexplained_low_rate = 0.04;
+  double overwhelm_rate = 0.03;
+  /// SMEs rarely hand out a 5 even for a correct first-attempt answer
+  /// (the paper's QR distribution peaks at 3-4): probability of deducting
+  /// one extra point, and of a second extra point, from any grade.
+  double picky_deduction_rate = 0.45;
+  double very_picky_deduction_rate = 0.18;
+  uint64_t seed = 31;
+};
+
+/// Grade histogram for one task: percentage of 1..5 grades plus average.
+struct GradeDistribution {
+  /// pct[0] = grade 1 (very dissatisfied) ... pct[4] = grade 5.
+  std::array<double, 5> pct = {0, 0, 0, 0, 0};
+  double average = 0.0;
+  size_t graded = 0;
+};
+
+/// Table 3 for one system configuration (with or without QR).
+struct UserStudyResult {
+  GradeDistribution t1;
+  GradeDistribution t2;
+};
+
+/// Runs the simulated protocol: each participant asks T1 questions (given
+/// in-KB concepts) and T2 questions (free choice, may be out-of-KB); a
+/// response containing a gold-relevant concept is accepted; otherwise the
+/// participant rephrases up to 4 more times, deducting one point per
+/// failed attempt (grade = max(1, 5 - failures)).
+UserStudyResult RunUserStudy(const GeneratedWorld& world,
+                             const GoldStandard& gold,
+                             const ConversationalAnswerFn& system,
+                             const UserStudyOptions& options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_EVAL_USER_STUDY_H_

@@ -1,0 +1,103 @@
+#include "medrelax/graph/concept_dag.h"
+
+#include <algorithm>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+Result<ConceptId> ConceptDag::AddConcept(std::string name) {
+  auto [it, inserted] =
+      name_to_id_.emplace(name, static_cast<ConceptId>(names_.size()));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("concept '%s' already exists", name.c_str()));
+  }
+  names_.push_back(std::move(name));
+  synonyms_.emplace_back();
+  parents_.emplace_back();
+  children_.emplace_back();
+  return it->second;
+}
+
+Status ConceptDag::AddSynonym(ConceptId id, std::string synonym) {
+  if (!IsValid(id)) {
+    return Status::InvalidArgument("AddSynonym: invalid concept id");
+  }
+  synonyms_[id].push_back(std::move(synonym));
+  return Status::OK();
+}
+
+Status ConceptDag::AddSubsumption(ConceptId child, ConceptId parent) {
+  if (!IsValid(child) || !IsValid(parent)) {
+    return Status::InvalidArgument("AddSubsumption: invalid concept id");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument(
+        StrFormat("AddSubsumption: self-edge on '%s'", names_[child].c_str()));
+  }
+  for (const DagEdge& e : parents_[child]) {
+    if (e.target == parent && !e.is_shortcut) {
+      return Status::AlreadyExists(
+          StrFormat("edge '%s' -> '%s' already exists",
+                    names_[child].c_str(), names_[parent].c_str()));
+    }
+  }
+  parents_[child].push_back({parent, 1, false});
+  children_[parent].push_back({child, 1, false});
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status ConceptDag::AddShortcut(ConceptId child, ConceptId parent,
+                               uint32_t original_distance) {
+  if (!IsValid(child) || !IsValid(parent)) {
+    return Status::InvalidArgument("AddShortcut: invalid concept id");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("AddShortcut: self-edge");
+  }
+  if (original_distance < 2) {
+    return Status::InvalidArgument(
+        "AddShortcut: shortcut must replace >= 2 native hops");
+  }
+  for (const DagEdge& e : parents_[child]) {
+    if (e.target == parent) return Status::OK();  // already connected
+  }
+  parents_[child].push_back({parent, original_distance, true});
+  children_[parent].push_back({child, original_distance, true});
+  ++num_edges_;
+  ++num_shortcuts_;
+  return Status::OK();
+}
+
+std::vector<ConceptId> ConceptDag::NativeParents(ConceptId id) const {
+  std::vector<ConceptId> out;
+  for (const DagEdge& e : parents_[id]) {
+    if (!e.is_shortcut) out.push_back(e.target);
+  }
+  return out;
+}
+
+std::vector<ConceptId> ConceptDag::NativeChildren(ConceptId id) const {
+  std::vector<ConceptId> out;
+  for (const DagEdge& e : children_[id]) {
+    if (!e.is_shortcut) out.push_back(e.target);
+  }
+  return out;
+}
+
+ConceptId ConceptDag::FindByName(std::string_view name) const {
+  auto it = name_to_id_.find(std::string(name));
+  return it == name_to_id_.end() ? kInvalidConcept : it->second;
+}
+
+std::vector<ConceptId> ConceptDag::Roots() const {
+  std::vector<ConceptId> roots;
+  for (ConceptId id = 0; id < names_.size(); ++id) {
+    if (parents_[id].empty()) roots.push_back(id);
+  }
+  return roots;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,127 @@
+#ifndef MEDRELAX_GRAPH_CONCEPT_DAG_H_
+#define MEDRELAX_GRAPH_CONCEPT_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/common/status.h"
+
+namespace medrelax {
+
+/// Identifier of an external concept inside a ConceptDag.
+using ConceptId = uint32_t;
+
+/// Sentinel for "no concept".
+inline constexpr ConceptId kInvalidConcept = UINT32_MAX;
+
+/// One subsumption (or shortcut) edge of the external knowledge source.
+///
+/// An edge is stored on the child (more specific) side pointing to the
+/// parent (more general) side: child ⊑ parent. `original_distance` is 1 for
+/// native subsumption edges; shortcut edges added during ingestion
+/// (Section 5.1, "sparsity of external knowledge source") carry the number
+/// of native hops they replace so the original semantics are preserved.
+struct DagEdge {
+  ConceptId target = kInvalidConcept;
+  uint32_t original_distance = 1;
+  bool is_shortcut = false;
+};
+
+/// In-memory external knowledge source: a DAG of named concepts under
+/// subsumption (A ⊑ B), as assumed in Section 2.2 of the paper.
+///
+/// Concepts are interned to dense ids; names and synonyms are normalized by
+/// the caller (see matching/name_index.h). The structure is append-only:
+/// concepts and edges can be added, never removed. Acyclicity is *not*
+/// enforced per-edge for O(1) insertion; ValidateAcyclic() (topology.h)
+/// checks the whole graph, and ingestion refuses cyclic inputs.
+class ConceptDag {
+ public:
+  ConceptDag() = default;
+
+  // Movable but not copyable: the DAG is a large shared substrate.
+  ConceptDag(ConceptDag&&) = default;
+  ConceptDag& operator=(ConceptDag&&) = default;
+  ConceptDag(const ConceptDag&) = delete;
+  ConceptDag& operator=(const ConceptDag&) = delete;
+
+  /// Adds a concept with a unique canonical name. Fails with AlreadyExists
+  /// if the name is taken.
+  Result<ConceptId> AddConcept(std::string name);
+
+  /// Adds an alternative surface form for a concept (SNOMED CT descriptions
+  /// / synonyms). Synonyms need not be globally unique.
+  Status AddSynonym(ConceptId id, std::string synonym);
+
+  /// Adds a native subsumption edge child ⊑ parent (distance 1).
+  /// Fails on out-of-range ids, self-edges, and duplicate native edges.
+  Status AddSubsumption(ConceptId child, ConceptId parent);
+
+  /// Adds a shortcut edge child ⊑ parent annotated with the original hop
+  /// distance it replaces (Algorithm 1, line 21). Duplicate shortcuts are
+  /// ignored (idempotent).
+  Status AddShortcut(ConceptId child, ConceptId parent,
+                     uint32_t original_distance);
+
+  /// Number of concepts.
+  size_t num_concepts() const { return names_.size(); }
+
+  /// Total number of edges (native + shortcut).
+  size_t num_edges() const { return num_edges_; }
+
+  /// Number of shortcut edges.
+  size_t num_shortcut_edges() const { return num_shortcuts_; }
+
+  /// Canonical name of a concept. Precondition: id is valid.
+  const std::string& name(ConceptId id) const { return names_[id]; }
+
+  /// Synonyms of a concept (canonical name not included).
+  const std::vector<std::string>& synonyms(ConceptId id) const {
+    return synonyms_[id];
+  }
+
+  /// Outgoing generalization edges: everything `id` is a (possibly shortcut)
+  /// direct child of.
+  const std::vector<DagEdge>& parents(ConceptId id) const {
+    return parents_[id];
+  }
+
+  /// Incoming specialization edges: everything that directly (possibly via
+  /// shortcut) specializes `id`.
+  const std::vector<DagEdge>& children(ConceptId id) const {
+    return children_[id];
+  }
+
+  /// Native (non-shortcut) parents only.
+  std::vector<ConceptId> NativeParents(ConceptId id) const;
+
+  /// Native (non-shortcut) children only.
+  std::vector<ConceptId> NativeChildren(ConceptId id) const;
+
+  /// Looks up a concept by exact canonical name; kInvalidConcept if absent.
+  ConceptId FindByName(std::string_view name) const;
+
+  /// True iff the id addresses an existing concept.
+  bool IsValid(ConceptId id) const { return id < names_.size(); }
+
+  /// Concepts with no parents. A well-formed external knowledge source has
+  /// exactly one root (owl:Thing, Section 2.2).
+  std::vector<ConceptId> Roots() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> synonyms_;
+  std::vector<std::vector<DagEdge>> parents_;
+  std::vector<std::vector<DagEdge>> children_;
+  std::unordered_map<std::string, ConceptId> name_to_id_;
+  size_t num_edges_ = 0;
+  size_t num_shortcuts_ = 0;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_GRAPH_CONCEPT_DAG_H_

@@ -1,0 +1,58 @@
+#include "medrelax/graph/paths.h"
+
+#include <limits>
+
+#include "medrelax/graph/traversal.h"
+
+namespace medrelax {
+
+namespace {
+constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+TaxonomicPath ShortestTaxonomicPath(const ConceptDag& dag, ConceptId from,
+                                    ConceptId to) {
+  TaxonomicPath path;
+  if (!dag.IsValid(from) || !dag.IsValid(to)) return path;
+  if (from == to) {
+    path.found = true;
+    path.apex = from;
+    return path;
+  }
+
+  std::vector<uint32_t> up_from = UpDistances(dag, from);
+  std::vector<uint32_t> up_to = UpDistances(dag, to);
+
+  uint32_t best_total = kUnreachable;
+  uint32_t best_up = kUnreachable;
+  ConceptId best_apex = kInvalidConcept;
+  for (ConceptId c = 0; c < dag.num_concepts(); ++c) {
+    if (up_from[c] == kUnreachable || up_to[c] == kUnreachable) continue;
+    uint32_t total = up_from[c] + up_to[c];
+    if (total < best_total ||
+        (total == best_total && up_from[c] < best_up)) {
+      best_total = total;
+      best_up = up_from[c];
+      best_apex = c;
+    }
+  }
+  if (best_apex == kInvalidConcept) return path;  // disconnected forest
+
+  path.found = true;
+  path.apex = best_apex;
+  path.hops.reserve(best_total);
+  for (uint32_t i = 0; i < up_from[best_apex]; ++i) {
+    path.hops.push_back(HopDirection::kGeneralization);
+  }
+  for (uint32_t i = 0; i < up_to[best_apex]; ++i) {
+    path.hops.push_back(HopDirection::kSpecialization);
+  }
+  return path;
+}
+
+uint32_t SubsumptionDistance(const ConceptDag& dag, ConceptId descendant,
+                             ConceptId ancestor) {
+  return UpDistance(dag, descendant, ancestor);
+}
+
+}  // namespace medrelax

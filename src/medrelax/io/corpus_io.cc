@@ -1,0 +1,110 @@
+#include "medrelax/io/corpus_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "medrelax/common/string_util.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+namespace {
+constexpr const char kHeader[] = "# medrelax-corpus v1";
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, std::ostream& out) {
+  out << kHeader << "\n";
+  for (const Document& doc : corpus.documents()) {
+    if (doc.name.find('\t') != std::string::npos ||
+        doc.name.find('\n') != std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("document name contains tab/newline: '%s'",
+                    doc.name.c_str()));
+    }
+    out << "D\t" << doc.name << "\n";
+    for (const DocumentSection& section : doc.sections) {
+      out << "S\t";
+      if (section.context == kNoContext) {
+        out << "-";
+      } else {
+        out << section.context;
+      }
+      out << "\t" << Join(section.tokens, " ") << "\n";
+    }
+  }
+  if (!out.good()) return Status::Internal("SaveCorpus: stream write failed");
+  return Status::OK();
+}
+
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  return SaveCorpus(corpus, out);
+}
+
+Result<Corpus> LoadCorpus(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("LoadCorpus: missing/unknown header");
+  }
+  Corpus corpus;
+  Document current;
+  bool have_document = false;
+  size_t line_number = 1;
+  auto flush = [&]() {
+    if (have_document) corpus.AddDocument(std::move(current));
+    current = Document();
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "D" && fields.size() == 2) {
+      flush();
+      have_document = true;
+      current.name = fields[1];
+    } else if (fields[0] == "S" && fields.size() == 3) {
+      if (!have_document) {
+        return Status::InvalidArgument(StrFormat(
+            "LoadCorpus line %zu: section before any document",
+            line_number));
+      }
+      DocumentSection section;
+      if (fields[1] == "-") {
+        section.context = kNoContext;
+      } else {
+        char* end = nullptr;
+        section.context = static_cast<ContextId>(
+            std::strtoul(fields[1].c_str(), &end, 10));
+        if (end == fields[1].c_str() || *end != '\0') {
+          return Status::InvalidArgument(StrFormat(
+              "LoadCorpus line %zu: bad context '%s'", line_number,
+              fields[1].c_str()));
+        }
+      }
+      section.tokens = Tokenize(fields[2]);
+      current.sections.push_back(std::move(section));
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "LoadCorpus line %zu: unrecognized record '%s'", line_number,
+          fields[0].c_str()));
+    }
+  }
+  flush();
+  return corpus;
+}
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(
+        StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  return LoadCorpus(in);
+}
+
+}  // namespace medrelax

@@ -1,0 +1,34 @@
+#ifndef MEDRELAX_IO_CORPUS_IO_H_
+#define MEDRELAX_IO_CORPUS_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "medrelax/common/result.h"
+#include "medrelax/corpus/document.h"
+
+namespace medrelax {
+
+/// Serializes a Corpus to a line-oriented, tab-separated text format:
+///
+///   # medrelax-corpus v1
+///   D<TAB><document-name>
+///   S<TAB><context-id-or-dash><TAB><space-joined tokens>
+///
+/// Sections belong to the most recent D record; an untyped section writes
+/// "-" for the context. Tokens must not contain tabs/newlines (the
+/// tokenizer guarantees that).
+Status SaveCorpus(const Corpus& corpus, std::ostream& out);
+
+/// Convenience: SaveCorpus to a file path.
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
+
+/// Parses the format written by SaveCorpus.
+Result<Corpus> LoadCorpus(std::istream& in);
+
+/// Convenience: LoadCorpus from a file path.
+Result<Corpus> LoadCorpusFromFile(const std::string& path);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_IO_CORPUS_IO_H_

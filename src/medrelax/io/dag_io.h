@@ -1,0 +1,36 @@
+#ifndef MEDRELAX_IO_DAG_IO_H_
+#define MEDRELAX_IO_DAG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "medrelax/common/result.h"
+#include "medrelax/graph/concept_dag.h"
+
+namespace medrelax {
+
+/// Serializes a ConceptDag to a line-oriented, tab-separated text format:
+///
+///   # medrelax-dag v1
+///   C<TAB><name>                         (concept; id = line order)
+///   S<TAB><id><TAB><synonym>
+///   E<TAB><child><TAB><parent><TAB><original-distance><TAB><is-shortcut>
+///
+/// Names may contain spaces but not tabs or newlines (normalization strips
+/// both). The format round-trips shortcut edges, so a customized external
+/// source can be ingested once and reloaded.
+Status SaveDag(const ConceptDag& dag, std::ostream& out);
+
+/// Convenience: SaveDag to a file path.
+Status SaveDagToFile(const ConceptDag& dag, const std::string& path);
+
+/// Parses the format written by SaveDag. Fails with InvalidArgument on
+/// malformed input (wrong header, bad ids, tab-embedded names).
+Result<ConceptDag> LoadDag(std::istream& in);
+
+/// Convenience: LoadDag from a file path.
+Result<ConceptDag> LoadDagFromFile(const std::string& path);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_IO_DAG_IO_H_

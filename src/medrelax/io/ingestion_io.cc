@@ -1,0 +1,178 @@
+#include "medrelax/io/ingestion_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+namespace {
+constexpr const char kHeader[] = "# medrelax-ingestion v1";
+
+Result<uint32_t> ParseU32(const std::string& s, size_t bound,
+                          size_t line_number) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v >= bound) {
+    return Status::InvalidArgument(StrFormat(
+        "LoadIngestion line %zu: bad id '%s'", line_number, s.c_str()));
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Status SaveIngestion(const IngestionResult& ingestion, std::ostream& out) {
+  const FrequencyModel& freq = ingestion.frequencies;
+  out << kHeader << "\n";
+  out << "H\t" << freq.num_concepts() << "\t" << freq.num_contexts() << "\t"
+      << StrFormat("%.17g", freq.smoothing()) << "\n";
+  for (const Context& c : ingestion.contexts.contexts()) {
+    out << "X\t" << c.domain << "\t" << c.relationship << "\t" << c.range
+        << "\n";
+  }
+  for (const auto& [instance, concept_id] : ingestion.mappings) {
+    out << "M\t" << instance << "\t" << concept_id << "\n";
+  }
+  for (const auto& [concept_id, contexts] : ingestion.concept_contexts) {
+    for (ContextId ctx : contexts) {
+      out << "C\t" << concept_id << "\t" << ctx << "\n";
+    }
+  }
+  for (ConceptId id = 0; id < freq.num_concepts(); ++id) {
+    for (ContextId ctx = 0; ctx < freq.num_contexts(); ++ctx) {
+      double raw = freq.Raw(id, ctx);
+      if (raw != 0.0) {
+        out << "F\t" << id << "\t" << ctx << "\t"
+            << StrFormat("%.17g", raw) << "\n";
+      }
+    }
+  }
+  out << "U\t" << ingestion.unmapped_instances << "\n";
+  out << "E\t" << ingestion.shortcuts_added << "\n";
+  if (!out.good()) {
+    return Status::Internal("SaveIngestion: stream write failed");
+  }
+  return Status::OK();
+}
+
+Status SaveIngestionToFile(const IngestionResult& ingestion,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  return SaveIngestion(ingestion, out);
+}
+
+Result<IngestionResult> LoadIngestion(std::istream& in,
+                                      const ConceptDag& dag) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("LoadIngestion: missing/unknown header");
+  }
+  IngestionResult result;
+  size_t num_concepts = 0;
+  size_t num_contexts = 0;
+  double smoothing = 1.0;
+  bool have_header_row = false;
+  // Raw frequencies are buffered and replayed into a fresh model once the
+  // header row fixed the dimensions.
+  std::vector<std::tuple<ConceptId, ContextId, double>> raws;
+
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "H" && fields.size() == 4) {
+      num_concepts = std::strtoul(fields[1].c_str(), nullptr, 10);
+      num_contexts = std::strtoul(fields[2].c_str(), nullptr, 10);
+      smoothing = std::strtod(fields[3].c_str(), nullptr);
+      if (num_concepts != dag.num_concepts()) {
+        return Status::FailedPrecondition(StrFormat(
+            "LoadIngestion: snapshot is for %zu concepts, DAG has %zu",
+            num_concepts, dag.num_concepts()));
+      }
+      have_header_row = true;
+    } else if (fields[0] == "X" && fields.size() == 4) {
+      result.contexts.Intern(Context{fields[1], fields[2], fields[3]});
+    } else if (fields[0] == "M" && fields.size() == 3) {
+      if (!have_header_row) {
+        return Status::InvalidArgument("LoadIngestion: M before H");
+      }
+      char* end = nullptr;
+      InstanceId instance = static_cast<InstanceId>(
+          std::strtoul(fields[1].c_str(), &end, 10));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          ConceptId concept_id,
+          ParseU32(fields[2], num_concepts, line_number));
+      result.mappings.emplace_back(instance, concept_id);
+    } else if (fields[0] == "C" && fields.size() == 3) {
+      MEDRELAX_ASSIGN_OR_RETURN(
+          ConceptId concept_id,
+          ParseU32(fields[1], num_concepts, line_number));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          ContextId ctx, ParseU32(fields[2], num_contexts, line_number));
+      result.concept_contexts[concept_id].push_back(ctx);
+    } else if (fields[0] == "F" && fields.size() == 4) {
+      MEDRELAX_ASSIGN_OR_RETURN(
+          ConceptId concept_id,
+          ParseU32(fields[1], num_concepts, line_number));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          ContextId ctx, ParseU32(fields[2], num_contexts, line_number));
+      raws.emplace_back(concept_id, ctx,
+                        std::strtod(fields[3].c_str(), nullptr));
+    } else if (fields[0] == "U" && fields.size() == 2) {
+      result.unmapped_instances = std::strtoul(fields[1].c_str(), nullptr, 10);
+    } else if (fields[0] == "E" && fields.size() == 2) {
+      result.shortcuts_added = std::strtoul(fields[1].c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "LoadIngestion line %zu: unrecognized record '%s'", line_number,
+          fields[0].c_str()));
+    }
+  }
+  if (!have_header_row) {
+    return Status::InvalidArgument("LoadIngestion: missing H row");
+  }
+  if (result.contexts.size() != num_contexts) {
+    return Status::InvalidArgument(StrFormat(
+        "LoadIngestion: header says %zu contexts, found %zu", num_contexts,
+        result.contexts.size()));
+  }
+
+  // Rebuild the derived state: flags, reverse index, normalized model.
+  result.flagged.assign(dag.num_concepts(), false);
+  for (const auto& [instance, concept_id] : result.mappings) {
+    result.flagged[concept_id] = true;
+    result.concept_instances[concept_id].push_back(instance);
+  }
+  FrequencyModel freq(num_concepts, num_contexts, smoothing);
+  for (const auto& [concept_id, ctx, raw] : raws) {
+    freq.SetRaw(concept_id, ctx, raw);
+  }
+  std::vector<ConceptId> roots = dag.Roots();
+  if (roots.size() != 1) {
+    return Status::FailedPrecondition(
+        "LoadIngestion: DAG must have exactly one root");
+  }
+  freq.Normalize(roots.front());
+  result.frequencies = std::move(freq);
+  return result;
+}
+
+Result<IngestionResult> LoadIngestionFromFile(const std::string& path,
+                                              const ConceptDag& dag) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(
+        StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  return LoadIngestion(in, dag);
+}
+
+}  // namespace medrelax

@@ -1,0 +1,53 @@
+#ifndef MEDRELAX_IO_INGESTION_IO_H_
+#define MEDRELAX_IO_INGESTION_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "medrelax/common/result.h"
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/relax/ingestion.h"
+
+namespace medrelax {
+
+/// Serializes an IngestionResult — everything Algorithm 1 produces — to a
+/// line-oriented, tab-separated text format, so the offline phase can run
+/// once (in a batch job) and the online phase can load the artifacts in a
+/// different process:
+///
+///   # medrelax-ingestion v1
+///   H<TAB><num-concepts><TAB><num-contexts><TAB><smoothing>
+///   X<TAB><domain><TAB><relationship><TAB><range>     (contexts, id order)
+///   M<TAB><instance-id><TAB><concept-id>              (mappings; flags and
+///                                                      the reverse index
+///                                                      are rebuilt)
+///   C<TAB><concept-id><TAB><context-id>               (concept contexts)
+///   F<TAB><concept-id><TAB><context-id><TAB><raw>     (non-zero raw
+///                                                      frequencies;
+///                                                      normalization is
+///                                                      re-run on load)
+///   U<TAB><unmapped-count>
+///   E<TAB><shortcuts-added>
+///
+/// The shortcut edges themselves live in the DAG (see dag_io.h): persist
+/// the customized DAG alongside this file.
+Status SaveIngestion(const IngestionResult& ingestion, std::ostream& out);
+
+/// Convenience: SaveIngestion to a file path.
+Status SaveIngestionToFile(const IngestionResult& ingestion,
+                           const std::string& path);
+
+/// Parses the format written by SaveIngestion and re-derives the flagged
+/// set, the concept->instances reverse index, and the normalized
+/// frequencies. `dag` must be the (customized) external source the
+/// ingestion ran against: ids are validated against it and the root is
+/// used for re-normalization.
+Result<IngestionResult> LoadIngestion(std::istream& in, const ConceptDag& dag);
+
+/// Convenience: LoadIngestion from a file path.
+Result<IngestionResult> LoadIngestionFromFile(const std::string& path,
+                                              const ConceptDag& dag);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_IO_INGESTION_IO_H_

@@ -1,0 +1,139 @@
+#include "medrelax/io/kb_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+namespace {
+constexpr const char kHeader[] = "# medrelax-kb v1";
+
+Status CheckName(const std::string& name) {
+  if (name.find('\t') != std::string::npos ||
+      name.find('\n') != std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("name contains tab/newline: '%s'", name.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ParseU32(const std::string& s, size_t bound,
+                          size_t line_number) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v >= bound) {
+    return Status::InvalidArgument(
+        StrFormat("LoadKb line %zu: bad id '%s'", line_number, s.c_str()));
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Status SaveKb(const KnowledgeBase& kb, std::ostream& out) {
+  out << kHeader << "\n";
+  const DomainOntology& onto = kb.ontology;
+  for (OntologyConceptId c = 0; c < onto.num_concepts(); ++c) {
+    MEDRELAX_RETURN_NOT_OK(CheckName(onto.concept_name(c)));
+    out << "OC\t" << onto.concept_name(c) << "\n";
+  }
+  for (const Relationship& r : onto.relationships()) {
+    MEDRELAX_RETURN_NOT_OK(CheckName(r.name));
+    out << "OR\t" << r.name << "\t" << r.domain << "\t" << r.range << "\n";
+  }
+  for (OntologyConceptId c = 0; c < onto.num_concepts(); ++c) {
+    for (OntologyConceptId child : onto.SubConcepts(c)) {
+      out << "OS\t" << child << "\t" << c << "\n";
+    }
+  }
+  for (InstanceId i = 0; i < kb.instances.num_instances(); ++i) {
+    const Instance& inst = kb.instances.instance(i);
+    MEDRELAX_RETURN_NOT_OK(CheckName(inst.name));
+    out << "I\t" << inst.concept_id << "\t" << inst.name << "\n";
+  }
+  for (const Triple& t : kb.triples.triples()) {
+    out << "T\t" << t.subject << "\t" << t.relationship << "\t" << t.object
+        << "\n";
+  }
+  if (!out.good()) return Status::Internal("SaveKb: stream write failed");
+  return Status::OK();
+}
+
+Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  return SaveKb(kb, out);
+}
+
+Result<KnowledgeBase> LoadKb(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("LoadKb: missing/unknown header");
+  }
+  KnowledgeBase kb;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "OC" && fields.size() == 2) {
+      MEDRELAX_RETURN_NOT_OK(kb.ontology.AddConcept(fields[1]).status());
+    } else if (fields[0] == "OR" && fields.size() == 4) {
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t domain,
+          ParseU32(fields[2], kb.ontology.num_concepts(), line_number));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t range,
+          ParseU32(fields[3], kb.ontology.num_concepts(), line_number));
+      MEDRELAX_RETURN_NOT_OK(
+          kb.ontology.AddRelationship(fields[1], domain, range).status());
+    } else if (fields[0] == "OS" && fields.size() == 3) {
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t child,
+          ParseU32(fields[1], kb.ontology.num_concepts(), line_number));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t parent,
+          ParseU32(fields[2], kb.ontology.num_concepts(), line_number));
+      MEDRELAX_RETURN_NOT_OK(kb.ontology.AddSubConcept(child, parent));
+    } else if (fields[0] == "I" && fields.size() == 3) {
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t concept_id,
+          ParseU32(fields[1], kb.ontology.num_concepts(), line_number));
+      MEDRELAX_RETURN_NOT_OK(
+          kb.instances.AddInstance(fields[2], concept_id).status());
+    } else if (fields[0] == "T" && fields.size() == 4) {
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t subject,
+          ParseU32(fields[1], kb.instances.num_instances(), line_number));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t rel,
+          ParseU32(fields[2], kb.ontology.num_relationships(), line_number));
+      MEDRELAX_ASSIGN_OR_RETURN(
+          uint32_t object,
+          ParseU32(fields[3], kb.instances.num_instances(), line_number));
+      MEDRELAX_RETURN_NOT_OK(kb.triples.AddTriple(subject, rel, object));
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "LoadKb line %zu: unrecognized record '%s'", line_number,
+          fields[0].c_str()));
+    }
+  }
+  return kb;
+}
+
+Result<KnowledgeBase> LoadKbFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(
+        StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  return LoadKb(in);
+}
+
+}  // namespace medrelax

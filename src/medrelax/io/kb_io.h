@@ -1,0 +1,34 @@
+#ifndef MEDRELAX_IO_KB_IO_H_
+#define MEDRELAX_IO_KB_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "medrelax/common/result.h"
+#include "medrelax/kb/kb_query.h"
+
+namespace medrelax {
+
+/// Serializes a KnowledgeBase (TBox + ABox) to a line-oriented,
+/// tab-separated text format:
+///
+///   # medrelax-kb v1
+///   OC<TAB><concept-name>                       (ontology concept)
+///   OR<TAB><rel-name><TAB><domain-id><TAB><range-id>
+///   OS<TAB><child-id><TAB><parent-id>           (TBox subsumption)
+///   I<TAB><concept-id><TAB><instance-name>
+///   T<TAB><subject><TAB><relationship><TAB><object>
+Status SaveKb(const KnowledgeBase& kb, std::ostream& out);
+
+/// Convenience: SaveKb to a file path.
+Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path);
+
+/// Parses the format written by SaveKb.
+Result<KnowledgeBase> LoadKb(std::istream& in);
+
+/// Convenience: LoadKb from a file path.
+Result<KnowledgeBase> LoadKbFromFile(const std::string& path);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_IO_KB_IO_H_

@@ -1,0 +1,125 @@
+#include "medrelax/kb/conjunctive_query.h"
+
+#include <algorithm>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+Result<std::vector<InstanceId>> ConjunctiveQueryEvaluator::Evaluate(
+    const ConjunctiveQuery& query) const {
+  if (query.answer_var.empty()) {
+    return Status::InvalidArgument("Evaluate: no answer variable");
+  }
+
+  // Collect the variables and initialize candidate sets.
+  std::unordered_map<std::string, std::unordered_set<InstanceId>> sets;
+  auto init_var = [&](const std::string& var) -> Status {
+    if (sets.count(var) > 0) return Status::OK();
+    std::unordered_set<InstanceId> candidates;
+    auto grounded = query.var_groundings.find(var);
+    auto typed = query.var_types.find(var);
+    if (grounded != query.var_groundings.end()) {
+      candidates.insert(grounded->second.begin(), grounded->second.end());
+      if (typed != query.var_types.end()) {
+        // Grounding and type: keep the intersection.
+        for (auto it = candidates.begin(); it != candidates.end();) {
+          if (kb_->instances.instance(*it).concept_id != typed->second) {
+            it = candidates.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    } else if (typed != query.var_types.end()) {
+      for (InstanceId i : kb_->instances.InstancesOfConcept(typed->second)) {
+        candidates.insert(i);
+      }
+    } else {
+      // Untyped, ungrounded: admissible only when constrained by a
+      // pattern; start from the instances the relationship can reach.
+      bool constrained = false;
+      for (const QueryPattern& p : query.patterns) {
+        if (p.subject_var != var && p.object_var != var) continue;
+        constrained = true;
+        if (p.relationship >= kb_->ontology.num_relationships()) {
+          return Status::InvalidArgument("Evaluate: unknown relationship");
+        }
+        const Relationship& rel = kb_->ontology.relationship(p.relationship);
+        OntologyConceptId concept_id =
+            p.subject_var == var ? rel.domain : rel.range;
+        for (InstanceId i :
+             kb_->instances.InstancesOfConcept(concept_id)) {
+          candidates.insert(i);
+        }
+      }
+      if (!constrained) {
+        return Status::InvalidArgument(StrFormat(
+            "Evaluate: variable '%s' is unconstrained", var.c_str()));
+      }
+    }
+    sets.emplace(var, std::move(candidates));
+    return Status::OK();
+  };
+
+  MEDRELAX_RETURN_NOT_OK(init_var(query.answer_var));
+  for (const QueryPattern& p : query.patterns) {
+    if (p.relationship >= kb_->ontology.num_relationships()) {
+      return Status::InvalidArgument("Evaluate: unknown relationship");
+    }
+    MEDRELAX_RETURN_NOT_OK(init_var(p.subject_var));
+    MEDRELAX_RETURN_NOT_OK(init_var(p.object_var));
+  }
+  for (const auto& [var, grounding] : query.var_groundings) {
+    (void)grounding;
+    MEDRELAX_RETURN_NOT_OK(init_var(var));
+  }
+
+  // Semi-join fixpoint, both directions per pattern.
+  bool changed = true;
+  size_t guard = 2 * query.patterns.size() + 2;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (const QueryPattern& p : query.patterns) {
+      std::unordered_set<InstanceId>& subjects = sets[p.subject_var];
+      std::unordered_set<InstanceId>& objects = sets[p.object_var];
+      for (auto it = subjects.begin(); it != subjects.end();) {
+        bool keep = false;
+        for (InstanceId o : kb_->triples.Objects(*it, p.relationship)) {
+          if (objects.count(o) > 0) {
+            keep = true;
+            break;
+          }
+        }
+        if (keep) {
+          ++it;
+        } else {
+          it = subjects.erase(it);
+          changed = true;
+        }
+      }
+      for (auto it = objects.begin(); it != objects.end();) {
+        bool keep = false;
+        for (InstanceId s : kb_->triples.Subjects(p.relationship, *it)) {
+          if (subjects.count(s) > 0) {
+            keep = true;
+            break;
+          }
+        }
+        if (keep) {
+          ++it;
+        } else {
+          it = objects.erase(it);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  const std::unordered_set<InstanceId>& answers = sets[query.answer_var];
+  std::vector<InstanceId> out(answers.begin(), answers.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace medrelax

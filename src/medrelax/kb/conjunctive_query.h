@@ -1,0 +1,62 @@
+#ifndef MEDRELAX_KB_CONJUNCTIVE_QUERY_H_
+#define MEDRELAX_KB_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/kb/kb_query.h"
+
+namespace medrelax {
+
+/// One triple pattern of a conjunctive query: ?subject --rel--> ?object.
+struct QueryPattern {
+  std::string subject_var;
+  RelationshipId relationship = kInvalidRelationship;
+  std::string object_var;
+};
+
+/// A conjunctive query over the ABox — the structured-query target the NLQ
+/// layer compiles interpretations into (the paper's NLQ system emits SQL;
+/// a conjunctive query over the triple store is the equivalent here).
+///
+/// Variables are names; each can carry a type constraint (an ontology
+/// concept) and/or an explicit grounding (a set of admissible instances,
+/// e.g. the data-value evidences of Section 6.2).
+struct ConjunctiveQuery {
+  std::vector<QueryPattern> patterns;
+  /// Optional type constraint per variable: the variable may only bind to
+  /// instances of this ontology concept.
+  std::unordered_map<std::string, OntologyConceptId> var_types;
+  /// Optional explicit groundings per variable.
+  std::unordered_map<std::string, std::vector<InstanceId>> var_groundings;
+  /// The variable whose bindings are the answer.
+  std::string answer_var;
+};
+
+/// Evaluates conjunctive queries by constraint propagation: every variable
+/// starts from its grounding (or all instances of its type), and the
+/// patterns are enforced by semi-joins until a fixpoint. Exact for acyclic
+/// (tree-shaped) pattern graphs — which is what the NLQ layer produces —
+/// and a sound over-approximation otherwise.
+class ConjunctiveQueryEvaluator {
+ public:
+  /// Borrows `kb`, which must outlive the evaluator.
+  explicit ConjunctiveQueryEvaluator(const KnowledgeBase* kb) : kb_(kb) {}
+
+  /// Returns the sorted bindings of the answer variable. Fails with
+  /// InvalidArgument when the query names no answer variable, references
+  /// an unknown relationship, or a variable has neither a type nor a
+  /// grounding and appears in no pattern.
+  Result<std::vector<InstanceId>> Evaluate(
+      const ConjunctiveQuery& query) const;
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_KB_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,53 @@
+#include "medrelax/kb/instance_store.h"
+
+#include "medrelax/common/string_util.h"
+#include "medrelax/text/normalize.h"
+
+namespace medrelax {
+
+Result<InstanceId> InstanceStore::AddInstance(std::string name,
+                                              OntologyConceptId concept_id) {
+  if (concept_id == kInvalidOntologyConcept) {
+    return Status::InvalidArgument(
+        StrFormat("AddInstance('%s'): invalid concept", name.c_str()));
+  }
+  std::string normalized = NormalizeTerm(name);
+  if (normalized.empty()) {
+    return Status::InvalidArgument("AddInstance: empty instance name");
+  }
+  if (by_concept_.size() <= concept_id) by_concept_.resize(concept_id + 1);
+  for (InstanceId existing : by_normalized_name_[normalized]) {
+    if (instances_[existing].concept_id == concept_id) {
+      return Status::AlreadyExists(StrFormat(
+          "instance '%s' of concept %u already exists", name.c_str(),
+          concept_id));
+    }
+  }
+  InstanceId id = static_cast<InstanceId>(instances_.size());
+  instances_.push_back({std::move(name), concept_id});
+  by_normalized_name_[normalized].push_back(id);
+  by_concept_[concept_id].push_back(id);
+  return id;
+}
+
+const std::vector<InstanceId>& InstanceStore::InstancesOfConcept(
+    OntologyConceptId concept_id) const {
+  if (concept_id >= by_concept_.size()) return empty_;
+  return by_concept_[concept_id];
+}
+
+std::vector<InstanceId> InstanceStore::FindByName(std::string_view name) const {
+  auto it = by_normalized_name_.find(NormalizeTerm(name));
+  if (it == by_normalized_name_.end()) return {};
+  return it->second;
+}
+
+InstanceId InstanceStore::FindByNameAndConcept(std::string_view name,
+                                               OntologyConceptId concept_id) const {
+  for (InstanceId id : FindByName(name)) {
+    if (instances_[id].concept_id == concept_id) return id;
+  }
+  return kInvalidInstance;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,74 @@
+#ifndef MEDRELAX_KB_INSTANCE_STORE_H_
+#define MEDRELAX_KB_INSTANCE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/ontology/domain_ontology.h"
+
+namespace medrelax {
+
+/// Identifier of an instance (ABox individual) in an InstanceStore.
+using InstanceId = uint32_t;
+
+/// Sentinel for "no instance".
+inline constexpr InstanceId kInvalidInstance = UINT32_MAX;
+
+/// One ABox individual: a named instance of a domain-ontology concept,
+/// e.g. "fever" is an instance of "Finding" (Section 2.1, Figure 3).
+struct Instance {
+  std::string name;
+  OntologyConceptId concept_id = kInvalidOntologyConcept;
+};
+
+/// The instance data (ABox) of the given KB, stored separately from the
+/// domain ontology for query answering (Section 2.1). Names are unique per
+/// concept but may repeat across concepts; lookups are by normalized name.
+class InstanceStore {
+ public:
+  InstanceStore() = default;
+
+  InstanceStore(InstanceStore&&) = default;
+  InstanceStore& operator=(InstanceStore&&) = default;
+  InstanceStore(const InstanceStore&) = delete;
+  InstanceStore& operator=(const InstanceStore&) = delete;
+
+  /// Adds an instance of `concept` named `name` (stored verbatim; lookups
+  /// normalize). Fails if the same (concept, name) pair exists.
+  Result<InstanceId> AddInstance(std::string name, OntologyConceptId concept_id);
+
+  size_t num_instances() const { return instances_.size(); }
+
+  /// The instance record. Precondition: valid id.
+  const Instance& instance(InstanceId id) const { return instances_[id]; }
+
+  /// True iff the id addresses an existing instance.
+  bool IsValid(InstanceId id) const { return id < instances_.size(); }
+
+  /// All instances of the given ontology concept, in insertion order.
+  const std::vector<InstanceId>& InstancesOfConcept(
+      OntologyConceptId concept_id) const;
+
+  /// All instances whose normalized name equals the normalized input
+  /// (possibly several, across concepts).
+  std::vector<InstanceId> FindByName(std::string_view name) const;
+
+  /// Like FindByName but restricted to instances of `concept`; returns
+  /// kInvalidInstance when absent.
+  InstanceId FindByNameAndConcept(std::string_view name,
+                                  OntologyConceptId concept_id) const;
+
+ private:
+  std::vector<Instance> instances_;
+  std::unordered_map<std::string, std::vector<InstanceId>> by_normalized_name_;
+  std::vector<std::vector<InstanceId>> by_concept_;
+  std::vector<InstanceId> empty_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_KB_INSTANCE_STORE_H_

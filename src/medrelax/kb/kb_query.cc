@@ -1,0 +1,105 @@
+#include "medrelax/kb/kb_query.h"
+
+#include <unordered_set>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+Result<RelationshipId> KbQuery::ResolveContext(const Context& context) const {
+  const DomainOntology& onto = kb_->ontology;
+  OntologyConceptId domain = onto.FindConcept(context.domain);
+  OntologyConceptId range = onto.FindConcept(context.range);
+  if (domain == kInvalidOntologyConcept || range == kInvalidOntologyConcept) {
+    return Status::NotFound(StrFormat("context '%s': unknown concept",
+                                      context.Label().c_str()));
+  }
+  for (RelationshipId id : onto.RelationshipsWithDomain(domain)) {
+    const Relationship& r = onto.relationship(id);
+    if (r.name == context.relationship && r.range == range) return id;
+  }
+  return Status::NotFound(StrFormat("context '%s': no such relationship",
+                                    context.Label().c_str()));
+}
+
+std::vector<InstanceId> KbQuery::SubjectsFor(const Context& context,
+                                             InstanceId range_instance) const {
+  Result<RelationshipId> rel = ResolveContext(context);
+  if (!rel.ok()) return {};
+  return kb_->triples.Subjects(*rel, range_instance);
+}
+
+namespace {
+
+std::vector<InstanceId> Dedup(std::vector<InstanceId> items) {
+  std::unordered_set<InstanceId> seen;
+  std::vector<InstanceId> out;
+  out.reserve(items.size());
+  for (InstanceId id : items) {
+    if (seen.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<InstanceId> KbQuery::FollowPath(
+    const std::vector<InstanceId>& start,
+    const std::vector<RelationshipId>& path) const {
+  std::vector<InstanceId> frontier = start;
+  for (RelationshipId rel : path) {
+    std::vector<InstanceId> next;
+    for (InstanceId s : frontier) {
+      for (InstanceId o : kb_->triples.Objects(s, rel)) next.push_back(o);
+    }
+    frontier = Dedup(std::move(next));
+  }
+  return frontier;
+}
+
+std::vector<InstanceId> KbQuery::FollowPathReverse(
+    const std::vector<InstanceId>& start,
+    const std::vector<RelationshipId>& path) const {
+  std::vector<InstanceId> frontier = start;
+  for (RelationshipId rel : path) {
+    std::vector<InstanceId> next;
+    for (InstanceId o : frontier) {
+      for (InstanceId s : kb_->triples.Subjects(rel, o)) next.push_back(s);
+    }
+    frontier = Dedup(std::move(next));
+  }
+  return frontier;
+}
+
+Result<std::vector<InstanceId>> KbQuery::DrugsForFinding(
+    const std::string& drug_rel_name, const std::string& finding_rel_name,
+    InstanceId finding) const {
+  const DomainOntology& onto = kb_->ontology;
+  if (!kb_->instances.IsValid(finding)) {
+    return Status::InvalidArgument("DrugsForFinding: invalid finding id");
+  }
+  OntologyConceptId finding_concept = kb_->instances.instance(finding).concept_id;
+
+  // Step 1: range-side walk — relationships named `finding_rel_name` whose
+  // range matches the finding's concept (e.g. hasFinding into Finding).
+  std::vector<InstanceId> mid;
+  for (RelationshipId id : onto.RelationshipsWithRange(finding_concept)) {
+    if (onto.relationship(id).name != finding_rel_name) continue;
+    for (InstanceId s : kb_->triples.Subjects(id, finding)) mid.push_back(s);
+  }
+  mid = Dedup(std::move(mid));
+
+  // Step 2: walk from the intermediate instances back to the drugs via the
+  // relationship named `drug_rel_name` (e.g. treat / cause).
+  std::vector<InstanceId> drugs;
+  for (InstanceId m : mid) {
+    OntologyConceptId mid_concept = kb_->instances.instance(m).concept_id;
+    for (RelationshipId id : onto.RelationshipsWithRange(mid_concept)) {
+      if (onto.relationship(id).name != drug_rel_name) continue;
+      for (InstanceId s : kb_->triples.Subjects(id, m)) drugs.push_back(s);
+    }
+  }
+  return Dedup(std::move(drugs));
+}
+
+}  // namespace medrelax

@@ -1,0 +1,72 @@
+#ifndef MEDRELAX_KB_KB_QUERY_H_
+#define MEDRELAX_KB_KB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/kb/instance_store.h"
+#include "medrelax/kb/triple_store.h"
+#include "medrelax/ontology/context.h"
+#include "medrelax/ontology/domain_ontology.h"
+
+namespace medrelax {
+
+/// The given medical KB: domain ontology (TBox) + instances and assertions
+/// (ABox). This is the *MED*-shaped substrate every other module consumes.
+struct KnowledgeBase {
+  DomainOntology ontology;
+  InstanceStore instances;
+  TripleStore triples;
+
+  KnowledgeBase() = default;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+};
+
+/// Conjunctive query helpers over a KnowledgeBase. The NLI layers and the
+/// examples use these to materialize answers once relaxation has produced
+/// in-KB instances.
+class KbQuery {
+ public:
+  /// Borrows `kb`; the KB must outlive the query helper.
+  explicit KbQuery(const KnowledgeBase* kb) : kb_(kb) {}
+
+  /// Resolves the relationship id for a context (domain-rel-range triple);
+  /// NotFound when the ontology has no such relationship.
+  Result<RelationshipId> ResolveContext(const Context& context) const;
+
+  /// Instances on the domain side of `context` connected to the given
+  /// range-side instance, e.g. for context Indication-hasFinding-Finding and
+  /// instance "fever": the indications that have finding fever.
+  std::vector<InstanceId> SubjectsFor(const Context& context,
+                                      InstanceId range_instance) const;
+
+  /// Follows a chain of relationships forward from `start` instances:
+  /// result = objects reachable via rel[0], then rel[1], ... Deduplicated,
+  /// order of first reach.
+  std::vector<InstanceId> FollowPath(
+      const std::vector<InstanceId>& start,
+      const std::vector<RelationshipId>& path) const;
+
+  /// Follows a chain of relationships backward (object -> subjects).
+  std::vector<InstanceId> FollowPathReverse(
+      const std::vector<InstanceId>& start,
+      const std::vector<RelationshipId>& path) const;
+
+  /// Convenience used throughout the examples: "which drugs treat finding
+  /// F" — walks range-side instance back to domain subjects across the two
+  /// hops Drug-<rel1>-X-<rel2>-F given by the relationship names.
+  Result<std::vector<InstanceId>> DrugsForFinding(
+      const std::string& drug_rel_name, const std::string& finding_rel_name,
+      InstanceId finding) const;
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_KB_KB_QUERY_H_

@@ -1,0 +1,40 @@
+#include "medrelax/kb/triple_store.h"
+
+#include <algorithm>
+
+namespace medrelax {
+
+Status TripleStore::AddTriple(InstanceId subject, RelationshipId relationship,
+                              InstanceId object) {
+  if (subject == kInvalidInstance || object == kInvalidInstance ||
+      relationship == kInvalidRelationship) {
+    return Status::InvalidArgument("AddTriple: invalid component");
+  }
+  if (Contains(subject, relationship, object)) return Status::OK();
+  triples_.push_back({subject, relationship, object});
+  sp_index_[Key(subject, relationship)].push_back(object);
+  op_index_[Key(object, relationship)].push_back(subject);
+  return Status::OK();
+}
+
+std::vector<InstanceId> TripleStore::Objects(
+    InstanceId subject, RelationshipId relationship) const {
+  auto it = sp_index_.find(Key(subject, relationship));
+  return it == sp_index_.end() ? std::vector<InstanceId>{} : it->second;
+}
+
+std::vector<InstanceId> TripleStore::Subjects(RelationshipId relationship,
+                                              InstanceId object) const {
+  auto it = op_index_.find(Key(object, relationship));
+  return it == op_index_.end() ? std::vector<InstanceId>{} : it->second;
+}
+
+bool TripleStore::Contains(InstanceId subject, RelationshipId relationship,
+                           InstanceId object) const {
+  auto it = sp_index_.find(Key(subject, relationship));
+  if (it == sp_index_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), object) !=
+         it->second.end();
+}
+
+}  // namespace medrelax

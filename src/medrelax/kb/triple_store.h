@@ -1,0 +1,74 @@
+#ifndef MEDRELAX_KB_TRIPLE_STORE_H_
+#define MEDRELAX_KB_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/common/status.h"
+#include "medrelax/kb/instance_store.h"
+#include "medrelax/ontology/domain_ontology.h"
+
+namespace medrelax {
+
+/// One relationship assertion between two ABox individuals:
+/// subject --relationship--> object, e.g. aspirin-X -treat-> indication-Y.
+struct Triple {
+  InstanceId subject = kInvalidInstance;
+  RelationshipId relationship = kInvalidRelationship;
+  InstanceId object = kInvalidInstance;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.relationship == b.relationship &&
+           a.object == b.object;
+  }
+};
+
+/// Index over relationship assertions with subject-side and object-side
+/// lookups. This is the query-answering half of the KB: the conversational
+/// and NLQ layers translate interpreted queries into triple scans.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  /// Adds an assertion; duplicates are ignored (idempotent).
+  Status AddTriple(InstanceId subject, RelationshipId relationship,
+                   InstanceId object);
+
+  /// Number of stored (distinct) triples.
+  size_t num_triples() const { return triples_.size(); }
+
+  /// All triples in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Objects o with (subject, relationship, o).
+  std::vector<InstanceId> Objects(InstanceId subject,
+                                  RelationshipId relationship) const;
+
+  /// Subjects s with (s, relationship, object).
+  std::vector<InstanceId> Subjects(RelationshipId relationship,
+                                   InstanceId object) const;
+
+  /// True iff the exact triple is stored.
+  bool Contains(InstanceId subject, RelationshipId relationship,
+                InstanceId object) const;
+
+ private:
+  static uint64_t Key(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<Triple> triples_;
+  // (subject, relationship) -> objects ; (object, relationship) -> subjects.
+  std::unordered_map<uint64_t, std::vector<InstanceId>> sp_index_;
+  std::unordered_map<uint64_t, std::vector<InstanceId>> op_index_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_KB_TRIPLE_STORE_H_

@@ -1,0 +1,50 @@
+#ifndef MEDRELAX_MATCHING_EMBEDDING_MATCHER_H_
+#define MEDRELAX_MATCHING_EMBEDDING_MATCHER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "medrelax/embedding/sif.h"
+#include "medrelax/matching/matcher.h"
+#include "medrelax/matching/name_index.h"
+
+namespace medrelax {
+
+/// Options for the EMBEDDING mapping method.
+struct EmbeddingMatcherOptions {
+  /// Minimum cosine similarity for a mapping to be accepted.
+  double min_similarity = 0.60;
+};
+
+/// EMBEDDING mapping method of Section 7.2: the query term and every
+/// concept surface form are embedded with SIF sentence vectors (multi-word
+/// support per the paper's reference [3]); the nearest surface form above
+/// the similarity bar wins. Exact normalized hits short-circuit to score 1.
+///
+/// Surface-form embeddings are precomputed at construction, so each Map()
+/// is one embedding plus a dense scan (the vocabulary sizes here make ANN
+/// indexing unnecessary).
+class EmbeddingMatcher : public MappingFunction {
+ public:
+  /// Borrows `index` and `sif`, which must outlive the matcher.
+  EmbeddingMatcher(const NameIndex* index, const SifModel* sif,
+                   EmbeddingMatcherOptions options);
+
+  std::string name() const override { return "EMBEDDING"; }
+
+  std::optional<ConceptMatch> Map(std::string_view term) const override;
+
+ private:
+  const NameIndex* index_;
+  const SifModel* sif_;
+  EmbeddingMatcherOptions options_;
+  size_t dims_ = 0;
+  /// Row-major |entries| x dims precomputed surface embeddings; rows of
+  /// fully-OOV surfaces are zero and skipped during the scan.
+  std::vector<double> surface_embeddings_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_MATCHING_EMBEDDING_MATCHER_H_

@@ -1,0 +1,11 @@
+#include "medrelax/matching/exact_matcher.h"
+
+namespace medrelax {
+
+std::optional<ConceptMatch> ExactMatcher::Map(std::string_view term) const {
+  std::vector<ConceptId> hits = index_->FindExact(term);
+  if (hits.empty()) return std::nullopt;
+  return ConceptMatch{hits.front(), 1.0};
+}
+
+}  // namespace medrelax

@@ -1,0 +1,30 @@
+#ifndef MEDRELAX_MATCHING_EXACT_MATCHER_H_
+#define MEDRELAX_MATCHING_EXACT_MATCHER_H_
+
+#include <optional>
+#include <string>
+
+#include "medrelax/matching/matcher.h"
+#include "medrelax/matching/name_index.h"
+
+namespace medrelax {
+
+/// EXACT mapping method of Section 7.2: a term maps to a concept iff its
+/// normalized form equals the concept's normalized name or a synonym.
+/// Highest precision, lowest recall of the three methods (Table 1).
+class ExactMatcher : public MappingFunction {
+ public:
+  /// Borrows `index`, which must outlive the matcher.
+  explicit ExactMatcher(const NameIndex* index) : index_(index) {}
+
+  std::string name() const override { return "EXACT"; }
+
+  std::optional<ConceptMatch> Map(std::string_view term) const override;
+
+ private:
+  const NameIndex* index_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_MATCHING_EXACT_MATCHER_H_

@@ -1,0 +1,38 @@
+#ifndef MEDRELAX_MATCHING_MATCHER_H_
+#define MEDRELAX_MATCHING_MATCHER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "medrelax/graph/concept_dag.h"
+
+namespace medrelax {
+
+/// A resolved mapping from a surface term to an external concept.
+struct ConceptMatch {
+  ConceptId id = kInvalidConcept;
+  /// Matcher-specific confidence in [0, 1]; 1 for exact matches.
+  double score = 0.0;
+};
+
+/// The pluggable `mapping(i, EKS)` of Algorithms 1 and 2: maps a surface
+/// term (a KB instance name offline, a query term online) to an external
+/// concept. Implementations: ExactMatcher, EditDistanceMatcher,
+/// EmbeddingMatcher (Section 7.2 compares the three as Table 1).
+class MappingFunction {
+ public:
+  virtual ~MappingFunction() = default;
+
+  /// Human-readable method name as printed in Table 1 (EXACT / EDIT /
+  /// EMBEDDING).
+  virtual std::string name() const = 0;
+
+  /// Maps `term` to its best-matching external concept, or nullopt when the
+  /// matcher finds nothing above its acceptance bar.
+  virtual std::optional<ConceptMatch> Map(std::string_view term) const = 0;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_MATCHING_MATCHER_H_

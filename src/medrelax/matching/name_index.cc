@@ -1,0 +1,63 @@
+#include "medrelax/matching/name_index.h"
+
+#include <algorithm>
+
+#include "medrelax/text/normalize.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+NameIndex::NameIndex(const ConceptDag* dag) : dag_(dag) {
+  for (ConceptId id = 0; id < dag_->num_concepts(); ++id) {
+    auto add_entry = [&](const std::string& raw, bool canonical) {
+      std::string normalized = NormalizeTerm(raw);
+      if (normalized.empty()) return;
+      size_t entry_index = entries_.size();
+      entries_.push_back({normalized, id, canonical});
+      exact_[normalized].push_back(id);
+      for (const std::string& gram : CharNgrams(normalized, 3)) {
+        trigram_postings_[gram].push_back(entry_index);
+      }
+    };
+    add_entry(dag_->name(id), /*canonical=*/true);
+    for (const std::string& syn : dag_->synonyms(id)) {
+      add_entry(syn, /*canonical=*/false);
+    }
+  }
+}
+
+std::vector<ConceptId> NameIndex::FindExact(std::string_view surface) const {
+  auto it = exact_.find(NormalizeTerm(surface));
+  if (it == exact_.end()) return {};
+  // Dedup while preserving order (canonical-first insertion order).
+  std::vector<ConceptId> out;
+  for (ConceptId id : it->second) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<size_t> NameIndex::CandidatesByTrigram(
+    std::string_view normalized, size_t max_candidates) const {
+  std::unordered_map<size_t, size_t> shared;
+  for (const std::string& gram : CharNgrams(normalized, 3)) {
+    auto it = trigram_postings_.find(gram);
+    if (it == trigram_postings_.end()) continue;
+    for (size_t entry : it->second) ++shared[entry];
+  }
+  std::vector<std::pair<size_t, size_t>> ranked(shared.begin(), shared.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<size_t> out;
+  out.reserve(std::min(max_candidates, ranked.size()));
+  for (const auto& [entry, count] : ranked) {
+    (void)count;
+    if (out.size() >= max_candidates) break;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,59 @@
+#ifndef MEDRELAX_MATCHING_NAME_INDEX_H_
+#define MEDRELAX_MATCHING_NAME_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/graph/concept_dag.h"
+
+namespace medrelax {
+
+/// One indexed surface form of an external concept.
+struct NameEntry {
+  /// Normalized surface form (canonical name or synonym).
+  std::string surface;
+  ConceptId concept_id = kInvalidConcept;
+  /// True for the canonical name, false for synonyms.
+  bool is_canonical = false;
+};
+
+/// Normalized-name index over an external knowledge source, shared by all
+/// mapping functions (Section 3: "matching the instance data and external
+/// concepts with exactly the same names, very similar names in terms of
+/// edit distance, or similar names in terms of word embeddings").
+///
+/// Exact lookup is hash-based; fuzzy lookups use character-trigram blocking
+/// so the edit-distance matcher does not scan the whole vocabulary.
+class NameIndex {
+ public:
+  /// Builds the index from every concept's canonical name and synonyms.
+  /// Borrows `dag`, which must outlive the index.
+  explicit NameIndex(const ConceptDag* dag);
+
+  /// Concepts whose canonical name or synonym normalizes to exactly the
+  /// normalized input (usually 0 or 1; synonym collisions can yield more).
+  std::vector<ConceptId> FindExact(std::string_view surface) const;
+
+  /// Entry indexes of surface forms sharing at least one character trigram
+  /// with the normalized input, ordered by shared-trigram count (blocking
+  /// set for the fuzzy matchers). At most `max_candidates` entries.
+  std::vector<size_t> CandidatesByTrigram(std::string_view normalized,
+                                          size_t max_candidates) const;
+
+  /// All indexed entries.
+  const std::vector<NameEntry>& entries() const { return entries_; }
+
+  const ConceptDag& dag() const { return *dag_; }
+
+ private:
+  const ConceptDag* dag_;
+  std::vector<NameEntry> entries_;
+  std::unordered_map<std::string, std::vector<ConceptId>> exact_;
+  std::unordered_map<std::string, std::vector<size_t>> trigram_postings_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_MATCHING_NAME_INDEX_H_

@@ -1,0 +1,93 @@
+#ifndef MEDRELAX_NLI_DIALOGUE_MANAGER_H_
+#define MEDRELAX_NLI_DIALOGUE_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/nli/entity_extractor.h"
+#include "medrelax/nli/intent_classifier.h"
+#include "medrelax/relax/feedback.h"
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+
+/// Knobs of the conversational layer.
+struct DialogueOptions {
+  /// Confidence below which a short follow-up inherits the previous
+  /// context ("what about fever?", Section 4 "Context management").
+  double context_carryover_confidence = 0.55;
+  /// Cap on related concepts surfaced before the direct answer (Figure 8
+  /// shows 7 additional concepts for "fever").
+  size_t max_suggestions = 7;
+};
+
+/// One system response.
+struct DialogueResponse {
+  /// Rendered reply text.
+  std::string text;
+  /// Context the turn was answered under.
+  ContextId context = kNoContext;
+  /// True iff query relaxation contributed to this turn.
+  bool used_relaxation = false;
+  /// External concepts surfaced (relaxed suggestions and/or the concept
+  /// the matched term maps to). The user study scores these.
+  std::vector<ConceptId> surfaced_concepts;
+  /// KB instances answering the question (e.g. the drugs).
+  std::vector<InstanceId> answers;
+};
+
+/// The conversational system of Section 6.1: intent classification, entity
+/// extraction, dialogue state with context carry-over, and the two query-
+/// relaxation scenarios — repairing unknown terms (Figure 7) and expanding
+/// known ones (Figure 8). Constructed without a relaxer it reproduces the
+/// "no QR" baseline that can only say "I don't understand".
+class DialogueManager {
+ public:
+  /// All pointers are borrowed and must outlive the manager; `relaxer` may
+  /// be null (the no-QR configuration).
+  DialogueManager(const KnowledgeBase* kb, const IngestionResult* ingestion,
+                  const IntentClassifier* intents,
+                  const EntityExtractor* entities, const QueryRelaxer* relaxer,
+                  const DialogueOptions& options);
+
+  /// Processes one user utterance, advancing the dialogue state.
+  DialogueResponse Handle(const std::string& utterance);
+
+  /// Forgets the conversation history (new dialogue).
+  void Reset() { previous_context_ = kNoContext; }
+
+  /// Attaches a relevance-feedback layer (borrowed; may be null to
+  /// detach). When present, relaxation results are re-ranked by the
+  /// accumulated session feedback, and Accept/RejectSuggestion below feed
+  /// it — the progressive improvement the paper's user-study discussion
+  /// proposes.
+  void set_feedback(FeedbackRelaxer* feedback) { feedback_ = feedback; }
+
+  /// Records that the user liked / dismissed a surfaced concept under the
+  /// current dialogue context. No-ops without an attached feedback layer.
+  void AcceptSuggestion(ConceptId concept_id);
+  void RejectSuggestion(ConceptId concept_id);
+
+  /// The context carried in the dialogue state.
+  ContextId previous_context() const { return previous_context_; }
+
+ private:
+  DialogueResponse AnswerKnown(InstanceId instance, ContextId context);
+  DialogueResponse AnswerUnknown(const std::string& term, ContextId context);
+
+  const KnowledgeBase* kb_;
+  const IngestionResult* ingestion_;
+  const IntentClassifier* intents_;
+  const EntityExtractor* entities_;
+  const QueryRelaxer* relaxer_;
+  FeedbackRelaxer* feedback_ = nullptr;
+  DialogueOptions options_;
+  ContextId previous_context_ = kNoContext;
+  /// instance -> mapped external concept (from the ingestion mappings).
+  std::unordered_map<InstanceId, ConceptId> instance_concept_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NLI_DIALOGUE_MANAGER_H_

@@ -1,0 +1,164 @@
+#include "medrelax/nli/entity_extractor.h"
+
+#include <algorithm>
+
+#include "medrelax/common/string_util.h"
+#include "medrelax/text/normalize.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+namespace {
+
+constexpr const char* kStopwords[] = {
+    "a",    "an",   "the",  "of",    "for",  "to",   "in",   "on",
+    "is",   "are",  "do",   "does",  "can",  "what", "which", "who",
+    "how",  "me",   "my",   "about", "with", "and",  "or",   "any",
+    "that", "have", "has",  "used",  "give", "show", "find", "list",
+    "tell", "you",  "please", "there", "it",  "get",  "as",  "by",
+    "from", "when", "if",
+};
+
+bool IsStopword(const std::string& tok) {
+  for (const char* w : kStopwords) {
+    if (tok == w) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unordered_set<std::string> BuildQueryVocabulary(
+    const DomainOntology& ontology) {
+  std::unordered_set<std::string> vocab;
+  auto add_tokens = [&vocab](const std::string& text) {
+    for (const std::string& tok : Tokenize(NormalizeTerm(text))) {
+      vocab.insert(tok);
+    }
+  };
+  for (OntologyConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    add_tokens(ontology.concept_name(c));
+    add_tokens(ontology.concept_name(c) + "s");  // crude plural
+  }
+  for (const Relationship& r : ontology.relationships()) {
+    // camelCase verbalization: "hasFinding" -> "has finding".
+    std::string verbal;
+    for (char ch : r.name) {
+      if (ch >= 'A' && ch <= 'Z') {
+        verbal.push_back(' ');
+        verbal.push_back(static_cast<char>(ch - 'A' + 'a'));
+      } else {
+        verbal.push_back(ch);
+      }
+    }
+    add_tokens(verbal);
+  }
+  // Question scaffolding beyond stopwords.
+  for (const char* w :
+       {"drugs", "drug", "medication", "medications", "treat", "treats",
+        "treatment", "treatments", "cause", "causes", "causing", "risk",
+        "risks", "side", "effect", "effects", "adverse", "help", "helps",
+        "lead", "leads", "using", "use"}) {
+    vocab.insert(w);
+  }
+  return vocab;
+}
+
+EntityExtractor::EntityExtractor(
+    const KnowledgeBase* kb, std::unordered_set<std::string> query_vocabulary)
+    : kb_(kb), query_vocabulary_(std::move(query_vocabulary)) {
+  for (InstanceId i = 0; i < kb_->instances.num_instances(); ++i) {
+    std::string normalized = NormalizeTerm(kb_->instances.instance(i).name);
+    if (normalized.empty()) continue;
+    size_t tokens = Tokenize(normalized).size();
+    max_phrase_tokens_ = std::max(max_phrase_tokens_, tokens);
+    phrase_index_.emplace(normalized, i);
+    std::vector<std::string> toks = Tokenize(normalized);
+    if (!toks.empty()) {
+      std::vector<size_t>& lengths = first_token_lengths_[toks[0]];
+      if (std::find(lengths.begin(), lengths.end(), tokens) == lengths.end()) {
+        lengths.push_back(tokens);
+      }
+    }
+  }
+  for (auto& [first, lengths] : first_token_lengths_) {
+    std::sort(lengths.rbegin(), lengths.rend());  // longest match first
+  }
+}
+
+std::vector<EntityMention> EntityExtractor::Extract(
+    const std::string& utterance) const {
+  std::vector<std::string> tokens = Tokenize(NormalizeTerm(utterance));
+  std::vector<EntityMention> mentions;
+  std::vector<bool> consumed(tokens.size(), false);
+
+  // Pass 1: greedy longest dictionary match.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (consumed[i]) continue;
+    auto it = first_token_lengths_.find(tokens[i]);
+    if (it == first_token_lengths_.end()) continue;
+    for (size_t len : it->second) {
+      if (i + len > tokens.size()) continue;
+      std::vector<std::string> span(tokens.begin() + static_cast<long>(i),
+                                    tokens.begin() + static_cast<long>(i + len));
+      std::string phrase = Join(span, " ");
+      auto hit = phrase_index_.find(phrase);
+      if (hit == phrase_index_.end()) continue;
+      EntityMention m;
+      m.surface = phrase;
+      m.instance = hit->second;
+      m.token_begin = i;
+      m.token_end = i + len;
+      mentions.push_back(std::move(m));
+      for (size_t j = i; j < i + len; ++j) consumed[j] = true;
+      break;
+    }
+  }
+
+  // Pass 2: leftover content tokens become unknown-entity spans
+  // (contiguous runs are joined).
+  size_t run_begin = tokens.size();
+  auto flush = [&](size_t end) {
+    if (run_begin >= end) return;
+    EntityMention m;
+    std::vector<std::string> span(
+        tokens.begin() + static_cast<long>(run_begin),
+        tokens.begin() + static_cast<long>(end));
+    m.surface = Join(span, " ");
+    m.instance = kInvalidInstance;
+    m.token_begin = run_begin;
+    m.token_end = end;
+    mentions.push_back(std::move(m));
+    run_begin = tokens.size();
+  };
+  std::vector<bool> content(tokens.size(), false);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    content[i] = !consumed[i] && !IsStopword(tokens[i]) &&
+                 query_vocabulary_.find(tokens[i]) ==
+                     query_vocabulary_.end();
+  }
+  // Bridge a lone stopword between two content tokens so multi-word terms
+  // like "necrosis of kidney" stay one span.
+  for (size_t i = 1; i + 1 < tokens.size(); ++i) {
+    if (!content[i] && content[i - 1] && content[i + 1] && !consumed[i] &&
+        IsStopword(tokens[i])) {
+      content[i] = true;
+    }
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (content[i]) {
+      if (run_begin == tokens.size()) run_begin = i;
+    } else {
+      flush(i);
+    }
+  }
+  flush(tokens.size());
+
+  std::sort(mentions.begin(), mentions.end(),
+            [](const EntityMention& a, const EntityMention& b) {
+              return a.token_begin < b.token_begin;
+            });
+  return mentions;
+}
+
+}  // namespace medrelax

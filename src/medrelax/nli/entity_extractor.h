@@ -1,0 +1,60 @@
+#ifndef MEDRELAX_NLI_ENTITY_EXTRACTOR_H_
+#define MEDRELAX_NLI_ENTITY_EXTRACTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "medrelax/kb/kb_query.h"
+
+namespace medrelax {
+
+/// One extracted mention.
+struct EntityMention {
+  /// The matched span (normalized tokens joined by spaces).
+  std::string surface;
+  /// The KB instance the span resolved to, or kInvalidInstance for an
+  /// *unknown* entity mention — the kind Watson passes to query relaxation
+  /// as a query term (Section 6.1, Scenario 1).
+  InstanceId instance = kInvalidInstance;
+  /// First token index of the span in the tokenized utterance.
+  size_t token_begin = 0;
+  /// One past the last token index.
+  size_t token_end = 0;
+};
+
+/// Dictionary-based entity extractor over the KB's instance names — the
+/// stand-in for Watson Assistant's entity detection. Known instances are
+/// found by greedy longest match; leftover content tokens (not in the
+/// instance dictionary, not stopwords, not query-vocabulary words like
+/// "drugs"/"treat") are emitted as unknown entity mentions.
+class EntityExtractor {
+ public:
+  /// Borrows `kb`; indexes every instance name at construction.
+  /// `query_vocabulary` are words that belong to question phrasing and are
+  /// never part of an entity (typically the tokens the intent templates
+  /// use: concept and relationship names, question words).
+  EntityExtractor(const KnowledgeBase* kb,
+                  std::unordered_set<std::string> query_vocabulary);
+
+  /// Extracts known + unknown mentions from an utterance.
+  std::vector<EntityMention> Extract(const std::string& utterance) const;
+
+ private:
+  const KnowledgeBase* kb_;
+  std::unordered_set<std::string> query_vocabulary_;
+  /// normalized full phrase -> instance; first token -> candidate lengths.
+  std::unordered_map<std::string, InstanceId> phrase_index_;
+  std::unordered_map<std::string, std::vector<size_t>> first_token_lengths_;
+  size_t max_phrase_tokens_ = 1;
+};
+
+/// The default query vocabulary: English question scaffolding plus every
+/// concept and (verbalized) relationship name from the ontology.
+std::unordered_set<std::string> BuildQueryVocabulary(
+    const DomainOntology& ontology);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NLI_ENTITY_EXTRACTOR_H_

@@ -1,0 +1,80 @@
+#include "medrelax/nli/intent_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "medrelax/text/normalize.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+void IntentClassifier::Train(const std::vector<LabeledQuery>& examples,
+                             size_t num_contexts) {
+  num_contexts_ = num_contexts;
+  word_counts_.clear();
+  vocab_.clear();
+  class_totals_.assign(num_contexts, 0.0);
+  class_priors_.assign(num_contexts, 0.0);
+
+  for (const LabeledQuery& ex : examples) {
+    if (ex.context >= num_contexts) continue;
+    class_priors_[ex.context] += 1.0;
+    for (const std::string& tok : Tokenize(NormalizeTerm(ex.text))) {
+      std::vector<double>& counts = word_counts_[tok];
+      if (counts.empty()) counts.assign(num_contexts, 0.0);
+      counts[ex.context] += 1.0;
+      class_totals_[ex.context] += 1.0;
+      vocab_[tok] = true;
+    }
+  }
+}
+
+std::vector<double> IntentClassifier::Posterior(
+    const std::string& utterance) const {
+  if (num_contexts_ == 0) return {};
+  std::vector<std::string> tokens = Tokenize(NormalizeTerm(utterance));
+
+  double total_docs = 0.0;
+  for (double p : class_priors_) total_docs += p;
+  if (total_docs <= 0.0) return {};
+
+  const double v = static_cast<double>(vocab_.size()) + 1.0;
+  std::vector<double> log_post(num_contexts_, 0.0);
+  for (size_t c = 0; c < num_contexts_; ++c) {
+    log_post[c] = std::log((class_priors_[c] + 1.0) /
+                           (total_docs + static_cast<double>(num_contexts_)));
+    for (const std::string& tok : tokens) {
+      auto it = word_counts_.find(tok);
+      double count = (it == word_counts_.end() || it->second.empty())
+                         ? 0.0
+                         : it->second[c];
+      log_post[c] += std::log((count + 1.0) / (class_totals_[c] + v));
+    }
+  }
+
+  // Softmax with max-shift for stability.
+  double max_log = *std::max_element(log_post.begin(), log_post.end());
+  double denom = 0.0;
+  std::vector<double> post(num_contexts_, 0.0);
+  for (size_t c = 0; c < num_contexts_; ++c) {
+    post[c] = std::exp(log_post[c] - max_log);
+    denom += post[c];
+  }
+  for (double& p : post) p /= denom;
+  return post;
+}
+
+IntentPrediction IntentClassifier::Classify(const std::string& utterance) const {
+  IntentPrediction out;
+  std::vector<double> post = Posterior(utterance);
+  if (post.empty()) return out;
+  size_t best = 0;
+  for (size_t c = 1; c < post.size(); ++c) {
+    if (post[c] > post[best]) best = c;
+  }
+  out.context = static_cast<ContextId>(best);
+  out.confidence = post[best];
+  return out;
+}
+
+}  // namespace medrelax

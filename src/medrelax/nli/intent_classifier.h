@@ -1,0 +1,53 @@
+#ifndef MEDRELAX_NLI_INTENT_CLASSIFIER_H_
+#define MEDRELAX_NLI_INTENT_CLASSIFIER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/nli/training_data.h"
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+/// An intent prediction: the context plus a calibrated-ish confidence.
+struct IntentPrediction {
+  ContextId context = kNoContext;
+  /// Posterior probability of the winning context.
+  double confidence = 0.0;
+};
+
+/// Multinomial naive-Bayes intent classifier with Laplace smoothing — the
+/// stand-in for Watson Assistant's intent model (Sections 4 and 6.1). It
+/// is trained on the ontology-bootstrapped examples from
+/// GenerateContextTrainingData and maps an utterance to the most likely
+/// context.
+class IntentClassifier {
+ public:
+  IntentClassifier() = default;
+
+  /// Trains on labeled queries (replaces any previous model).
+  void Train(const std::vector<LabeledQuery>& examples, size_t num_contexts);
+
+  /// Classifies an utterance; kNoContext with confidence 0 before Train or
+  /// for empty input.
+  IntentPrediction Classify(const std::string& utterance) const;
+
+  /// Posterior over all contexts (same order as context ids); empty before
+  /// Train.
+  std::vector<double> Posterior(const std::string& utterance) const;
+
+  size_t num_contexts() const { return num_contexts_; }
+  size_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  size_t num_contexts_ = 0;
+  std::unordered_map<std::string, std::vector<double>> word_counts_;
+  std::vector<double> class_totals_;   // total word mass per context
+  std::vector<double> class_priors_;   // document counts per context
+  std::unordered_map<std::string, bool> vocab_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NLI_INTENT_CLASSIFIER_H_

@@ -1,0 +1,356 @@
+#include "medrelax/nli/nlq_interpreter.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "medrelax/common/string_util.h"
+#include "medrelax/kb/conjunctive_query.h"
+#include "medrelax/text/normalize.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+namespace {
+
+// camelCase -> "camel case".
+std::string Verbalize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c >= 'A' && c <= 'Z') {
+      out.push_back(' ');
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return NormalizeTerm(out);
+}
+
+constexpr const char* kSkipTokens[] = {
+    "what", "which", "the",  "a",    "an",  "are", "is",  "of", "by",
+    "with", "using", "for",  "to",   "in",  "on",  "me",  "my", "do",
+    "does", "can",   "show", "find", "give", "list", "tell", "about",
+    "and",  "that",  "have", "has",
+};
+
+bool IsSkip(const std::string& tok) {
+  for (const char* w : kSkipTokens) {
+    if (tok == w) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Interpretation::Describe(const DomainOntology& ontology) const {
+  std::vector<std::string> parts;
+  for (RelationshipId rel : tree_edges) {
+    const Relationship& r = ontology.relationship(rel);
+    parts.push_back(StrFormat("%s -%s-> %s",
+                              ontology.concept_name(r.domain).c_str(),
+                              r.name.c_str(),
+                              ontology.concept_name(r.range).c_str()));
+  }
+  return Join(parts, ", ");
+}
+
+NlqInterpreter::NlqInterpreter(const KnowledgeBase* kb,
+                               const IngestionResult* ingestion,
+                               const QueryRelaxer* relaxer)
+    : kb_(kb), ingestion_(ingestion), relaxer_(relaxer) {
+  adjacency_.resize(kb_->ontology.num_concepts());
+  for (RelationshipId r = 0; r < kb_->ontology.num_relationships(); ++r) {
+    const Relationship& rel = kb_->ontology.relationship(r);
+    adjacency_[rel.domain].push_back({rel.range, r});
+    adjacency_[rel.range].push_back({rel.domain, r});
+  }
+}
+
+std::vector<TokenEvidence> NlqInterpreter::GenerateEvidence(
+    const std::string& query) const {
+  std::vector<std::string> tokens = Tokenize(NormalizeTerm(query));
+  std::vector<TokenEvidence> out;
+  std::vector<bool> consumed(tokens.size(), false);
+
+  auto try_span = [&](size_t begin, size_t len) -> bool {
+    if (begin + len > tokens.size()) return false;
+    for (size_t j = begin; j < begin + len; ++j) {
+      if (consumed[j]) return false;
+    }
+    std::vector<std::string> span(tokens.begin() + static_cast<long>(begin),
+                                  tokens.begin() + static_cast<long>(begin + len));
+    std::string phrase = Join(span, " ");
+    TokenEvidence te;
+    te.surface = phrase;
+
+    // Metadata: concepts (singular/plural-insensitive).
+    for (OntologyConceptId c = 0; c < kb_->ontology.num_concepts(); ++c) {
+      std::string cname = NormalizeTerm(kb_->ontology.concept_name(c));
+      if (cname == phrase || cname + "s" == phrase) {
+        Evidence e;
+        e.kind = EvidenceKind::kConceptMetadata;
+        e.concept_id = c;
+        te.evidences.push_back(e);
+      }
+    }
+    // Metadata: relationships (verbalized; "caused" ~ "cause").
+    for (RelationshipId r = 0; r < kb_->ontology.num_relationships(); ++r) {
+      std::string rname = Verbalize(kb_->ontology.relationship(r).name);
+      if (rname == phrase || rname + "s" == phrase || rname + "d" == phrase ||
+          rname + "ed by" == phrase || rname + "d by" == phrase) {
+        Evidence e;
+        e.kind = EvidenceKind::kRelationshipMetadata;
+        e.relationship = r;
+        te.evidences.push_back(e);
+      }
+    }
+    // Data values: KB instance lookup.
+    for (InstanceId i : kb_->instances.FindByName(phrase)) {
+      Evidence e;
+      e.kind = EvidenceKind::kDataValue;
+      e.instance = i;
+      e.concept_id = kb_->instances.instance(i).concept_id;
+      te.evidences.push_back(e);
+    }
+
+    if (te.evidences.empty()) return false;
+    out.push_back(std::move(te));
+    for (size_t j = begin; j < begin + len; ++j) consumed[j] = true;
+    return true;
+  };
+
+  // Longest spans first (up to 6 tokens).
+  for (size_t len = 6; len >= 1; --len) {
+    for (size_t begin = 0; begin + len <= tokens.size(); ++begin) {
+      try_span(begin, len);
+    }
+  }
+
+  // Leftover content tokens: relaxed data-value evidence, on the fly
+  // (Figure 9 — "pyelectasia" resolves to in-KB findings with scores).
+  if (relaxer_ != nullptr) {
+    size_t run_begin = tokens.size();
+    auto flush = [&](size_t end) {
+      if (run_begin >= end) return;
+      std::vector<std::string> span(
+          tokens.begin() + static_cast<long>(run_begin),
+          tokens.begin() + static_cast<long>(end));
+      std::string phrase = Join(span, " ");
+      run_begin = tokens.size();
+      Result<RelaxationOutcome> relaxed = relaxer_->Relax(phrase, kNoContext);
+      if (!relaxed.ok()) return;
+      TokenEvidence te;
+      te.surface = phrase;
+      for (const ScoredConcept& sc : relaxed->concepts) {
+        for (InstanceId i : sc.instances) {
+          Evidence e;
+          e.kind = EvidenceKind::kRelaxedDataValue;
+          e.instance = i;
+          e.concept_id = kb_->instances.instance(i).concept_id;
+          e.score = sc.similarity;
+          te.evidences.push_back(e);
+          if (te.evidences.size() >= 5) break;
+        }
+        if (te.evidences.size() >= 5) break;
+      }
+      if (!te.evidences.empty()) out.push_back(std::move(te));
+    };
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      bool content = !consumed[i] && !IsSkip(tokens[i]);
+      if (content) {
+        if (run_begin == tokens.size()) run_begin = i;
+      } else {
+        flush(i);
+      }
+    }
+    flush(tokens.size());
+  }
+  return out;
+}
+
+std::optional<std::vector<RelationshipId>> NlqInterpreter::ConnectTerminals(
+    const std::vector<OntologyConceptId>& terminals) const {
+  std::vector<RelationshipId> tree;
+  if (terminals.empty()) return tree;
+
+  // Steiner approximation: grow the tree by attaching the nearest
+  // unconnected terminal via a BFS shortest path.
+  std::unordered_set<OntologyConceptId> in_tree = {terminals[0]};
+  std::unordered_set<RelationshipId> tree_edges;
+  for (size_t t = 1; t < terminals.size(); ++t) {
+    if (in_tree.count(terminals[t]) > 0) continue;
+    // BFS from the terminal until any in-tree node is reached.
+    std::vector<int64_t> parent_edge(adjacency_.size(), -1);
+    std::vector<OntologyConceptId> parent_node(adjacency_.size(),
+                                               kInvalidOntologyConcept);
+    std::vector<bool> seen(adjacency_.size(), false);
+    std::vector<OntologyConceptId> queue = {terminals[t]};
+    seen[terminals[t]] = true;
+    OntologyConceptId hit = kInvalidOntologyConcept;
+    for (size_t head = 0; head < queue.size() && hit == kInvalidOntologyConcept;
+         ++head) {
+      OntologyConceptId u = queue[head];
+      for (const GraphEdge& e : adjacency_[u]) {
+        if (seen[e.neighbor]) continue;
+        seen[e.neighbor] = true;
+        parent_edge[e.neighbor] = e.relationship;
+        parent_node[e.neighbor] = u;
+        if (in_tree.count(e.neighbor) > 0) {
+          hit = e.neighbor;
+          break;
+        }
+        queue.push_back(e.neighbor);
+      }
+    }
+    if (hit == kInvalidOntologyConcept) return std::nullopt;
+    // Walk the path back, adding nodes and edges to the tree.
+    OntologyConceptId cur = hit;
+    while (cur != terminals[t]) {
+      tree_edges.insert(static_cast<RelationshipId>(parent_edge[cur]));
+      in_tree.insert(cur);
+      cur = parent_node[cur];
+    }
+    in_tree.insert(terminals[t]);
+  }
+  tree.assign(tree_edges.begin(), tree_edges.end());
+  std::sort(tree.begin(), tree.end());
+  return tree;
+}
+
+std::vector<Interpretation> NlqInterpreter::Interpret(
+    const std::string& query, size_t max_interpretations) const {
+  std::vector<TokenEvidence> evidence = GenerateEvidence(query);
+  std::vector<Interpretation> out;
+  if (evidence.empty()) return out;
+
+  // Enumerate selection sets (capped cartesian product).
+  constexpr size_t kMaxSelections = 128;
+  std::vector<size_t> cursor(evidence.size(), 0);
+  size_t enumerated = 0;
+  for (;;) {
+    if (enumerated++ >= kMaxSelections) break;
+    Interpretation interp;
+    std::vector<OntologyConceptId> terminals;
+    double score_sum = 0.0;
+    for (size_t t = 0; t < evidence.size(); ++t) {
+      const Evidence& e = evidence[t].evidences[cursor[t]];
+      interp.selection.push_back(e);
+      score_sum += e.score;
+      if (e.kind == EvidenceKind::kRelationshipMetadata) {
+        const Relationship& r = kb_->ontology.relationship(e.relationship);
+        terminals.push_back(r.domain);
+        terminals.push_back(r.range);
+      } else {
+        terminals.push_back(e.concept_id);
+      }
+    }
+    std::optional<std::vector<RelationshipId>> tree =
+        ConnectTerminals(terminals);
+    if (tree.has_value()) {
+      // Relationships picked as metadata must appear in the tree for the
+      // interpretation to be faithful; add them if BFS chose siblings.
+      for (const Evidence& e : interp.selection) {
+        if (e.kind == EvidenceKind::kRelationshipMetadata &&
+            std::find(tree->begin(), tree->end(), e.relationship) ==
+                tree->end()) {
+          tree->push_back(e.relationship);
+        }
+      }
+      interp.tree_edges = *tree;
+      interp.compactness = tree->size();
+      interp.evidence_score =
+          score_sum / static_cast<double>(interp.selection.size());
+      out.push_back(std::move(interp));
+    }
+
+    // Advance the mixed-radix cursor.
+    size_t t = 0;
+    while (t < evidence.size()) {
+      if (++cursor[t] < evidence[t].evidences.size()) break;
+      cursor[t] = 0;
+      ++t;
+    }
+    if (t == evidence.size()) break;
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Interpretation& a, const Interpretation& b) {
+              if (a.compactness != b.compactness) {
+                return a.compactness < b.compactness;
+              }
+              return a.evidence_score > b.evidence_score;
+            });
+  if (out.size() > max_interpretations) out.resize(max_interpretations);
+  return out;
+}
+
+Result<NlqAnswer> NlqInterpreter::Execute(
+    const Interpretation& interpretation) const {
+  if (interpretation.selection.empty()) {
+    return Status::InvalidArgument("Execute: empty interpretation");
+  }
+
+  // Compile the interpretation into a conjunctive query: one variable per
+  // ontology concept in the tree (typed by it), groundings from the
+  // (relaxed) data-value evidences, patterns from the tree edges. This is
+  // the structured-query translation Section 6.2 describes (ATHENA emits
+  // SQL; the triple-store equivalent here is a conjunctive query).
+  ConjunctiveQuery cq;
+  auto var_of = [&](OntologyConceptId c) {
+    return kb_->ontology.concept_name(c);
+  };
+
+  NlqAnswer answer;
+  for (const Evidence& e : interpretation.selection) {
+    if (e.kind == EvidenceKind::kConceptMetadata &&
+        answer.answer_concept == kInvalidOntologyConcept) {
+      answer.answer_concept = e.concept_id;
+    }
+  }
+  for (const Evidence& e : interpretation.selection) {
+    if (e.kind == EvidenceKind::kDataValue ||
+        e.kind == EvidenceKind::kRelaxedDataValue) {
+      cq.var_groundings[var_of(e.concept_id)].push_back(e.instance);
+      cq.var_types[var_of(e.concept_id)] = e.concept_id;
+    }
+  }
+  for (RelationshipId rel : interpretation.tree_edges) {
+    const Relationship& r = kb_->ontology.relationship(rel);
+    cq.patterns.push_back({var_of(r.domain), rel, var_of(r.range)});
+    cq.var_types.emplace(var_of(r.domain), r.domain);
+    cq.var_types.emplace(var_of(r.range), r.range);
+  }
+  if (answer.answer_concept == kInvalidOntologyConcept) {
+    if (interpretation.tree_edges.empty()) {
+      // Degenerate single-token interpretation: answer with the grounding.
+      if (cq.var_groundings.empty()) {
+        return Status::FailedPrecondition(
+            "Execute: nothing to answer (no concepts, no groundings)");
+      }
+      answer.answer_concept =
+          cq.var_types.at(cq.var_groundings.begin()->first);
+    } else {
+      answer.answer_concept =
+          kb_->ontology.relationship(interpretation.tree_edges[0]).domain;
+    }
+  }
+  cq.answer_var = var_of(answer.answer_concept);
+  cq.var_types.emplace(cq.answer_var, answer.answer_concept);
+
+  ConjunctiveQueryEvaluator evaluator(kb_);
+  MEDRELAX_ASSIGN_OR_RETURN(answer.instances, evaluator.Evaluate(cq));
+  return answer;
+}
+
+Result<NlqAnswer> NlqInterpreter::ExecuteFirstNonEmpty(
+    const std::vector<Interpretation>& interpretations) const {
+  for (const Interpretation& interp : interpretations) {
+    Result<NlqAnswer> answer = Execute(interp);
+    if (answer.ok() && !answer->instances.empty()) return answer;
+  }
+  return Status::NotFound(
+      "every candidate interpretation executed to an empty answer");
+}
+
+}  // namespace medrelax

@@ -1,0 +1,125 @@
+#ifndef MEDRELAX_NLI_NLQ_INTERPRETER_H_
+#define MEDRELAX_NLI_NLQ_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/kb/kb_query.h"
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+
+/// Kind of evidence a query token generates (Section 6.2): metadata when
+/// the token matches an ontology element, data-value when it matches (or
+/// relaxes to) instance data. A single evidence is one or the other, never
+/// both [ATHENA, reference 35].
+enum class EvidenceKind : uint8_t {
+  kConceptMetadata,
+  kRelationshipMetadata,
+  kDataValue,
+  kRelaxedDataValue,
+};
+
+/// One evidence for one token span.
+struct Evidence {
+  EvidenceKind kind = EvidenceKind::kConceptMetadata;
+  /// The ontology concept: the matched concept for kConceptMetadata, the
+  /// instance's concept for (relaxed) data values.
+  OntologyConceptId concept_id = kInvalidOntologyConcept;
+  /// The matched relationship for kRelationshipMetadata.
+  RelationshipId relationship = kInvalidRelationship;
+  /// The matched instance for (relaxed) data values.
+  InstanceId instance = kInvalidInstance;
+  /// 1.0 for direct matches; the relaxation similarity for relaxed values
+  /// (the score Section 6.2 feeds into interpretation ranking).
+  double score = 1.0;
+};
+
+/// All evidences generated for one token span.
+struct TokenEvidence {
+  std::string surface;
+  std::vector<Evidence> evidences;
+};
+
+/// One interpretation: a selection (one evidence per token) connected into
+/// a minimal sub-tree of the ontology's semantic graph.
+struct Interpretation {
+  std::vector<Evidence> selection;
+  /// Relationships forming the interpretation tree.
+  std::vector<RelationshipId> tree_edges;
+  /// Number of edges in the tree — ATHENA's compactness measure (fewer is
+  /// better).
+  size_t compactness = 0;
+  /// Mean evidence score: breaks compactness ties in favor of selections
+  /// whose relaxed values are more similar (the extension Section 6.2
+  /// describes).
+  double evidence_score = 0.0;
+
+  /// Human-readable rendering, e.g. "Drug -cause-> Risk -hasFinding->
+  /// Finding".
+  std::string Describe(const DomainOntology& ontology) const;
+};
+
+/// One executed interpretation: the ontology concept the query asks for
+/// and the KB instances answering it.
+struct NlqAnswer {
+  OntologyConceptId answer_concept = kInvalidOntologyConcept;
+  std::vector<InstanceId> instances;
+};
+
+/// The one-shot NLQ front end of Section 6.2: evidence generation over the
+/// ontology and KB (with query relaxation supplying evidence for unknown
+/// terms on the fly, Figure 9), selection sets, and Steiner-tree-style
+/// interpretation ranked by compactness then relaxation score.
+class NlqInterpreter {
+ public:
+  /// Borrows everything; `relaxer` may be null (no-relaxation baseline).
+  NlqInterpreter(const KnowledgeBase* kb, const IngestionResult* ingestion,
+                 const QueryRelaxer* relaxer);
+
+  /// Evidence generation: tokenizes the query and produces the evidence
+  /// set of every token span that matched anything.
+  std::vector<TokenEvidence> GenerateEvidence(const std::string& query) const;
+
+  /// Full pipeline: evidence -> selection sets -> interpretation trees,
+  /// ranked best-first. At most `max_interpretations` are returned.
+  std::vector<Interpretation> Interpret(const std::string& query,
+                                        size_t max_interpretations) const;
+
+  /// Executes an interpretation against the KB: data-value evidences seed
+  /// per-concept candidate sets, the tree's relationships are enforced by
+  /// semi-join to a fixpoint, and the instances of the answer concept
+  /// (the first concept-metadata evidence, else the first tree edge's
+  /// domain) are returned. Fails on an empty interpretation.
+  Result<NlqAnswer> Execute(const Interpretation& interpretation) const;
+
+  /// Executes interpretations best-first and returns the first one whose
+  /// answer set is non-empty (an interpretation can be structurally valid
+  /// yet empty when a relaxed grounding has no KB links — the next
+  /// selection set is then the right reading). NotFound when every
+  /// interpretation executes empty.
+  Result<NlqAnswer> ExecuteFirstNonEmpty(
+      const std::vector<Interpretation>& interpretations) const;
+
+ private:
+  struct GraphEdge {
+    OntologyConceptId neighbor;
+    RelationshipId relationship;
+  };
+
+  /// Connects the terminal concepts of a selection in the semantic graph;
+  /// returns the tree edges, or nullopt when the terminals cannot all be
+  /// connected.
+  std::optional<std::vector<RelationshipId>> ConnectTerminals(
+      const std::vector<OntologyConceptId>& terminals) const;
+
+  const KnowledgeBase* kb_;
+  const IngestionResult* ingestion_;
+  const QueryRelaxer* relaxer_;
+  /// Semantic graph: concept -> edges (relationships as undirected links).
+  std::vector<std::vector<GraphEdge>> adjacency_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NLI_NLQ_INTERPRETER_H_

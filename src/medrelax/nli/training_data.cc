@@ -1,0 +1,109 @@
+#include "medrelax/nli/training_data.h"
+
+#include "medrelax/common/random.h"
+#include "medrelax/common/string_util.h"
+#include "medrelax/text/normalize.h"
+
+namespace medrelax {
+
+namespace {
+
+// Splits camelCase relationship names into a verbal phrase:
+// "hasFinding" -> "has finding".
+std::string VerbalizeRelationship(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c >= 'A' && c <= 'Z') {
+      out.push_back(' ');
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LabeledQuery> GenerateContextTrainingData(
+    const KnowledgeBase& kb, const ContextRegistry& contexts,
+    const TrainingDataOptions& options) {
+  Rng rng(options.seed);
+  std::vector<LabeledQuery> out;
+
+  constexpr const char* kTemplates[] = {
+      "what %s %s %s",
+      "which %s %s %s",
+      "show me %s that %s %s",
+      "find %s with %s %s",
+      "list the %s that %s %s",
+      "does any %s %s %s",
+      "tell me about %s and %s %s",
+  };
+
+  for (ContextId ctx = 0; ctx < contexts.size(); ++ctx) {
+    const Context& c = contexts.context(ctx);
+    std::string domain = NormalizeTerm(c.domain);
+    std::string verb = VerbalizeRelationship(c.relationship);
+    OntologyConceptId range_concept = kb.ontology.FindConcept(c.range);
+
+    // Instance pool for the range slot; falls back to the concept name.
+    std::vector<std::string> fillers;
+    if (range_concept != kInvalidOntologyConcept) {
+      for (InstanceId i : kb.instances.InstancesOfConcept(range_concept)) {
+        fillers.push_back(NormalizeTerm(kb.instances.instance(i).name));
+        if (fillers.size() >= 200) break;
+      }
+    }
+    if (fillers.empty()) fillers.push_back(NormalizeTerm(c.range));
+
+    for (size_t n = 0; n < options.examples_per_context; ++n) {
+      const char* tpl = kTemplates[rng.UniformU64(std::size(kTemplates))];
+      const std::string& filler = fillers[rng.UniformU64(fillers.size())];
+      LabeledQuery q;
+      q.context = ctx;
+      q.text = StrFormat(tpl, domain.c_str(), verb.c_str(), filler.c_str());
+      out.push_back(std::move(q));
+    }
+
+    // Canonical-workload enrichment (Section 4's annotated query workload):
+    // users phrase the headline finding contexts through the drug, not the
+    // intermediate concept — "what drugs treat fever" carries the intent
+    // Indication-hasFinding-Finding. Mirror those phrasings.
+    const char* const* canonical = nullptr;
+    size_t canonical_count = 0;
+    static constexpr const char* kTreatPhrasings[] = {
+        "what drugs treat %s",
+        "which drugs are used to treat %s",
+        "what medication helps with %s",
+        "how do you treat %s",
+        "give me treatments for %s",
+    };
+    static constexpr const char* kCausePhrasings[] = {
+        "what drugs cause %s",
+        "which drugs have the risk of causing %s",
+        "what medication can lead to %s",
+        "which drugs list %s as a side effect",
+        "what can cause %s as an adverse effect",
+    };
+    if (c.relationship == "hasFinding" && c.domain == "Indication") {
+      canonical = kTreatPhrasings;
+      canonical_count = std::size(kTreatPhrasings);
+    } else if (c.relationship == "hasFinding" && c.domain == "Risk") {
+      canonical = kCausePhrasings;
+      canonical_count = std::size(kCausePhrasings);
+    }
+    if (canonical != nullptr) {
+      for (size_t n = 0; n < options.examples_per_context; ++n) {
+        const std::string& filler = fillers[rng.UniformU64(fillers.size())];
+        LabeledQuery q;
+        q.context = ctx;
+        q.text = StrFormat(canonical[n % canonical_count], filler.c_str());
+        out.push_back(std::move(q));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,38 @@
+#ifndef MEDRELAX_NLI_TRAINING_DATA_H_
+#define MEDRELAX_NLI_TRAINING_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "medrelax/kb/kb_query.h"
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+/// One labeled NL query for intent (context) classifier training.
+struct LabeledQuery {
+  std::string text;
+  ContextId context = kNoContext;
+};
+
+/// Options for the context-training-data bootstrap.
+struct TrainingDataOptions {
+  /// Labeled examples generated per context.
+  size_t examples_per_context = 25;
+  uint64_t seed = 17;
+};
+
+/// Bootstraps the intent-classifier training set from the domain ontology
+/// (Section 4): contexts come from GenerateContexts, example queries come
+/// from templates instantiated with instances of each context's range
+/// concept, then enriched by swapping in other instances of the same
+/// concept ("we can replace identified instances with other instances of
+/// the same concept").
+std::vector<LabeledQuery> GenerateContextTrainingData(
+    const KnowledgeBase& kb, const ContextRegistry& contexts,
+    const TrainingDataOptions& options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NLI_TRAINING_DATA_H_

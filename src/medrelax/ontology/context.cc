@@ -1,0 +1,49 @@
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+std::vector<Context> GenerateContexts(const DomainOntology& ontology) {
+  std::vector<Context> contexts;
+  contexts.reserve(ontology.num_relationships());
+  for (const Relationship& r : ontology.relationships()) {
+    contexts.push_back(Context{ontology.concept_name(r.domain), r.name,
+                               ontology.concept_name(r.range)});
+  }
+  return contexts;
+}
+
+ContextRegistry ContextRegistry::FromOntology(const DomainOntology& ontology) {
+  ContextRegistry registry;
+  for (const Context& c : GenerateContexts(ontology)) registry.Intern(c);
+  return registry;
+}
+
+ContextId ContextRegistry::Intern(const Context& context) {
+  std::string label = context.Label();
+  auto it = by_label_.find(label);
+  if (it != by_label_.end()) return it->second;
+  ContextId id = static_cast<ContextId>(contexts_.size());
+  contexts_.push_back(context);
+  by_label_.emplace(std::move(label), id);
+  return id;
+}
+
+ContextId ContextRegistry::Find(const Context& context) const {
+  return FindByLabel(context.Label());
+}
+
+ContextId ContextRegistry::FindByLabel(const std::string& label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? kNoContext : it->second;
+}
+
+std::vector<ContextId> ContextRegistry::ContextsWithRange(
+    const std::string& range_concept) const {
+  std::vector<ContextId> out;
+  for (ContextId id = 0; id < contexts_.size(); ++id) {
+    if (contexts_[id].range == range_concept) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,86 @@
+#ifndef MEDRELAX_ONTOLOGY_CONTEXT_H_
+#define MEDRELAX_ONTOLOGY_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/ontology/domain_ontology.h"
+
+namespace medrelax {
+
+/// Dense identifier of a context inside a ContextRegistry.
+using ContextId = uint32_t;
+
+/// Sentinel meaning "context unknown / not provided". The online relaxation
+/// falls back to aggregating frequencies over all contexts in that case
+/// (Section 5.2, "Contextual information").
+inline constexpr ContextId kNoContext = UINT32_MAX;
+
+/// A context is a relationship with its associated source and destination
+/// concepts from the domain ontology (Section 2.1), e.g. the triple
+/// (Indication, hasFinding, Finding), printed Indication-hasFinding-Finding.
+struct Context {
+  std::string domain;
+  std::string relationship;
+  std::string range;
+
+  /// The paper's printed form, e.g. "Indication-hasFinding-Finding".
+  std::string Label() const {
+    return domain + "-" + relationship + "-" + range;
+  }
+
+  friend bool operator==(const Context& a, const Context& b) {
+    return a.domain == b.domain && a.relationship == b.relationship &&
+           a.range == b.range;
+  }
+};
+
+/// Generates the set of possible contexts by traversing the domain ontology
+/// and returning all relationships with their source and destination
+/// concepts (Algorithm 1, lines 1-4). These double as the intent labels the
+/// NLI system is bootstrapped with (Section 4).
+std::vector<Context> GenerateContexts(const DomainOntology& ontology);
+
+/// Interns contexts to dense ContextIds so per-context frequency tables can
+/// be indexed by small integers.
+class ContextRegistry {
+ public:
+  ContextRegistry() = default;
+
+  /// Builds a registry holding exactly the contexts of `ontology`.
+  static ContextRegistry FromOntology(const DomainOntology& ontology);
+
+  /// Interns a context, returning its id (existing or new).
+  ContextId Intern(const Context& context);
+
+  /// Looks up a context; kNoContext if absent.
+  ContextId Find(const Context& context) const;
+
+  /// Looks up by printed label, e.g. "Indication-hasFinding-Finding".
+  ContextId FindByLabel(const std::string& label) const;
+
+  /// Number of registered contexts.
+  size_t size() const { return contexts_.size(); }
+
+  /// The context for an id. Precondition: id < size().
+  const Context& context(ContextId id) const { return contexts_[id]; }
+
+  /// All registered contexts in id order.
+  const std::vector<Context>& contexts() const { return contexts_; }
+
+  /// Context ids whose range concept matches `range_concept` — the contexts
+  /// in which an instance of that ontology concept can be used.
+  std::vector<ContextId> ContextsWithRange(
+      const std::string& range_concept) const;
+
+ private:
+  std::vector<Context> contexts_;
+  std::unordered_map<std::string, ContextId> by_label_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_ONTOLOGY_CONTEXT_H_

@@ -1,0 +1,82 @@
+#include "medrelax/ontology/domain_ontology.h"
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+Result<OntologyConceptId> DomainOntology::AddConcept(std::string name) {
+  auto [it, inserted] = concept_index_.emplace(
+      name, static_cast<OntologyConceptId>(concept_names_.size()));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("ontology concept '%s' already exists", name.c_str()));
+  }
+  concept_names_.push_back(std::move(name));
+  by_range_.emplace_back();
+  by_domain_.emplace_back();
+  sub_concepts_.emplace_back();
+  super_concepts_.emplace_back();
+  return it->second;
+}
+
+Result<RelationshipId> DomainOntology::AddRelationship(
+    std::string name, OntologyConceptId domain, OntologyConceptId range) {
+  if (!IsValidConcept(domain) || !IsValidConcept(range)) {
+    return Status::InvalidArgument(
+        StrFormat("AddRelationship('%s'): invalid endpoint", name.c_str()));
+  }
+  for (RelationshipId id : by_domain_[domain]) {
+    const Relationship& r = relationships_[id];
+    if (r.name == name && r.range == range) {
+      return Status::AlreadyExists(StrFormat(
+          "relationship %s-%s-%s already exists",
+          concept_names_[domain].c_str(), name.c_str(),
+          concept_names_[range].c_str()));
+    }
+  }
+  RelationshipId id = static_cast<RelationshipId>(relationships_.size());
+  relationships_.push_back({std::move(name), domain, range});
+  by_domain_[domain].push_back(id);
+  by_range_[range].push_back(id);
+  return id;
+}
+
+Status DomainOntology::AddSubConcept(OntologyConceptId child,
+                                     OntologyConceptId parent) {
+  if (!IsValidConcept(child) || !IsValidConcept(parent)) {
+    return Status::InvalidArgument("AddSubConcept: invalid concept id");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("AddSubConcept: self-subsumption");
+  }
+  sub_concepts_[parent].push_back(child);
+  super_concepts_[child].push_back(parent);
+  return Status::OK();
+}
+
+OntologyConceptId DomainOntology::FindConcept(std::string_view name) const {
+  auto it = concept_index_.find(std::string(name));
+  return it == concept_index_.end() ? kInvalidOntologyConcept : it->second;
+}
+
+std::vector<RelationshipId> DomainOntology::RelationshipsWithRange(
+    OntologyConceptId concept_id) const {
+  return by_range_[concept_id];
+}
+
+std::vector<RelationshipId> DomainOntology::RelationshipsWithDomain(
+    OntologyConceptId concept_id) const {
+  return by_domain_[concept_id];
+}
+
+std::vector<OntologyConceptId> DomainOntology::SubConcepts(
+    OntologyConceptId parent) const {
+  return sub_concepts_[parent];
+}
+
+std::vector<OntologyConceptId> DomainOntology::SuperConcepts(
+    OntologyConceptId child) const {
+  return super_concepts_[child];
+}
+
+}  // namespace medrelax

@@ -1,0 +1,117 @@
+#ifndef MEDRELAX_ONTOLOGY_DOMAIN_ONTOLOGY_H_
+#define MEDRELAX_ONTOLOGY_DOMAIN_ONTOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/common/status.h"
+
+namespace medrelax {
+
+/// Identifier of a concept in the domain ontology (TBox).
+using OntologyConceptId = uint32_t;
+
+/// Identifier of a relationship (role) in the domain ontology.
+using RelationshipId = uint32_t;
+
+/// Sentinel for "no ontology concept".
+inline constexpr OntologyConceptId kInvalidOntologyConcept = UINT32_MAX;
+
+/// Sentinel for "no relationship".
+inline constexpr RelationshipId kInvalidRelationship = UINT32_MAX;
+
+/// One relationship of the domain ontology with its domain (source) and
+/// range (destination) concepts, e.g. Indication -hasFinding-> Finding.
+/// Relationship names are not unique: Figure 1 uses "hasFinding" from both
+/// Risk and Indication. The (domain, name, range) triple is unique.
+struct Relationship {
+  std::string name;
+  OntologyConceptId domain = kInvalidOntologyConcept;
+  OntologyConceptId range = kInvalidOntologyConcept;
+};
+
+/// The domain ontology (TBox) of the given KB, Section 2.1: concepts
+/// relevant to the domain and the relationships (roles) among them, plus an
+/// optional concept subsumption ("Risk" has descendants "Black Box
+/// Warning", "Adverse Effect", "Contra Indication" in Example 3).
+class DomainOntology {
+ public:
+  DomainOntology() = default;
+
+  DomainOntology(DomainOntology&&) = default;
+  DomainOntology& operator=(DomainOntology&&) = default;
+  DomainOntology(const DomainOntology&) = delete;
+  DomainOntology& operator=(const DomainOntology&) = delete;
+
+  /// Adds a concept with a unique name.
+  Result<OntologyConceptId> AddConcept(std::string name);
+
+  /// Adds a relationship; fails if the exact (domain, name, range) triple
+  /// already exists or either endpoint is invalid.
+  Result<RelationshipId> AddRelationship(std::string name,
+                                         OntologyConceptId domain,
+                                         OntologyConceptId range);
+
+  /// Declares `child` a specialization of `parent` in the TBox (e.g.
+  /// AdverseEffect ⊑ Risk).
+  Status AddSubConcept(OntologyConceptId child, OntologyConceptId parent);
+
+  size_t num_concepts() const { return concept_names_.size(); }
+  size_t num_relationships() const { return relationships_.size(); }
+
+  /// Name of a concept. Precondition: valid id.
+  const std::string& concept_name(OntologyConceptId id) const {
+    return concept_names_[id];
+  }
+
+  /// The relationship record. Precondition: valid id.
+  const Relationship& relationship(RelationshipId id) const {
+    return relationships_[id];
+  }
+
+  /// All relationships, in insertion order (Algorithm 1 lines 1-4 iterate
+  /// this set to build contexts).
+  const std::vector<Relationship>& relationships() const {
+    return relationships_;
+  }
+
+  /// Concept lookup by exact name; kInvalidOntologyConcept if absent.
+  OntologyConceptId FindConcept(std::string_view name) const;
+
+  /// Relationships whose range (destination) is `concept` — the contexts a
+  /// query term typed as `concept` can appear in (Section 5.1).
+  std::vector<RelationshipId> RelationshipsWithRange(
+      OntologyConceptId concept_id) const;
+
+  /// Relationships whose domain (source) is `concept`.
+  std::vector<RelationshipId> RelationshipsWithDomain(
+      OntologyConceptId concept_id) const;
+
+  /// Direct TBox sub-concepts of `parent`.
+  std::vector<OntologyConceptId> SubConcepts(OntologyConceptId parent) const;
+
+  /// Direct TBox super-concepts of `child`.
+  std::vector<OntologyConceptId> SuperConcepts(OntologyConceptId child) const;
+
+  /// True iff the id addresses an existing concept.
+  bool IsValidConcept(OntologyConceptId id) const {
+    return id < concept_names_.size();
+  }
+
+ private:
+  std::vector<std::string> concept_names_;
+  std::unordered_map<std::string, OntologyConceptId> concept_index_;
+  std::vector<Relationship> relationships_;
+  std::vector<std::vector<RelationshipId>> by_range_;
+  std::vector<std::vector<RelationshipId>> by_domain_;
+  std::vector<std::vector<OntologyConceptId>> sub_concepts_;
+  std::vector<std::vector<OntologyConceptId>> super_concepts_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_ONTOLOGY_DOMAIN_ONTOLOGY_H_

@@ -1,0 +1,47 @@
+#include "medrelax/relax/baseline_measures.h"
+
+#include "medrelax/graph/lcs.h"
+#include "medrelax/graph/paths.h"
+#include "medrelax/graph/topology.h"
+
+namespace medrelax {
+
+Result<BaselineMeasures> BaselineMeasures::Create(const ConceptDag* dag,
+                                                  const FrequencyModel* freq) {
+  MEDRELAX_ASSIGN_OR_RETURN(std::vector<uint32_t> depths,
+                            DepthsFromRoot(*dag));
+  return BaselineMeasures(dag, freq, std::move(depths));
+}
+
+double BaselineMeasures::WuPalmer(ConceptId a, ConceptId b) const {
+  if (a == b) return 1.0;
+  LcsResult lcs = LeastCommonSubsumers(*dag_, a, b);
+  if (lcs.concepts.empty()) return 0.0;
+  // Average the tied subsumers' depths (mirrors the footnote-1 handling).
+  double lcs_depth = 0.0;
+  for (ConceptId c : lcs.concepts) {
+    lcs_depth += static_cast<double>(depths_[c]) + 1.0;
+  }
+  lcs_depth /= static_cast<double>(lcs.concepts.size());
+  double da = static_cast<double>(depths_[a]) + 1.0;
+  double db = static_cast<double>(depths_[b]) + 1.0;
+  return 2.0 * lcs_depth / (da + db);
+}
+
+double BaselineMeasures::PathSimilarity(ConceptId a, ConceptId b) const {
+  if (a == b) return 1.0;
+  TaxonomicPath path = ShortestTaxonomicPath(*dag_, a, b);
+  if (!path.found) return 0.0;
+  return 1.0 / (1.0 + static_cast<double>(path.length()));
+}
+
+double BaselineMeasures::Resnik(ConceptId a, ConceptId b,
+                                ContextId ctx) const {
+  LcsResult lcs = LeastCommonSubsumers(*dag_, a, b);
+  if (lcs.concepts.empty() || freq_ == nullptr) return 0.0;
+  double ic = 0.0;
+  for (ConceptId c : lcs.concepts) ic += freq_->Ic(c, ctx);
+  return ic / static_cast<double>(lcs.concepts.size());
+}
+
+}  // namespace medrelax

@@ -1,0 +1,58 @@
+#ifndef MEDRELAX_RELAX_BASELINE_MEASURES_H_
+#define MEDRELAX_RELAX_BASELINE_MEASURES_H_
+
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/ontology/context.h"
+#include "medrelax/relax/frequency_model.h"
+
+namespace medrelax {
+
+/// The classic knowledge-based similarity measures the paper positions
+/// itself against (Section 8, "Semantic similarity measures"):
+///
+///   * Wu & Palmer [42]:  2·depth(lcs) / (depth(a) + depth(b))
+///   * shortest-path:     1 / (1 + dist(a, b))
+///   * Resnik [34]:       IC(lcs)   (corpus IC; unnormalized)
+///   * Lin [25]:          2·IC(lcs) / (IC(a) + IC(b)) — this is the
+///                        paper's Equation 3, see SimilarityModel::SimIc.
+///
+/// These are reference baselines for tests and extra bench rows; the
+/// paper's own method composes Lin-style IC with context conditioning and
+/// the direction-weighted path penalty.
+class BaselineMeasures {
+ public:
+  /// Borrows `dag` and `freq` (freq may be null if only the structural
+  /// measures are used); both must outlive the object. Fails if the DAG
+  /// is cyclic (depths are precomputed).
+  static Result<BaselineMeasures> Create(const ConceptDag* dag,
+                                         const FrequencyModel* freq);
+
+  /// Wu-Palmer similarity in [0, 1]; 1 for identical concepts. Depth is
+  /// counted from the root with the root at depth 1 (the customary +1 so
+  /// the root is not infinitely dissimilar to everything).
+  double WuPalmer(ConceptId a, ConceptId b) const;
+
+  /// 1 / (1 + taxonomic distance); 1 for identical concepts, 0 for
+  /// disconnected pairs.
+  double PathSimilarity(ConceptId a, ConceptId b) const;
+
+  /// Resnik similarity: the (context-conditioned) IC of the LCS.
+  /// Requires a frequency model.
+  double Resnik(ConceptId a, ConceptId b, ContextId ctx) const;
+
+ private:
+  BaselineMeasures(const ConceptDag* dag, const FrequencyModel* freq,
+                   std::vector<uint32_t> depths)
+      : dag_(dag), freq_(freq), depths_(std::move(depths)) {}
+
+  const ConceptDag* dag_;
+  const FrequencyModel* freq_;
+  std::vector<uint32_t> depths_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_BASELINE_MEASURES_H_

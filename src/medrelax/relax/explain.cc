@@ -1,0 +1,68 @@
+#include "medrelax/relax/explain.h"
+
+#include <sstream>
+
+#include "medrelax/common/string_util.h"
+#include "medrelax/graph/lcs.h"
+
+namespace medrelax {
+
+SimilarityExplanation ExplainSimilarity(const SimilarityModel& model,
+                                        const ConceptDag& dag,
+                                        ConceptId query, ConceptId candidate,
+                                        ContextId ctx) {
+  SimilarityExplanation ex;
+  ex.query = query;
+  ex.candidate = candidate;
+  ex.context = ctx;
+
+  TaxonomicPath path = ShortestTaxonomicPath(dag, query, candidate);
+  ex.connected = path.found;
+  if (!path.found) return ex;
+  ex.apex = path.apex;
+  ex.hops = path.hops;
+
+  ex.path_penalty = model.PathPenalty(query, candidate);
+  LcsResult lcs = LeastCommonSubsumers(dag, query, candidate);
+  ex.lcs = lcs.concepts;
+  for (ConceptId c : ex.lcs) ex.lcs_ic += model.Ic(c, ctx);
+  if (!ex.lcs.empty()) ex.lcs_ic /= static_cast<double>(ex.lcs.size());
+  ex.query_ic = model.Ic(query, ctx);
+  ex.candidate_ic = model.Ic(candidate, ctx);
+  ex.sim_ic = model.SimIc(query, candidate, ctx);
+  ex.similarity = model.Similarity(query, candidate, ctx);
+  return ex;
+}
+
+std::string SimilarityExplanation::Render(const ConceptDag& dag) const {
+  std::ostringstream out;
+  out << "sim(\"" << dag.name(query) << "\", \"" << dag.name(candidate)
+      << "\") = " << StrFormat("%.4f", similarity) << "\n";
+  if (!connected) {
+    out << "  (concepts are not connected)\n";
+    return out.str();
+  }
+  out << "  path (" << hops.size() << " hops via \"" << dag.name(apex)
+      << "\"): ";
+  for (size_t i = 0; i < hops.size(); ++i) {
+    out << (hops[i] == HopDirection::kGeneralization ? "UP" : "DOWN");
+    if (i + 1 < hops.size()) out << " ";
+  }
+  out << "\n";
+  out << "  path penalty p = " << StrFormat("%.4f", path_penalty) << "\n";
+  out << "  LCS: ";
+  for (size_t i = 0; i < lcs.size(); ++i) {
+    out << "\"" << dag.name(lcs[i]) << "\"";
+    if (i + 1 < lcs.size()) out << ", ";
+  }
+  out << StrFormat("  IC(lcs) = %.4f", lcs_ic) << "\n";
+  out << StrFormat("  IC(query) = %.4f, IC(candidate) = %.4f", query_ic,
+                   candidate_ic)
+      << "\n";
+  out << StrFormat("  sim_IC = 2*IC(lcs)/(IC(a)+IC(b)) = %.4f", sim_ic)
+      << "\n";
+  out << StrFormat("  sim = p * sim_IC = %.4f", similarity) << "\n";
+  return out.str();
+}
+
+}  // namespace medrelax

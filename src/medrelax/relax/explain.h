@@ -1,0 +1,51 @@
+#ifndef MEDRELAX_RELAX_EXPLAIN_H_
+#define MEDRELAX_RELAX_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "medrelax/graph/paths.h"
+#include "medrelax/relax/similarity.h"
+
+namespace medrelax {
+
+/// A structured account of one similarity score — every term of
+/// Equations 1-5 for a (query, candidate, context) triple. Useful for
+/// debugging rankings, for surfacing "why am I seeing this?" answers in a
+/// conversational UI, and heavily used by the test suite as an oracle.
+struct SimilarityExplanation {
+  ConceptId query = kInvalidConcept;
+  ConceptId candidate = kInvalidConcept;
+  ContextId context = kNoContext;
+  /// False only for disconnected pairs in non-rooted graphs.
+  bool connected = false;
+  /// The generalize-then-specialize path from query to candidate.
+  ConceptId apex = kInvalidConcept;
+  std::vector<HopDirection> hops;
+  /// p_{A,B} of Equation 4 (1.0 when the penalty is disabled).
+  double path_penalty = 1.0;
+  /// The (possibly tied) least common subsumers and their averaged IC.
+  std::vector<ConceptId> lcs;
+  double lcs_ic = 0.0;
+  /// Per-concept ICs under the effective context (Equation 1).
+  double query_ic = 0.0;
+  double candidate_ic = 0.0;
+  /// Equation 3 and the final Equation 5 value.
+  double sim_ic = 0.0;
+  double similarity = 0.0;
+
+  /// Multi-line human-readable rendering with concept names resolved.
+  std::string Render(const ConceptDag& dag) const;
+};
+
+/// Computes the full explanation. Numerically identical to
+/// model.Similarity(query, candidate, ctx) by construction (asserted in
+/// tests).
+SimilarityExplanation ExplainSimilarity(const SimilarityModel& model,
+                                        const ConceptDag& dag,
+                                        ConceptId query, ConceptId candidate,
+                                        ContextId ctx);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_EXPLAIN_H_

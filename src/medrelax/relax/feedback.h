@@ -1,0 +1,86 @@
+#ifndef MEDRELAX_RELAX_FEEDBACK_H_
+#define MEDRELAX_RELAX_FEEDBACK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+
+/// Knobs of the relevance-feedback layer.
+struct FeedbackOptions {
+  /// Multiplicative boost applied to a concept's score when the user
+  /// accepts it as a relaxation result.
+  double accept_boost = 1.3;
+  /// Multiplicative penalty when the user rejects a result.
+  double reject_penalty = 0.5;
+  /// Fraction of the (log-space) adjustment propagated to the concept's
+  /// direct taxonomy neighbors, so feedback generalizes beyond the exact
+  /// concept ("hypothermia is wrong here" also dampens its siblings'
+  /// parents a little).
+  double neighborhood_share = 0.4;
+  /// Clamp on the accumulated per-concept factor.
+  double min_factor = 0.1;
+  double max_factor = 4.0;
+  /// Candidate over-fetch multiplier: the wrapper pulls overfetch * k
+  /// candidates from the base relaxer before re-ranking, so dismissed
+  /// results can actually be *replaced* (not merely demoted) in the
+  /// returned top-k.
+  size_t overfetch = 3;
+};
+
+/// Relevance-feedback wrapper around a QueryRelaxer — the improvement the
+/// paper's user-study discussion proposes ("incorporate the user's
+/// relevance feedback [39] in the query relaxation method, and ...
+/// progressively improve the relaxed results", Section 7.2).
+///
+/// Feedback is tracked per (external concept, context): accepting a result
+/// boosts it (and, attenuated, its direct taxonomy neighbors); rejecting
+/// dampens likewise. Relaxation outcomes are re-scored by the accumulated
+/// factors and re-ranked. The underlying relaxer is untouched, so feedback
+/// is per-session state layered over the shared offline artifacts.
+class FeedbackRelaxer {
+ public:
+  /// Borrows `base` and `dag`; both must outlive the wrapper.
+  FeedbackRelaxer(const QueryRelaxer* base, const ConceptDag* dag,
+                  const FeedbackOptions& options)
+      : base_(base), dag_(dag), options_(options) {}
+
+  /// Algorithm 2 with feedback re-ranking applied to the scored concepts
+  /// (instances are re-materialized in the new order).
+  RelaxationOutcome RelaxConcept(ConceptId query, ContextId context) const;
+
+  /// Records that the user accepted `candidate` as a relaxation under
+  /// `context`.
+  void Accept(ConceptId candidate, ContextId context);
+
+  /// Records a rejection.
+  void Reject(ConceptId candidate, ContextId context);
+
+  /// The accumulated multiplicative factor for (concept, context); 1.0
+  /// when no feedback touched it.
+  double Factor(ConceptId concept_id, ContextId context) const;
+
+  /// Number of (concept, context) cells carrying feedback.
+  size_t feedback_cells() const { return factors_.size(); }
+
+  /// Forgets all feedback (new session).
+  void Reset() { factors_.clear(); }
+
+ private:
+  void Apply(ConceptId candidate, ContextId context, double factor);
+
+  static uint64_t Key(ConceptId c, ContextId ctx) {
+    return (static_cast<uint64_t>(ctx) << 32) | c;
+  }
+
+  const QueryRelaxer* base_;
+  const ConceptDag* dag_;
+  FeedbackOptions options_;
+  std::unordered_map<uint64_t, double> factors_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_FEEDBACK_H_

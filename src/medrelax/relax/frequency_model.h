@@ -1,0 +1,77 @@
+#ifndef MEDRELAX_RELAX_FREQUENCY_MODEL_H_
+#define MEDRELAX_RELAX_FREQUENCY_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "medrelax/common/result.h"
+
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+
+/// Per-(external concept, context) propagated frequencies and the derived
+/// information content (Equations 1 and 2).
+///
+/// Raw frequencies are the tf-idf-adjusted mention weights of Section 5.1
+/// propagated bottom-up over the subsumption DAG; they are then normalized
+/// to [0, 1] by the root's frequency so "the root concept has the highest
+/// normalized frequency of 1" and IC(root) = 0. A Laplace-style smoothing
+/// constant keeps never-mentioned concepts at a finite IC.
+class FrequencyModel {
+ public:
+  /// `num_contexts` + 1 tables are kept: one per context plus the
+  /// aggregated (context-agnostic) table used when no context is available
+  /// at query time (Section 5.2, "Contextual information").
+  FrequencyModel(size_t num_concepts, size_t num_contexts,
+                 double smoothing = 1.0);
+
+  size_t num_concepts() const { return num_concepts_; }
+  size_t num_contexts() const { return num_contexts_; }
+  double smoothing() const { return smoothing_; }
+
+  /// Sets the raw (propagated, un-normalized) frequency of (concept, ctx).
+  void SetRaw(ConceptId id, ContextId ctx, double raw);
+
+  /// Raw propagated frequency of (concept, ctx).
+  double Raw(ConceptId id, ContextId ctx) const;
+
+  /// Finalizes the model: computes the aggregated table as the per-concept
+  /// sum over contexts, then normalizes every table by its root value.
+  /// `root` is the DAG root (normalized frequency exactly 1).
+  void Normalize(ConceptId root);
+
+  /// Normalized frequency in (0, 1]; ctx == kNoContext selects the
+  /// aggregated table.
+  double Frequency(ConceptId id, ContextId ctx) const;
+
+  /// Information content IC = -log(frequency) (Equation 1); 0 at the root,
+  /// growing with specificity. ctx == kNoContext uses aggregation.
+  double Ic(ConceptId id, ContextId ctx) const;
+
+ private:
+  size_t Index(ConceptId id, ContextId ctx) const;
+
+  size_t num_concepts_;
+  size_t num_contexts_;
+  double smoothing_;
+  bool normalized_ = false;
+  /// Layout: [ctx][concept] flattened; last "context" row is the aggregate.
+  std::vector<double> raw_;
+  std::vector<double> normalized_freq_;
+};
+
+/// Propagates direct per-context mention weights bottom-up over the DAG's
+/// native subsumption edges (Equation 2: freq(A) = |A| + sum of direct
+/// children's freq), then normalizes by the root (Section 5.1). The outer
+/// index of `direct_per_context` is the context; each inner vector has one
+/// entry per concept. Fails if the DAG is cyclic.
+Result<FrequencyModel> PropagateFrequencies(
+    const ConceptDag& dag,
+    const std::vector<std::vector<double>>& direct_per_context,
+    ConceptId root, double smoothing = 1.0);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_FREQUENCY_MODEL_H_

@@ -1,0 +1,117 @@
+#include "medrelax/relax/query_relaxer.h"
+
+#include <algorithm>
+
+#include "medrelax/common/string_util.h"
+#include "medrelax/graph/traversal.h"
+
+namespace medrelax {
+
+QueryRelaxer::QueryRelaxer(const ConceptDag* eks,
+                           const IngestionResult* ingestion,
+                           const MappingFunction* mapper,
+                           const SimilarityOptions& similarity_options,
+                           const RelaxationOptions& relaxation_options)
+    : eks_(eks),
+      ingestion_(ingestion),
+      mapper_(mapper),
+      similarity_(eks, &ingestion->frequencies, similarity_options),
+      relaxation_options_(relaxation_options) {}
+
+Result<RelaxationOutcome> QueryRelaxer::Relax(std::string_view term,
+                                              ContextId context) const {
+  // Line 1: A <- mapping(q, EKS).
+  std::optional<ConceptMatch> match = mapper_->Map(term);
+  if (!match.has_value()) {
+    return Status::NotFound(
+        StrFormat("query term '%.*s' has no corresponding external concept",
+                  static_cast<int>(term.size()), term.data()));
+  }
+  return RelaxConcept(match->id, context);
+}
+
+RelaxationOutcome QueryRelaxer::RelaxConcept(ConceptId query,
+                                             ContextId context) const {
+  return RelaxConceptWithK(query, context, relaxation_options_.top_k);
+}
+
+RelaxationOutcome QueryRelaxer::RelaxConceptWithK(ConceptId query,
+                                                  ContextId context,
+                                                  size_t k) const {
+  RelaxationOutcome outcome;
+  outcome.query_concept = query;
+
+  const std::vector<bool>& flagged = ingestion_->flagged;
+
+  // Line 2: candidates = flagged concepts within radius r, growing r when
+  // dynamic sizing is on and the candidate pool cannot cover k.
+  uint32_t radius = relaxation_options_.radius;
+  std::vector<ConceptId> candidates;
+  for (;;) {
+    candidates.clear();
+    if (query < flagged.size() && flagged[query]) {
+      candidates.push_back(query);  // the term itself, when in the KB
+    }
+    for (const Neighbor& n : NeighborsWithinRadius(*eks_, query, radius)) {
+      if (n.id < flagged.size() && flagged[n.id]) candidates.push_back(n.id);
+    }
+    size_t covered_instances = 0;
+    for (ConceptId b : candidates) {
+      auto it = ingestion_->concept_instances.find(b);
+      if (it != ingestion_->concept_instances.end()) {
+        covered_instances += it->second.size();
+      }
+    }
+    if (!relaxation_options_.dynamic_radius || covered_instances >= k ||
+        radius >= relaxation_options_.max_radius) {
+      break;
+    }
+    ++radius;
+  }
+  outcome.effective_radius = radius;
+
+  // Line 3: sort candidates by sim(A, B) descending; deterministic
+  // tie-break on concept id.
+  std::vector<ScoredConcept> scored;
+  scored.reserve(candidates.size());
+  for (ConceptId b : candidates) {
+    ScoredConcept sc;
+    sc.concept_id = b;
+    sc.similarity = similarity_.Similarity(query, b, context);
+    auto it = ingestion_->concept_instances.find(b);
+    if (it != ingestion_->concept_instances.end()) sc.instances = it->second;
+    scored.push_back(std::move(sc));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredConcept& a, const ScoredConcept& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.concept_id < b.concept_id;
+            });
+
+  // Lines 4-8: pop candidates until k instances are gathered.
+  for (ScoredConcept& sc : scored) {
+    if (outcome.instances.size() >= k) break;
+    for (InstanceId i : sc.instances) outcome.instances.push_back(i);
+    outcome.concepts.push_back(std::move(sc));
+  }
+  return outcome;
+}
+
+size_t QueryRelaxer::PrecomputeSimilarities() const {
+  if (!similarity_.options().memoize_geometry) return 0;
+  const std::vector<bool>& flagged = ingestion_->flagged;
+  for (ConceptId query = 0; query < flagged.size(); ++query) {
+    if (!flagged[query]) continue;
+    for (const Neighbor& n : NeighborsWithinRadius(
+             *eks_, query, relaxation_options_.radius)) {
+      if (n.id < flagged.size() && flagged[n.id]) {
+        similarity_.Geometry(query, n.id);
+      }
+    }
+  }
+  return similarity_.cached_pairs();
+}
+
+}  // namespace medrelax

@@ -1,0 +1,101 @@
+#ifndef MEDRELAX_RELAX_QUERY_RELAXER_H_
+#define MEDRELAX_RELAX_QUERY_RELAXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/matching/matcher.h"
+#include "medrelax/relax/ingestion.h"
+#include "medrelax/relax/similarity.h"
+
+namespace medrelax {
+
+/// Knobs of the online query relaxation (Algorithm 2).
+struct RelaxationOptions {
+  /// Search radius r in application-level hops (shortcuts count 1).
+  uint32_t radius = 4;
+  /// Grow the radius when fewer than k candidates are found ("dynamically
+  /// decided if a fixed r cannot provide k results", Section 5.2).
+  bool dynamic_radius = true;
+  /// Upper bound for dynamic growth.
+  uint32_t max_radius = 16;
+  /// k: how many results to return.
+  size_t top_k = 10;
+};
+
+/// One relaxed concept with its score and the KB instances it maps to.
+struct ScoredConcept {
+  ConceptId concept_id = kInvalidConcept;
+  double similarity = 0.0;
+  std::vector<InstanceId> instances;
+};
+
+/// Outcome of relaxing one [query term, context] input.
+struct RelaxationOutcome {
+  /// The external concept Q the query term resolved to.
+  ConceptId query_concept = kInvalidConcept;
+  /// Ranked flagged concepts (descending similarity), truncated once k
+  /// instances are covered.
+  std::vector<ScoredConcept> concepts;
+  /// Res of Algorithm 2: the union of the concepts' instances, in rank
+  /// order, at most max(k, last-concept overshoot) entries.
+  std::vector<InstanceId> instances;
+  /// Radius actually used (>= options.radius when dynamic growth kicked in).
+  uint32_t effective_radius = 0;
+};
+
+/// The online query relaxation engine (Algorithm 2 + Equation 5).
+///
+/// Borrows the external DAG (with shortcut edges applied), the ingestion
+/// result, and a mapping function for resolving query terms; all must
+/// outlive the relaxer.
+class QueryRelaxer {
+ public:
+  QueryRelaxer(const ConceptDag* eks, const IngestionResult* ingestion,
+               const MappingFunction* mapper,
+               const SimilarityOptions& similarity_options,
+               const RelaxationOptions& relaxation_options);
+
+  /// Full Algorithm 2: resolves `term` to an external concept and returns
+  /// the top-k semantically related KB instances under `context`
+  /// (kNoContext aggregates frequencies over all contexts).
+  /// Fails with NotFound when the term maps to no external concept.
+  Result<RelaxationOutcome> Relax(std::string_view term,
+                                  ContextId context) const;
+
+  /// Concept-level entry point used when the query concept is already
+  /// known (evaluation harness; NLQ integration).
+  RelaxationOutcome RelaxConcept(ConceptId query, ContextId context) const;
+
+  /// Like RelaxConcept but with an explicit k, so wrappers (e.g. the
+  /// relevance-feedback layer) can over-fetch candidates before re-ranking.
+  RelaxationOutcome RelaxConceptWithK(ConceptId query, ContextId context,
+                                      size_t k) const;
+
+  /// Offline pre-computation (Section 5.2: the online phase "retrieves
+  /// the pre-computed similarity between A and each external concept in
+  /// its neighborhood"): warms the memoized pair geometry for every
+  /// (flagged concept, neighborhood member) pair within the configured
+  /// radius, so first-query latency equals steady-state latency. Returns
+  /// the number of cached pairs afterwards. A no-op (returning 0) when
+  /// geometry memoization is disabled.
+  size_t PrecomputeSimilarities() const;
+
+  /// The underlying similarity model (exposed for diagnostics and tests).
+  const SimilarityModel& similarity() const { return similarity_; }
+
+  const RelaxationOptions& options() const { return relaxation_options_; }
+
+ private:
+  const ConceptDag* eks_;
+  const IngestionResult* ingestion_;
+  const MappingFunction* mapper_;
+  SimilarityModel similarity_;
+  RelaxationOptions relaxation_options_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_QUERY_RELAXER_H_

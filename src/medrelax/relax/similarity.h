@@ -1,0 +1,109 @@
+#ifndef MEDRELAX_RELAX_SIMILARITY_H_
+#define MEDRELAX_RELAX_SIMILARITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/graph/lcs.h"
+#include "medrelax/graph/paths.h"
+#include "medrelax/ontology/context.h"
+#include "medrelax/relax/frequency_model.h"
+
+namespace medrelax {
+
+/// Knobs of the combined similarity measure. The defaults reproduce the
+/// full QR configuration; the ablation flags realize the paper's variants
+/// QR-no-context (ignore the query context, aggregate frequencies) and the
+/// plain IC baseline (no path penalty).
+struct SimilarityOptions {
+  /// Weight of a generalization hop (w in Equation 4); the paper's
+  /// empirical study sets 0.9 (Section 5.2), learnable via
+  /// relax/weight_learner.h.
+  double generalization_weight = 0.9;
+  /// Weight of a specialization hop; the paper sets 1.0.
+  double specialization_weight = 1.0;
+  /// Apply the direction-aware path penalty p_{A,B} (Equation 4). Disabled
+  /// = the plain IC measure of Equation 3 (the `IC` baseline of Table 2).
+  bool use_path_penalty = true;
+  /// Use the query context's frequency table; disabled = aggregate over
+  /// all contexts (the `QR-no-context` variant of Table 2).
+  bool use_context = true;
+  /// Memoize the per-pair graph geometry (shortest taxonomic path + LCS
+  /// set). This realizes the paper's "retrieves the pre-computed
+  /// similarity" step (Section 5.2): the two BFS walks per pair are paid
+  /// once, after which scoring is a table lookup plus arithmetic.
+  bool memoize_geometry = true;
+};
+
+/// The weight- and context-independent geometry of a concept pair: enough
+/// to evaluate Equations 3-5 for any (w_gen, w_spec, context) without
+/// touching the graph again.
+struct PairGeometry {
+  /// False for disconnected pairs (non-rooted graphs only).
+  bool connected = false;
+  /// Sum of the Equation 4 exponents (D - i) over generalization hops:
+  /// p = w_gen^gen_exponent * w_spec^spec_exponent.
+  double gen_exponent = 0.0;
+  /// Sum over specialization hops.
+  double spec_exponent = 0.0;
+  /// Tied least common subsumers (footnote-1 policy applied).
+  std::vector<ConceptId> lcs;
+};
+
+/// The paper's similarity measure (Section 5.2):
+///   sim(A, B) = p_{A,B} * sim_IC(A, B)                      (Equation 5)
+/// with the IC similarity of Equation 3 evaluated on context-conditioned
+/// frequencies and the direction-weighted path penalty of Equation 4.
+///
+/// Not thread-safe when memoization is enabled (the cache is mutated on
+/// lookup); create one model per thread.
+class SimilarityModel {
+ public:
+  /// Borrows `dag` and `freq`, which must outlive the model.
+  SimilarityModel(const ConceptDag* dag, const FrequencyModel* freq,
+                  const SimilarityOptions& options)
+      : dag_(dag), freq_(freq), options_(options) {}
+
+  const SimilarityOptions& options() const { return options_; }
+
+  /// IC under the effective context (aggregated when context is disabled
+  /// or kNoContext).
+  double Ic(ConceptId id, ContextId ctx) const;
+
+  /// sim_IC of Equation 3, with the footnote-1 LCS policy: shortest-path
+  /// tie-break, then average IC over remaining ties.
+  double SimIc(ConceptId a, ConceptId b, ContextId ctx) const;
+
+  /// p_{A,B} of Equation 4 over the shortest taxonomic path *from* `from`
+  /// *to* `to` (direction matters: Example 4 / Figure 6).
+  double PathPenalty(ConceptId from, ConceptId to) const;
+
+  /// p for an explicit hop sequence (exposed for tests and the weight
+  /// learner): prod_i w_i^(D-i), i one-based.
+  double PathPenaltyForHops(const std::vector<HopDirection>& hops) const;
+
+  /// The combined measure of Equation 5.
+  double Similarity(ConceptId from, ConceptId to, ContextId ctx) const;
+
+  /// The memoized (or freshly computed) geometry for (from, to).
+  const PairGeometry& Geometry(ConceptId from, ConceptId to) const;
+
+  /// Number of memoized pairs (0 when memoization is off).
+  size_t cached_pairs() const { return geometry_cache_.size(); }
+
+ private:
+  ContextId EffectiveContext(ContextId ctx) const;
+  PairGeometry ComputeGeometry(ConceptId from, ConceptId to) const;
+
+  const ConceptDag* dag_;
+  const FrequencyModel* freq_;
+  SimilarityOptions options_;
+  mutable std::unordered_map<uint64_t, PairGeometry> geometry_cache_;
+  mutable PairGeometry scratch_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_SIMILARITY_H_

@@ -1,0 +1,76 @@
+#include "medrelax/relax/weight_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medrelax {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+LearnedWeights LearnDirectionWeights(const ConceptDag& dag,
+                                     const std::vector<WeightExample>& examples,
+                                     const WeightLearnerOptions& options) {
+  LearnedWeights out;
+
+  // Feature extraction: exponent mass per direction along the shortest
+  // taxonomic path (see header derivation).
+  struct Row {
+    double g = 0.0;
+    double s = 0.0;
+    double y = 0.0;
+  };
+  std::vector<Row> rows;
+  rows.reserve(examples.size());
+  for (const WeightExample& ex : examples) {
+    TaxonomicPath path = ShortestTaxonomicPath(dag, ex.query, ex.candidate);
+    if (!path.found || path.hops.empty()) continue;
+    Row row;
+    const double d = static_cast<double>(path.hops.size());
+    for (size_t i = 0; i < path.hops.size(); ++i) {
+      double exponent = d - static_cast<double>(i + 1);
+      if (path.hops[i] == HopDirection::kGeneralization) {
+        row.g += exponent;
+      } else {
+        row.s += exponent;
+      }
+    }
+    row.y = ex.relevant ? 1.0 : 0.0;
+    rows.push_back(row);
+  }
+  out.num_examples = rows.size();
+  if (rows.empty()) return out;
+
+  // Batch gradient descent on the regularized log-loss.
+  double b = 0.0, cg = 0.0, cs = 0.0;
+  const double n = static_cast<double>(rows.size());
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double db = 0.0, dcg = 0.0, dcs = 0.0;
+    for (const Row& row : rows) {
+      double err = Sigmoid(b + cg * row.g + cs * row.s) - row.y;
+      db += err;
+      dcg += err * row.g;
+      dcs += err * row.s;
+    }
+    b -= options.learning_rate * (db / n);
+    cg -= options.learning_rate * (dcg / n + options.l2 * cg);
+    cs -= options.learning_rate * (dcs / n + options.l2 * cs);
+  }
+
+  size_t correct = 0;
+  for (const Row& row : rows) {
+    double p = Sigmoid(b + cg * row.g + cs * row.s);
+    if ((p >= 0.5) == (row.y >= 0.5)) ++correct;
+  }
+  out.train_accuracy = static_cast<double>(correct) / n;
+
+  // c is the MLE of log w; a valid per-hop weight lies in (0, 1].
+  out.generalization_weight = std::clamp(std::exp(cg), 1e-3, 1.0);
+  out.specialization_weight = std::clamp(std::exp(cs), 1e-3, 1.0);
+  return out;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,54 @@
+#ifndef MEDRELAX_RELAX_WEIGHT_LEARNER_H_
+#define MEDRELAX_RELAX_WEIGHT_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/graph/paths.h"
+
+namespace medrelax {
+
+/// One supervised example for direction-weight learning: a (query concept,
+/// candidate concept) pair with a human/gold relevance label.
+struct WeightExample {
+  ConceptId query = kInvalidConcept;
+  ConceptId candidate = kInvalidConcept;
+  bool relevant = false;
+};
+
+/// Options for the logistic-regression weight learner.
+struct WeightLearnerOptions {
+  size_t epochs = 300;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+};
+
+/// Learned direction weights plus fit diagnostics.
+struct LearnedWeights {
+  double generalization_weight = 0.9;
+  double specialization_weight = 1.0;
+  /// Training accuracy of the underlying classifier.
+  double train_accuracy = 0.0;
+  size_t num_examples = 0;
+};
+
+/// Learns the generalization/specialization weights of Equation 4 by
+/// logistic regression, as Section 5.2 suggests ("To learn the weights of
+/// both generalization and specialization, simple statistical regression
+/// analysis such as logistic regression can be used").
+///
+/// Derivation: taking logs of Equation 4,
+///   log p_{A,B} = sum_i (D - i) log w_{dir(i)}
+///               = G * log w_gen + S * log w_spec,
+/// where G (resp. S) is the sum of (D - i) over generalization (resp.
+/// specialization) hops. Fitting   sigmoid(b + c_g * G + c_s * S)   to the
+/// relevance labels makes -c_g, -c_s maximum-likelihood estimates of
+/// -log w: the learned weights are w = exp(c), clamped into (0, 1].
+LearnedWeights LearnDirectionWeights(const ConceptDag& dag,
+                                     const std::vector<WeightExample>& examples,
+                                     const WeightLearnerOptions& options);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_RELAX_WEIGHT_LEARNER_H_

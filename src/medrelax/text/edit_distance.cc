@@ -1,0 +1,108 @@
+#include "medrelax/text/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace medrelax {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t cur = row[i];
+      size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+      prev_diag = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+std::optional<size_t> BoundedLevenshtein(std::string_view a,
+                                         std::string_view b,
+                                         size_t max_distance) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > max_distance) return std::nullopt;
+
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  const size_t k = max_distance;
+  // Band of width 2k+1 around the diagonal.
+  std::vector<size_t> row(a.size() + 1, kInf);
+  for (size_t i = 0; i <= std::min(a.size(), k); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t lo = (j > k) ? j - k : 0;
+    size_t hi = std::min(a.size(), j + k);
+    size_t prev_diag = (lo == 0) ? j - 1 : row[lo - 1];
+    if (lo == 0) row[0] = j;
+    size_t row_min = row[lo];
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      size_t cur = row[i];
+      size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t del = (cur == kInf) ? kInf : cur + 1;
+      size_t ins = (row[i - 1] == kInf) ? kInf : row[i - 1] + 1;
+      row[i] = std::min({del, ins, sub});
+      row_min = std::min(row_min, row[i]);
+      prev_diag = cur;
+    }
+    // Cells outside the band stay infinite for the next column.
+    if (hi < a.size()) row[hi + 1] = kInf;
+    if (row_min > max_distance) return std::nullopt;
+  }
+  size_t d = row[a.size()];
+  if (d > max_distance) return std::nullopt;
+  return d;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t match_window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = (i > match_window) ? i - match_window : 0;
+    size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  double jaro = (m / static_cast<double>(a.size()) +
+                 m / static_cast<double>(b.size()) +
+                 (m - static_cast<double>(transpositions) / 2.0) / m) /
+                3.0;
+
+  // Winkler prefix bonus (prefix length capped at 4, scale 0.1).
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+}  // namespace medrelax

@@ -1,0 +1,27 @@
+#ifndef MEDRELAX_TEXT_EDIT_DISTANCE_H_
+#define MEDRELAX_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace medrelax {
+
+/// Levenshtein distance (unit-cost insert/delete/substitute) between a and b.
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein with early exit: returns the distance if it is
+/// <= max_distance, otherwise std::nullopt. O(max_distance * min(|a|,|b|)).
+/// This is the τ-thresholded matcher the paper's EDIT mapping method uses
+/// (τ = 2 in the evaluation, Section 7.2).
+std::optional<size_t> BoundedLevenshtein(std::string_view a,
+                                         std::string_view b,
+                                         size_t max_distance);
+
+/// Jaro-Winkler similarity in [0, 1]; 1 means equal. Used as a secondary
+/// tie-break signal in the fuzzy name index.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TEXT_EDIT_DISTANCE_H_

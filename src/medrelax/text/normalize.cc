@@ -1,0 +1,60 @@
+#include "medrelax/text/normalize.h"
+
+namespace medrelax {
+
+namespace {
+
+bool IsPunct(char c) {
+  switch (c) {
+    case '-':
+    case '_':
+    case '/':
+    case ',':
+    case '.':
+    case '(':
+    case ')':
+    case ';':
+    case ':':
+    case '\'':
+    case '"':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+std::string NormalizeTerm(std::string_view term,
+                          const NormalizeOptions& options) {
+  std::string staged;
+  staged.reserve(term.size());
+  for (char c : term) {
+    if (options.lowercase && c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+    if (options.strip_punctuation && IsPunct(c)) c = ' ';
+    staged.push_back(c);
+  }
+  if (!options.collapse_whitespace) return staged;
+
+  std::string out;
+  out.reserve(staged.size());
+  bool in_space = true;  // trims leading whitespace
+  for (char c : staged) {
+    if (IsSpace(c)) {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out.push_back(' ');
+    in_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,27 @@
+#ifndef MEDRELAX_TEXT_NORMALIZE_H_
+#define MEDRELAX_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace medrelax {
+
+/// Options controlling term normalization before matching.
+struct NormalizeOptions {
+  /// Lowercase ASCII letters.
+  bool lowercase = true;
+  /// Replace punctuation ('-', '_', '/', ',', '.', '(', ')') with spaces.
+  bool strip_punctuation = true;
+  /// Collapse runs of whitespace to a single space and trim the ends.
+  bool collapse_whitespace = true;
+};
+
+/// Normalizes a surface form for name matching: the same normalization is
+/// applied to KB instance names, external concept names/synonyms, and query
+/// terms so the matchers compare like with like.
+std::string NormalizeTerm(std::string_view term,
+                          const NormalizeOptions& options = {});
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TEXT_NORMALIZE_H_

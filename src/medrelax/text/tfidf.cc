@@ -1,0 +1,38 @@
+#include "medrelax/text/tfidf.h"
+
+#include <cmath>
+
+namespace medrelax {
+
+void TfIdfModel::AddDocument(
+    const std::unordered_map<std::string, size_t>& counts) {
+  ++num_documents_;
+  for (const auto& [term, count] : counts) {
+    if (count == 0) continue;
+    term_frequency_[term] += count;
+    document_frequency_[term] += 1;
+  }
+}
+
+size_t TfIdfModel::TermFrequency(const std::string& term) const {
+  auto it = term_frequency_.find(term);
+  return it == term_frequency_.end() ? 0 : it->second;
+}
+
+size_t TfIdfModel::DocumentFrequency(const std::string& term) const {
+  auto it = document_frequency_.find(term);
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+double TfIdfModel::Idf(const std::string& term) const {
+  size_t df = DocumentFrequency(term);
+  if (df == 0 || num_documents_ == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(num_documents_) /
+                            static_cast<double>(df));
+}
+
+double TfIdfModel::Weight(const std::string& term) const {
+  return static_cast<double>(TermFrequency(term)) * Idf(term);
+}
+
+}  // namespace medrelax

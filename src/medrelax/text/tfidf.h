@@ -1,0 +1,47 @@
+#ifndef MEDRELAX_TEXT_TFIDF_H_
+#define MEDRELAX_TEXT_TFIDF_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace medrelax {
+
+/// tf-idf weighting over term mention statistics.
+///
+/// Section 5.1 of the paper adjusts raw concept mention counts by the number
+/// of documents a concept appears in ("to alleviate this bias" of sparse
+/// specialty terms vs broadly mentioned ones). This class accumulates
+/// (term -> total mentions, term -> document frequency) and produces the
+/// adjusted weight  tf * idf  with  idf = log(1 + N / df).
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Registers one document's term counts (term -> count in that document).
+  void AddDocument(const std::unordered_map<std::string, size_t>& counts);
+
+  /// Number of documents seen.
+  size_t num_documents() const { return num_documents_; }
+
+  /// Total mentions of `term` across all documents.
+  size_t TermFrequency(const std::string& term) const;
+
+  /// Number of documents mentioning `term`.
+  size_t DocumentFrequency(const std::string& term) const;
+
+  /// Smoothed idf = log(1 + N / df); returns 0 for unseen terms.
+  double Idf(const std::string& term) const;
+
+  /// tf * idf for `term`; 0 for unseen terms.
+  double Weight(const std::string& term) const;
+
+ private:
+  size_t num_documents_ = 0;
+  std::unordered_map<std::string, size_t> term_frequency_;
+  std::unordered_map<std::string, size_t> document_frequency_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TEXT_TFIDF_H_

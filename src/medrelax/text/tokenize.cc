@@ -1,0 +1,41 @@
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+
+namespace {
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> CharNgrams(std::string_view s, size_t n) {
+  std::vector<std::string> grams;
+  if (s.empty() || n == 0) return grams;
+  if (s.size() <= n) {
+    grams.emplace_back(s);
+    return grams;
+  }
+  grams.reserve(s.size() - n + 1);
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, n));
+  }
+  return grams;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,21 @@
+#ifndef MEDRELAX_TEXT_TOKENIZE_H_
+#define MEDRELAX_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace medrelax {
+
+/// Splits normalized text into word tokens (maximal runs of [a-z0-9]).
+/// Input is expected to have gone through NormalizeTerm, but the tokenizer
+/// is robust to arbitrary bytes: anything outside [a-zA-Z0-9] separates.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Character n-grams of a string, used by fuzzy-name blocking. When the
+/// string is shorter than n, the whole string is the single gram.
+std::vector<std::string> CharNgrams(std::string_view s, size_t n);
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TEXT_TOKENIZE_H_

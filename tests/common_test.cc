@@ -1,0 +1,178 @@
+// Tests of the common substrate: Status/Result, PRNG, string utilities.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/common/random.h"
+#include "medrelax/common/result.h"
+#include "medrelax/common/status.h"
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    MEDRELAX_RETURN_NOT_OK(Status::Internal("boom"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsInternal());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("x");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    MEDRELAX_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(outer(false).value(), 11);
+  EXPECT_TRUE(outer(true).status().IsNotFound());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+    int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(9);
+  size_t low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.2) <= 10) ++low;
+  }
+  // With s=1.2 the first 10 ranks carry well over a third of the mass.
+  EXPECT_GT(low, static_cast<size_t>(n / 3));
+}
+
+TEST(Rng, GaussianMeanRoughlyZero) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.Gaussian();
+  EXPECT_NEAR(total / n, 0.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(w), 1u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringUtil, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC-9 Z"), "abc-9 z");
+}
+
+TEST(StringUtil, Strip) {
+  EXPECT_EQ(StripAscii("  hi \n"), "hi");
+  EXPECT_EQ(StripAscii(""), "");
+  EXPECT_EQ(StripAscii("   "), "");
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "-"), "a-b--c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("headache", "head"));
+  EXPECT_FALSE(StartsWith("head", "headache"));
+  EXPECT_TRUE(EndsWith("headache", "ache"));
+  EXPECT_FALSE(EndsWith("ache", "headache"));
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%s=%d", "x", 7), "x=7");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+}  // namespace
+}  // namespace medrelax

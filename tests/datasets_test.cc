@@ -1,0 +1,297 @@
+// Tests of the synthetic-world generators: structural invariants of the
+// SNOMED-like DAG, the MED-shaped ontology statistics, KB population,
+// corpus generation, and workload generation — all deterministic in the
+// seed.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/datasets/corpus_generator.h"
+#include "medrelax/datasets/kb_generator.h"
+#include "medrelax/datasets/query_generator.h"
+#include "medrelax/datasets/snomed_generator.h"
+#include "medrelax/graph/topology.h"
+#include "medrelax/text/normalize.h"
+
+namespace medrelax {
+namespace {
+
+SnomedGeneratorOptions SmallEks() {
+  SnomedGeneratorOptions opts;
+  opts.num_concepts = 600;
+  opts.seed = 4242;
+  return opts;
+}
+
+KbGeneratorOptions SmallKb() {
+  KbGeneratorOptions opts;
+  opts.num_drugs = 25;
+  opts.num_findings = 80;
+  opts.seed = 777;
+  return opts;
+}
+
+TEST(SnomedGenerator, ProducesRequestedScale) {
+  auto eks = GenerateSnomedLike(SmallEks());
+  ASSERT_TRUE(eks.ok()) << eks.status();
+  EXPECT_GE(eks->dag.num_concepts(), 550u);
+  EXPECT_LE(eks->dag.num_concepts(), 650u);
+  EXPECT_FALSE(eks->finding_concepts.empty());
+  EXPECT_TRUE(ValidateExternalSource(eks->dag).ok());
+}
+
+TEST(SnomedGenerator, DeterministicInSeed) {
+  auto a = GenerateSnomedLike(SmallEks());
+  auto b = GenerateSnomedLike(SmallEks());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->dag.num_concepts(), b->dag.num_concepts());
+  for (ConceptId id = 0; id < a->dag.num_concepts(); ++id) {
+    EXPECT_EQ(a->dag.name(id), b->dag.name(id));
+  }
+  EXPECT_EQ(a->dag.num_edges(), b->dag.num_edges());
+}
+
+TEST(SnomedGenerator, DifferentSeedsDiffer) {
+  SnomedGeneratorOptions other = SmallEks();
+  other.seed = 4243;
+  auto a = GenerateSnomedLike(SmallEks());
+  auto b = GenerateSnomedLike(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = a->dag.num_concepts() != b->dag.num_concepts() ||
+                        a->dag.num_edges() != b->dag.num_edges();
+  if (!any_difference) {
+    for (ConceptId id = 0; id < a->dag.num_concepts(); ++id) {
+      if (a->dag.name(id) != b->dag.name(id)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SnomedGenerator, RejectsTinyBudgets) {
+  SnomedGeneratorOptions opts;
+  opts.num_concepts = 10;
+  EXPECT_TRUE(GenerateSnomedLike(opts).status().IsInvalidArgument());
+}
+
+TEST(SnomedGenerator, PopularityIsZipfLike) {
+  auto eks = GenerateSnomedLike(SmallEks());
+  ASSERT_TRUE(eks.ok());
+  double max_pop = 0.0, total = 0.0;
+  for (double p : eks->popularity) {
+    max_pop = std::max(max_pop, p);
+    total += p;
+  }
+  EXPECT_DOUBLE_EQ(max_pop, 1.0);  // rank-1 weight
+  EXPECT_GT(total, 1.0);
+  EXPECT_LT(max_pop / total, 0.5);  // heavy head, but not everything
+}
+
+TEST(SnomedGenerator, DepthsAreConsistentWithTreeParents) {
+  auto eks = GenerateSnomedLike(SmallEks());
+  ASSERT_TRUE(eks.ok());
+  EXPECT_EQ(eks->depth[eks->root], 0u);
+  for (ConceptId id : eks->finding_concepts) {
+    EXPECT_GE(eks->depth[id], 2u);  // under "clinical finding"
+  }
+}
+
+TEST(MedOntology, MatchesPaperStatistics) {
+  auto onto = BuildMedOntology();
+  ASSERT_TRUE(onto.ok()) << onto.status();
+  // Section 7.1: 43 concepts and 58 relationships.
+  EXPECT_EQ(onto->num_concepts(), 43u);
+  EXPECT_EQ(onto->num_relationships(), 58u);
+  // Figure 1 core is present.
+  EXPECT_NE(onto->FindConcept("Drug"), kInvalidOntologyConcept);
+  EXPECT_NE(onto->FindConcept("Finding"), kInvalidOntologyConcept);
+  OntologyConceptId risk = onto->FindConcept("Risk");
+  EXPECT_EQ(onto->SubConcepts(risk).size(), 3u);
+}
+
+TEST(WorldGenerator, PopulatesKbAndGroundTruth) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ(world->drug_instances.size(), 25u);
+  EXPECT_GE(world->finding_instances.size(), 70u);
+  EXPECT_NE(world->ctx_indication, kNoContext);
+  EXPECT_NE(world->ctx_risk, kNoContext);
+  // Every finding instance has a true link into the finding region.
+  std::unordered_set<ConceptId> region(world->eks.finding_concepts.begin(),
+                                       world->eks.finding_concepts.end());
+  for (InstanceId f : world->finding_instances) {
+    auto it = world->true_link.find(f);
+    ASSERT_NE(it, world->true_link.end());
+    EXPECT_TRUE(region.count(it->second) > 0);
+  }
+  EXPECT_GT(world->kb.triples.num_triples(), 0u);
+}
+
+TEST(WorldGenerator, ParticipationCoversEveryFindingConcept) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  for (ConceptId id : world->eks.finding_concepts) {
+    EXPECT_NE(world->participation[id], 0)
+        << world->eks.dag.name(id) << " has no context";
+  }
+}
+
+TEST(WorldGenerator, LinksRespectParticipationTruth) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  for (const auto& [drug, findings] : world->treats) {
+    (void)drug;
+    for (InstanceId f : findings) {
+      ConceptId c = world->true_link.at(f);
+      EXPECT_TRUE(world->participation[c] & kParticipatesTreat);
+    }
+  }
+  for (const auto& [drug, findings] : world->causes) {
+    (void)drug;
+    for (InstanceId f : findings) {
+      ConceptId c = world->true_link.at(f);
+      EXPECT_TRUE(world->participation[c] & kParticipatesRisk);
+    }
+  }
+}
+
+TEST(CorpusGenerator, OneMonographPerDrugWithTaggedSections) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  Corpus corpus = GenerateMonographCorpus(*world, CorpusGeneratorOptions{});
+  EXPECT_EQ(corpus.size(), world->drug_instances.size());
+  size_t indication_sections = 0, risk_sections = 0, untyped = 0;
+  for (const Document& doc : corpus.documents()) {
+    for (const DocumentSection& s : doc.sections) {
+      if (s.context == world->ctx_indication) ++indication_sections;
+      if (s.context == world->ctx_risk) ++risk_sections;
+      if (s.context == kNoContext) ++untyped;
+      EXPECT_FALSE(s.tokens.empty());
+    }
+  }
+  EXPECT_GT(indication_sections, 0u);
+  EXPECT_GT(risk_sections, 0u);
+  EXPECT_EQ(untyped, corpus.size());
+}
+
+TEST(CorpusGenerator, MonographMentionsTreatedFindings) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  Corpus corpus = GenerateMonographCorpus(*world, CorpusGeneratorOptions{});
+  // Spot-check: the first drug's indication section contains the tokens of
+  // at least one treated finding's concept name.
+  InstanceId drug = world->drug_instances[0];
+  auto treats = world->treats.find(drug);
+  if (treats == world->treats.end() || treats->second.empty()) GTEST_SKIP();
+  ConceptId concept_id = world->true_link.at(treats->second[0]);
+  std::string name = NormalizeTerm(world->eks.dag.name(concept_id));
+  bool found = false;
+  for (const DocumentSection& s : corpus.document(0).sections) {
+    if (s.context != world->ctx_indication) continue;
+    std::string joined;
+    for (const std::string& t : s.tokens) joined += t + " ";
+    if (joined.find(name) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneralCorpus, OnlyShallowConceptNamesAppear) {
+  auto eks = GenerateSnomedLike(SmallEks());
+  ASSERT_TRUE(eks.ok());
+  GeneralCorpusOptions opts;
+  opts.num_documents = 20;
+  Corpus corpus = GenerateGeneralCorpus(*eks, opts);
+  EXPECT_EQ(corpus.size(), 20u);
+  // Deep, specific names (depth > max_concept_depth) must be absent: check
+  // a handful of deep concepts.
+  size_t checked = 0;
+  for (ConceptId id : eks->finding_concepts) {
+    if (eks->depth[id] <= opts.max_concept_depth + 1) continue;
+    std::string name = NormalizeTerm(eks->dag.name(id));
+    for (const Document& doc : corpus.documents()) {
+      std::string joined;
+      for (const std::string& t : doc.sections[0].tokens) joined += t + " ";
+      EXPECT_EQ(joined.find(name), std::string::npos)
+          << "deep concept leaked: " << name;
+    }
+    if (++checked >= 5) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(QueryGenerator, MappingWorkloadMixesNoise) {
+  auto eks = GenerateSnomedLike(SmallEks());
+  ASSERT_TRUE(eks.ok());
+  MappingWorkloadOptions opts;
+  opts.num_queries = 100;
+  std::vector<MappingQuery> queries = GenerateMappingQueries(*eks, opts);
+  EXPECT_EQ(queries.size(), 100u);
+  std::unordered_set<int> kinds;
+  for (const MappingQuery& q : queries) {
+    EXPECT_NE(q.gold, kInvalidConcept);
+    EXPECT_FALSE(q.surface.empty());
+    kinds.insert(static_cast<int>(q.noise));
+  }
+  EXPECT_GE(kinds.size(), 3u);  // several noise kinds represented
+}
+
+TEST(QueryGenerator, RelaxationWorkloadRespectsOutOfKbMix) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  RelaxationWorkloadOptions opts;
+  opts.num_queries = 60;
+  opts.out_of_kb_fraction = 0.5;
+  std::vector<RelaxationQuery> queries =
+      GenerateRelaxationQueries(*world, opts);
+  ASSERT_GE(queries.size(), 50u);
+  std::unordered_set<ConceptId> in_kb(world->kb_finding_concepts.begin(),
+                                      world->kb_finding_concepts.end());
+  size_t out = 0;
+  for (const RelaxationQuery& q : queries) {
+    EXPECT_TRUE(q.context == world->ctx_indication ||
+                q.context == world->ctx_risk);
+    // Context assignment respects participation truth.
+    uint8_t mask = world->participation[q.concept_id];
+    if (q.context == world->ctx_indication) {
+      EXPECT_TRUE(mask & kParticipatesTreat);
+    } else {
+      EXPECT_TRUE(mask & kParticipatesRisk);
+    }
+    if (in_kb.count(q.concept_id) == 0) ++out;
+  }
+  EXPECT_GT(out, queries.size() / 4);
+  EXPECT_LT(out, 3 * queries.size() / 4);
+}
+
+TEST(QueryGenerator, NlQuestionsEmbedTheTerm) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  NlWorkloadOptions opts;
+  opts.num_questions = 15;
+  for (const NlQuestion& q : GenerateNlQuestions(*world, opts)) {
+    EXPECT_NE(q.text.find(q.term_surface), std::string::npos)
+        << q.text << " / " << q.term_surface;
+    EXPECT_NE(q.concept_id, kInvalidConcept);
+  }
+}
+
+TEST(QueryGenerator, T1QuestionsUseInKbConcepts) {
+  auto world = GenerateWorld(SmallEks(), SmallKb());
+  ASSERT_TRUE(world.ok());
+  std::unordered_set<ConceptId> in_kb(world->kb_finding_concepts.begin(),
+                                      world->kb_finding_concepts.end());
+  NlWorkloadOptions opts;
+  opts.num_questions = 15;
+  opts.free_form = false;
+  for (const NlQuestion& q : GenerateNlQuestions(*world, opts)) {
+    EXPECT_TRUE(in_kb.count(q.concept_id) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace medrelax

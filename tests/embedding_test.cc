@@ -1,0 +1,229 @@
+// Tests of the embedding substrate: co-occurrence counting, PPMI,
+// truncated SVD, word vectors, and SIF sentence embeddings.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/embedding/cooccurrence.h"
+#include "medrelax/embedding/ppmi.h"
+#include "medrelax/embedding/sif.h"
+#include "medrelax/embedding/svd.h"
+#include "medrelax/embedding/word_vectors.h"
+
+namespace medrelax {
+namespace {
+
+Corpus TinyCorpus() {
+  Corpus corpus;
+  Document doc;
+  doc.name = "d";
+  DocumentSection s;
+  s.context = kNoContext;
+  // "kidney disease" and "renal disease" used interchangeably near
+  // "treatment"; "lung infection" in a separate topical cluster.
+  for (int i = 0; i < 40; ++i) {
+    for (const char* tok :
+         {"kidney", "disease", "treatment", "renal", "disease", "treatment",
+          "lung", "infection", "cough", "lung", "infection", "cough"}) {
+      s.tokens.push_back(tok);
+    }
+  }
+  doc.sections.push_back(std::move(s));
+  corpus.AddDocument(std::move(doc));
+  return corpus;
+}
+
+TEST(Vocabulary, InternsAndCounts) {
+  Vocabulary vocab;
+  WordId a = vocab.Add("fever");
+  WordId b = vocab.Add("fever");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.count(a), 2u);
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.Find("fever"), a);
+  EXPECT_EQ(vocab.Find("nope"), kOovWord);
+  EXPECT_DOUBLE_EQ(vocab.Probability(a), 1.0);
+  vocab.AddWithCount("cough", 3);
+  EXPECT_DOUBLE_EQ(vocab.Probability(a), 2.0 / 5.0);
+}
+
+TEST(Cooccurrence, SymmetricCounts) {
+  Corpus corpus = TinyCorpus();
+  CooccurrenceCounter counter(2);
+  counter.Process(corpus);
+  WordId kidney = counter.vocabulary().Find("kidney");
+  WordId disease = counter.vocabulary().Find("disease");
+  ASSERT_NE(kidney, kOovWord);
+  ASSERT_NE(disease, kOovWord);
+  EXPECT_GT(counter.Count(kidney, disease), 0u);
+  EXPECT_EQ(counter.Count(kidney, disease), counter.Count(disease, kidney));
+  EXPECT_GT(counter.total_pairs(), 0u);
+}
+
+TEST(Cooccurrence, WindowLimitsPairs) {
+  Corpus corpus;
+  Document doc;
+  doc.name = "d";
+  DocumentSection s;
+  s.tokens = {"a", "b", "c", "d"};
+  doc.sections.push_back(s);
+  corpus.AddDocument(std::move(doc));
+  CooccurrenceCounter narrow(1);
+  narrow.Process(corpus);
+  WordId a = narrow.vocabulary().Find("a");
+  WordId c = narrow.vocabulary().Find("c");
+  EXPECT_EQ(narrow.Count(a, c), 0u);  // distance 2 > window 1
+}
+
+TEST(Ppmi, PositiveEntriesOnly) {
+  Corpus corpus = TinyCorpus();
+  CooccurrenceCounter counter(2);
+  counter.Process(corpus);
+  SparseMatrix m = BuildPpmiMatrix(counter);
+  EXPECT_EQ(m.dim(), counter.vocabulary().size());
+  EXPECT_GT(m.nnz(), 0u);
+  for (uint32_t r = 0; r < m.dim(); ++r) {
+    for (const SparseMatrix::Entry& e : m.row(r)) {
+      EXPECT_GT(e.value, 0.0);
+    }
+  }
+}
+
+TEST(SparseMatrix, MultiplyMatchesManualComputation) {
+  SparseMatrix m(3);
+  m.Add(0, 1, 2.0);
+  m.Add(1, 0, 2.0);
+  m.Add(2, 2, 5.0);
+  std::vector<double> x = {1.0, 3.0, -1.0};
+  std::vector<double> y;
+  m.Multiply(x, &y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], -5.0);
+}
+
+TEST(Svd, RecoversDominantEigenpairOfDiagonal) {
+  SparseMatrix m(4);
+  m.Add(0, 0, 5.0);
+  m.Add(1, 1, 3.0);
+  m.Add(2, 2, 1.0);
+  m.Add(3, 3, 0.5);
+  TruncatedEigen eig = TruncatedSymmetricEigen(m, 2, 60, 42);
+  ASSERT_EQ(eig.rank, 2u);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-6);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-6);
+  // The dominant eigenvector is e0 (up to sign).
+  EXPECT_NEAR(std::fabs(eig.vectors[0 * 2 + 0]), 1.0, 1e-6);
+}
+
+TEST(Svd, DeterministicInSeed) {
+  Corpus corpus = TinyCorpus();
+  CooccurrenceCounter counter(2);
+  counter.Process(corpus);
+  SparseMatrix m = BuildPpmiMatrix(counter);
+  TruncatedEigen a = TruncatedSymmetricEigen(m, 4, 30, 7);
+  TruncatedEigen b = TruncatedSymmetricEigen(m, 4, 30, 7);
+  ASSERT_EQ(a.vectors.size(), b.vectors.size());
+  for (size_t i = 0; i < a.vectors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vectors[i], b.vectors[i]);
+  }
+}
+
+TEST(WordVectors, DistributionalSimilarityEmerges) {
+  Corpus corpus = TinyCorpus();
+  WordVectorOptions opts;
+  opts.dimensions = 8;
+  opts.window = 2;
+  WordVectors vectors = WordVectors::Train(corpus, opts);
+  ASSERT_GT(vectors.dimensions(), 0u);
+  // "kidney" and "renal" share contexts; "kidney" and "cough" do not.
+  EXPECT_GT(vectors.Cosine("kidney", "renal"),
+            vectors.Cosine("kidney", "cough"));
+}
+
+TEST(WordVectors, OovHandling) {
+  Corpus corpus = TinyCorpus();
+  WordVectorOptions opts;
+  opts.dimensions = 8;
+  WordVectors vectors = WordVectors::Train(corpus, opts);
+  EXPECT_EQ(vectors.Vector("nonexistent"), nullptr);
+  EXPECT_DOUBLE_EQ(vectors.Cosine("nonexistent", "kidney"), 0.0);
+  EXPECT_DOUBLE_EQ(vectors.OovRate({"kidney", "zzz"}), 0.5);
+}
+
+TEST(CosineSimilarity, ZeroVectorsYieldZero) {
+  double zero[3] = {0, 0, 0};
+  double x[3] = {1, 0, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, x, 3), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(x, x, 3), 1.0);
+}
+
+TEST(Sif, EmbedsPhrasesAndScoresSimilarity) {
+  Corpus corpus = TinyCorpus();
+  WordVectorOptions opts;
+  opts.dimensions = 8;
+  opts.window = 2;
+  WordVectors vectors = WordVectors::Train(corpus, opts);
+  // With a tiny reference set, first-component removal is degenerate (it
+  // removes the only shared direction), so score topical similarity on the
+  // plain SIF weighted average; removal is exercised separately below.
+  SifOptions sif_opts;
+  sif_opts.remove_first_component = false;
+  SifModel sif(&vectors, {}, sif_opts);
+  double same_topic = sif.PhraseCosine({"kidney", "disease"},
+                                       {"renal", "disease"});
+  double cross_topic = sif.PhraseCosine({"kidney", "disease"},
+                                        {"lung", "infection"});
+  EXPECT_GT(same_topic, cross_topic);
+
+  // Removal changes the embedding when a common component exists.
+  std::vector<std::vector<std::string>> reference = {
+      {"kidney", "disease"}, {"renal", "disease"}, {"lung", "infection"}};
+  SifModel removed(&vectors, reference, SifOptions{});
+  ASSERT_FALSE(removed.common_component().empty());
+  std::vector<double> with_removal = removed.Embed({"kidney", "disease"});
+  std::vector<double> without = sif.Embed({"kidney", "disease"});
+  bool differs = false;
+  for (size_t i = 0; i < with_removal.size(); ++i) {
+    if (std::fabs(with_removal[i] - without[i]) > 1e-12) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Sif, FullyOovPhraseEmbedsToZero) {
+  Corpus corpus = TinyCorpus();
+  WordVectorOptions opts;
+  opts.dimensions = 8;
+  WordVectors vectors = WordVectors::Train(corpus, opts);
+  SifModel sif(&vectors, {{"kidney"}}, SifOptions{});
+  std::vector<double> v = sif.Embed({"zzz", "qqq"});
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  EXPECT_DOUBLE_EQ(norm, 0.0);
+  EXPECT_DOUBLE_EQ(sif.PhraseCosine({"zzz"}, {"kidney"}), 0.0);
+}
+
+TEST(Sif, CommonComponentRemovalCanBeDisabled) {
+  Corpus corpus = TinyCorpus();
+  WordVectorOptions opts;
+  opts.dimensions = 8;
+  WordVectors vectors = WordVectors::Train(corpus, opts);
+  SifOptions sif_opts;
+  sif_opts.remove_first_component = false;
+  SifModel plain(&vectors, {}, sif_opts);
+  EXPECT_TRUE(plain.common_component().empty());
+}
+
+TEST(DominantDirection, FindsSharedComponent) {
+  // Rows all roughly along (1, 1): the dominant direction aligns with it.
+  std::vector<double> rows = {1.0, 1.0, 0.9, 1.1, 1.1, 0.9, 1.0, 0.95};
+  std::vector<double> v = DominantDirection(rows, 4, 2, 50, 3);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NEAR(std::fabs(v[0]), std::sqrt(0.5), 0.05);
+  EXPECT_NEAR(std::fabs(v[1]), std::sqrt(0.5), 0.05);
+}
+
+}  // namespace
+}  // namespace medrelax

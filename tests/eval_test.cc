@@ -1,0 +1,267 @@
+// Tests of the evaluation harness: metrics, gold standard, mapping and
+// relaxation evaluators, and the simulated user study protocol.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/datasets/kb_generator.h"
+#include "medrelax/eval/gold_standard.h"
+#include "medrelax/eval/mapping_eval.h"
+#include "medrelax/eval/metrics.h"
+#include "medrelax/eval/relaxation_eval.h"
+#include "medrelax/eval/user_study.h"
+
+namespace medrelax {
+namespace {
+
+TEST(Metrics, F1IsHarmonicMean) {
+  EXPECT_DOUBLE_EQ(F1(100.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(F1(0.0, 100.0), 0.0);
+  EXPECT_NEAR(F1(100.0, 83.33), 90.90, 0.05);
+}
+
+TEST(Metrics, PrCounter) {
+  PrCounter c;
+  c.AddTruePositive(8);
+  c.AddFalsePositive(2);
+  c.AddFalseNegative(2);
+  PrF1 scores = c.Compute();
+  EXPECT_DOUBLE_EQ(scores.precision, 80.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 80.0);
+  EXPECT_DOUBLE_EQ(scores.f1, 80.0);
+}
+
+TEST(Metrics, PrCounterEmptyIsZero) {
+  PrCounter c;
+  PrF1 scores = c.Compute();
+  EXPECT_DOUBLE_EQ(scores.precision, 0.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 0.0);
+  EXPECT_DOUBLE_EQ(scores.f1, 0.0);
+}
+
+TEST(Metrics, PrecisionAtK) {
+  std::vector<bool> ranked = {true, false, true, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 1), 100.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 2), 50.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 5), 60.0);
+  // k beyond the list: use what exists.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 10), 60.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 10), 0.0);
+}
+
+TEST(Metrics, RecallAtK) {
+  std::vector<bool> ranked = {true, false, true};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, 3, 4), 50.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, 1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, 3, 0), 0.0);
+}
+
+TEST(Metrics, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+struct EvalWorld {
+  GeneratedWorld world;
+};
+
+EvalWorld MakeEvalWorld() {
+  SnomedGeneratorOptions eks;
+  eks.num_concepts = 500;
+  eks.seed = 321;
+  KbGeneratorOptions kb;
+  kb.num_drugs = 20;
+  kb.num_findings = 60;
+  kb.seed = 654;
+  auto world = GenerateWorld(eks, kb);
+  EXPECT_TRUE(world.ok());
+  EvalWorld w;
+  w.world = std::move(*world);
+  return w;
+}
+
+TEST(GoldStandard, SelfIsRelevantWhenParticipating) {
+  EvalWorld w = MakeEvalWorld();
+  GoldStandard gold(&w.world, GoldStandardOptions{});
+  for (ConceptId c : w.world.kb_finding_concepts) {
+    uint8_t mask = w.world.participation[c];
+    if (mask & kParticipatesTreat) {
+      EXPECT_TRUE(gold.IsRelevant(c, w.world.ctx_indication, c));
+    } else {
+      EXPECT_FALSE(gold.IsRelevant(c, w.world.ctx_indication, c));
+    }
+  }
+}
+
+TEST(GoldStandard, DistanceBallLimitsRelevance) {
+  EvalWorld w = MakeEvalWorld();
+  GoldStandardOptions opts;
+  opts.max_distance = 0;
+  opts.require_context_participation = false;
+  GoldStandard strict(&w.world, opts);
+  ConceptId c = w.world.kb_finding_concepts[0];
+  ConceptId other = w.world.kb_finding_concepts[1];
+  EXPECT_TRUE(strict.IsRelevant(c, kNoContext, c));
+  if (other != c) {
+    EXPECT_FALSE(strict.IsRelevant(c, kNoContext, other));
+  }
+  // A larger ball only adds relevant items.
+  GoldStandardOptions loose_opts;
+  loose_opts.max_distance = 6;
+  loose_opts.require_context_participation = false;
+  GoldStandard loose(&w.world, loose_opts);
+  size_t strict_count =
+      strict.CountRelevant(c, kNoContext, w.world.kb_finding_concepts);
+  size_t loose_count =
+      loose.CountRelevant(c, kNoContext, w.world.kb_finding_concepts);
+  EXPECT_GE(loose_count, strict_count);
+}
+
+TEST(GoldStandard, ContextParticipationFilters) {
+  EvalWorld w = MakeEvalWorld();
+  GoldStandard gold(&w.world, GoldStandardOptions{});
+  // Find a treat-only concept: relevant under indication, not under risk.
+  for (ConceptId c : w.world.kb_finding_concepts) {
+    uint8_t mask = w.world.participation[c];
+    if (mask == kParticipatesTreat) {
+      EXPECT_TRUE(gold.IsRelevant(c, w.world.ctx_indication, c));
+      EXPECT_FALSE(gold.IsRelevant(c, w.world.ctx_risk, c));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no treat-only concept in this seed";
+}
+
+TEST(MappingEval, PerfectMapperScoresHundred) {
+  EvalWorld w = MakeEvalWorld();
+  // An oracle mapper backed by the generator's links: build queries whose
+  // surfaces are exact names, then check the evaluator's arithmetic.
+  class Oracle : public MappingFunction {
+   public:
+    explicit Oracle(const GeneratedEks* eks) : eks_(eks) {}
+    std::string name() const override { return "ORACLE"; }
+    std::optional<ConceptMatch> Map(std::string_view term) const override {
+      ConceptId id = eks_->dag.FindByName(std::string(term));
+      if (id == kInvalidConcept) return std::nullopt;
+      return ConceptMatch{id, 1.0};
+    }
+   private:
+    const GeneratedEks* eks_;
+  };
+  Oracle oracle(&w.world.eks);
+  std::vector<MappingQuery> queries;
+  for (size_t i = 0; i < 10; ++i) {
+    ConceptId c = w.world.eks.finding_concepts[i * 3];
+    queries.push_back({w.world.eks.dag.name(c), c, SurfaceNoise::kExactName});
+  }
+  MappingEvalRow row = EvaluateMappingMethod(oracle, queries);
+  EXPECT_DOUBLE_EQ(row.scores.precision, 100.0);
+  EXPECT_DOUBLE_EQ(row.scores.recall, 100.0);
+  EXPECT_EQ(row.answered, queries.size());
+}
+
+TEST(MappingEval, AbstentionsHurtRecallNotPrecision) {
+  class Mute : public MappingFunction {
+   public:
+    std::string name() const override { return "MUTE"; }
+    std::optional<ConceptMatch> Map(std::string_view) const override {
+      return std::nullopt;
+    }
+  };
+  Mute mute;
+  std::vector<MappingQuery> queries = {
+      {"x", 1, SurfaceNoise::kExactName},
+      {"y", 2, SurfaceNoise::kExactName},
+  };
+  MappingEvalRow row = EvaluateMappingMethod(mute, queries);
+  EXPECT_DOUBLE_EQ(row.scores.precision, 0.0);
+  EXPECT_DOUBLE_EQ(row.scores.recall, 0.0);
+  EXPECT_EQ(row.answered, 0u);
+}
+
+TEST(RelaxationEval, OracleRankerBeatsReversedOracle) {
+  EvalWorld w = MakeEvalWorld();
+  GoldStandard gold(&w.world, GoldStandardOptions{});
+  RelaxationWorkloadOptions qopts;
+  qopts.num_queries = 30;
+  std::vector<RelaxationQuery> queries =
+      GenerateRelaxationQueries(w.world, qopts);
+  ASSERT_FALSE(queries.empty());
+
+  const std::vector<ConceptId>& pool = w.world.kb_finding_concepts;
+  // The oracle returns exactly the relevant candidates (what a perfect
+  // top-k system would surface); the adversary returns only irrelevant
+  // ones.
+  ConceptRanker oracle = [&](const RelaxationQuery& q) {
+    std::vector<ConceptId> relevant;
+    for (ConceptId c : pool) {
+      if (gold.IsRelevant(q.concept_id, q.context, c)) relevant.push_back(c);
+    }
+    return relevant;
+  };
+  ConceptRanker anti = [&](const RelaxationQuery& q) {
+    std::vector<ConceptId> irrelevant;
+    for (ConceptId c : pool) {
+      if (!gold.IsRelevant(q.concept_id, q.context, c)) {
+        irrelevant.push_back(c);
+      }
+    }
+    return irrelevant;
+  };
+  Table2Row good = EvaluateRanker("oracle", oracle, queries, gold, pool, 10);
+  Table2Row bad = EvaluateRanker("anti", anti, queries, gold, pool, 10);
+  EXPECT_GT(good.p_at_10, bad.p_at_10);
+  EXPECT_GT(good.r_at_10, bad.r_at_10);
+  EXPECT_GT(good.f1, 90.0);  // the oracle is nearly perfect by construction
+}
+
+TEST(UserStudy, PerfectSystemOutscoresBrokenSystem) {
+  EvalWorld w = MakeEvalWorld();
+  GoldStandard gold(&w.world, GoldStandardOptions{});
+  UserStudyOptions opts;
+  opts.participants = 4;
+  opts.t1_questions_per_participant = 8;
+  opts.t2_questions_per_participant = 4;
+  opts.picky_deduction_rate = 0.0;
+  opts.very_picky_deduction_rate = 0.0;
+  // Perfect system: always surfaces the gold concept.
+  ConversationalAnswerFn perfect =
+      [](const NlQuestion& q, const std::string&) {
+        return std::vector<ConceptId>{q.concept_id};
+      };
+  ConversationalAnswerFn broken =
+      [](const NlQuestion&, const std::string&) {
+        return std::vector<ConceptId>{};
+      };
+  UserStudyResult high = RunUserStudy(w.world, gold, perfect, opts);
+  UserStudyResult low = RunUserStudy(w.world, gold, broken, opts);
+  EXPECT_GT(high.t1.average, low.t1.average);
+  EXPECT_GT(high.t2.average, low.t2.average);
+  EXPECT_GT(high.t1.average, 4.0);
+  EXPECT_LT(low.t1.average, 2.0);
+  // Percentages sum to ~100.
+  double sum = 0.0;
+  for (double p : high.t1.pct) sum += p;
+  EXPECT_NEAR(sum, 100.0, 1e-6);
+}
+
+TEST(UserStudy, GradesAreDeterministicInSeed) {
+  EvalWorld w = MakeEvalWorld();
+  GoldStandard gold(&w.world, GoldStandardOptions{});
+  UserStudyOptions opts;
+  opts.participants = 2;
+  opts.t1_questions_per_participant = 5;
+  opts.t2_questions_per_participant = 3;
+  ConversationalAnswerFn system = [](const NlQuestion& q,
+                                     const std::string&) {
+    return std::vector<ConceptId>{q.concept_id};
+  };
+  UserStudyResult a = RunUserStudy(w.world, gold, system, opts);
+  UserStudyResult b = RunUserStudy(w.world, gold, system, opts);
+  EXPECT_DOUBLE_EQ(a.t1.average, b.t1.average);
+  EXPECT_DOUBLE_EQ(a.t2.average, b.t2.average);
+}
+
+}  // namespace
+}  // namespace medrelax

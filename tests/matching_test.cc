@@ -1,0 +1,164 @@
+// Tests of the name index and the three mapping functions of Section 7.2.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/datasets/paper_fixtures.h"
+#include "medrelax/embedding/word_vectors.h"
+#include "medrelax/matching/edit_matcher.h"
+#include "medrelax/matching/embedding_matcher.h"
+#include "medrelax/matching/exact_matcher.h"
+#include "medrelax/matching/name_index.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+namespace {
+
+TEST(NameIndex, ExactFindsCanonicalAndSynonyms) {
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  NameIndex index(&fx->dag);
+  std::vector<ConceptId> hits = index.FindExact("Kidney Disease");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], fx->kidney_disease);
+  // Synonym lookup.
+  hits = index.FindExact("nephropathy");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], fx->kidney_disease);
+  EXPECT_TRUE(index.FindExact("unknown thing").empty());
+}
+
+TEST(NameIndex, TrigramBlockingFindsSimilarSurfaces) {
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  NameIndex index(&fx->dag);
+  std::vector<size_t> candidates =
+      index.CandidatesByTrigram("kidney diseas", 10);
+  ASSERT_FALSE(candidates.empty());
+  // The top candidate shares the most trigrams: "kidney disease".
+  EXPECT_EQ(index.entries()[candidates[0]].surface, "kidney disease");
+}
+
+TEST(ExactMatcher, MapsOnlyExactNormalizedNames) {
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  NameIndex index(&fx->dag);
+  ExactMatcher matcher(&index);
+  EXPECT_EQ(matcher.name(), "EXACT");
+  auto m = matcher.Map("KIDNEY-DISEASE");  // normalization handles case/punct
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->id, fx->kidney_disease);
+  EXPECT_DOUBLE_EQ(m->score, 1.0);
+  EXPECT_FALSE(matcher.Map("kidny disease").has_value());  // typo: no match
+}
+
+TEST(EditMatcher, MapsWithinThreshold) {
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  NameIndex index(&fx->dag);
+  EditDistanceMatcher matcher(&index, EditMatcherOptions{});
+  EXPECT_EQ(matcher.name(), "EDIT");
+  auto m = matcher.Map("kidny disease");  // distance 1
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->id, fx->kidney_disease);
+  EXPECT_LT(m->score, 1.0);
+  // Exact surfaces still map with the top score.
+  m = matcher.Map("kidney disease");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->score, 1.0);
+}
+
+TEST(EditMatcher, RejectsBeyondTau) {
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  NameIndex index(&fx->dag);
+  EditMatcherOptions opts;
+  opts.max_distance = 1;
+  EditDistanceMatcher matcher(&index, opts);
+  EXPECT_FALSE(matcher.Map("kidny diseaze").has_value());  // distance 2
+}
+
+TEST(EditMatcher, MatchesSynonymSurfaces) {
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  NameIndex index(&fx->dag);
+  EditDistanceMatcher matcher(&index, EditMatcherOptions{});
+  auto m = matcher.Map("nephropathy");  // synonym, distance 0
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->id, fx->kidney_disease);
+}
+
+// Embedding matcher needs word vectors; train a small model on a corpus
+// built from the fixture names so every word is in-vocabulary.
+struct EmbeddingRig {
+  Figure5Fixture fx;
+  WordVectors vectors;
+  std::unique_ptr<SifModel> sif;
+  std::unique_ptr<NameIndex> index;
+};
+
+EmbeddingRig MakeEmbeddingRig() {
+  EmbeddingRig rig;
+  auto fx = BuildFigure5Fixture();
+  EXPECT_TRUE(fx.ok());
+  rig.fx = std::move(*fx);
+  Corpus corpus;
+  for (int rep = 0; rep < 12; ++rep) {
+    Document doc;
+    doc.name = "d" + std::to_string(rep);
+    DocumentSection s;
+    s.context = kNoContext;
+    for (ConceptId id = 0; id < rig.fx.dag.num_concepts(); ++id) {
+      for (const std::string& tok : Tokenize(rig.fx.dag.name(id))) {
+        s.tokens.push_back(tok);
+      }
+    }
+    doc.sections.push_back(std::move(s));
+    corpus.AddDocument(std::move(doc));
+  }
+  WordVectorOptions opts;
+  opts.dimensions = 16;
+  rig.vectors = WordVectors::Train(corpus, opts);
+
+  std::vector<std::vector<std::string>> reference;
+  for (ConceptId id = 0; id < rig.fx.dag.num_concepts(); ++id) {
+    reference.push_back(Tokenize(rig.fx.dag.name(id)));
+  }
+  rig.sif = std::make_unique<SifModel>(&rig.vectors, reference, SifOptions{});
+  rig.index = std::make_unique<NameIndex>(&rig.fx.dag);
+  return rig;
+}
+
+TEST(EmbeddingMatcher, ExactHitShortCircuits) {
+  EmbeddingRig rig = MakeEmbeddingRig();
+  EmbeddingMatcher matcher(rig.index.get(), rig.sif.get(),
+                           EmbeddingMatcherOptions{});
+  EXPECT_EQ(matcher.name(), "EMBEDDING");
+  auto m = matcher.Map("kidney disease");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->id, rig.fx.kidney_disease);
+  EXPECT_DOUBLE_EQ(m->score, 1.0);
+}
+
+TEST(EmbeddingMatcher, PartialPhraseMapsToNearestConcept) {
+  EmbeddingRig rig = MakeEmbeddingRig();
+  EmbeddingMatcherOptions opts;
+  opts.min_similarity = 0.3;
+  EmbeddingMatcher matcher(rig.index.get(), rig.sif.get(), opts);
+  // A word-order / token-subset variant of a fixture name: pure string
+  // matchers miss it, the embedding sees shared tokens.
+  auto m = matcher.Map("hypertension chronic kidney disease stage 1");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->id, rig.fx.ckd_stage1_due_to_hypertension);
+}
+
+TEST(EmbeddingMatcher, FullyOovTermAbstains) {
+  EmbeddingRig rig = MakeEmbeddingRig();
+  EmbeddingMatcher matcher(rig.index.get(), rig.sif.get(),
+                           EmbeddingMatcherOptions{});
+  EXPECT_FALSE(matcher.Map("zzz qqq www").has_value());
+}
+
+}  // namespace
+}  // namespace medrelax

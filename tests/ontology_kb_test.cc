@@ -1,0 +1,289 @@
+// Tests of the domain ontology (TBox), context generation, and the KB
+// (ABox) stores.
+
+#include <gtest/gtest.h>
+
+#include "medrelax/datasets/paper_fixtures.h"
+#include "medrelax/kb/conjunctive_query.h"
+#include "medrelax/kb/kb_query.h"
+#include "medrelax/ontology/context.h"
+
+namespace medrelax {
+namespace {
+
+TEST(DomainOntology, Figure1Shape) {
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok()) << onto.status();
+  EXPECT_EQ(onto->FindConcept("Drug") != kInvalidOntologyConcept, true);
+  OntologyConceptId finding = onto->FindConcept("Finding");
+  ASSERT_NE(finding, kInvalidOntologyConcept);
+  // Finding is the range of two hasFinding relationships (Risk and
+  // Indication) — the two contexts of the paper's running example.
+  std::vector<RelationshipId> rels = onto->RelationshipsWithRange(finding);
+  EXPECT_EQ(rels.size(), 2u);
+}
+
+TEST(DomainOntology, DuplicateConceptRejected) {
+  DomainOntology onto;
+  ASSERT_TRUE(onto.AddConcept("Drug").ok());
+  EXPECT_TRUE(onto.AddConcept("Drug").status().IsAlreadyExists());
+}
+
+TEST(DomainOntology, DuplicateRelationshipTripleRejected) {
+  DomainOntology onto;
+  OntologyConceptId a = *onto.AddConcept("A");
+  OntologyConceptId b = *onto.AddConcept("B");
+  ASSERT_TRUE(onto.AddRelationship("r", a, b).ok());
+  EXPECT_TRUE(onto.AddRelationship("r", a, b).status().IsAlreadyExists());
+  // Same name with different endpoints is fine (Figure 1's hasFinding).
+  OntologyConceptId c = *onto.AddConcept("C");
+  EXPECT_TRUE(onto.AddRelationship("r", c, b).ok());
+}
+
+TEST(DomainOntology, SubConcepts) {
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  OntologyConceptId risk = onto->FindConcept("Risk");
+  std::vector<OntologyConceptId> subs = onto->SubConcepts(risk);
+  EXPECT_EQ(subs.size(), 3u);  // BBW, Adverse Effect, Contra Indication
+  OntologyConceptId bbw = onto->FindConcept("Black Box Warning");
+  std::vector<OntologyConceptId> supers = onto->SuperConcepts(bbw);
+  ASSERT_EQ(supers.size(), 1u);
+  EXPECT_EQ(supers[0], risk);
+}
+
+TEST(Context, LabelFormat) {
+  Context c{"Indication", "hasFinding", "Finding"};
+  EXPECT_EQ(c.Label(), "Indication-hasFinding-Finding");
+}
+
+TEST(Context, GenerateContextsCoversAllRelationships) {
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  std::vector<Context> contexts = GenerateContexts(*onto);
+  EXPECT_EQ(contexts.size(), onto->num_relationships());
+}
+
+TEST(ContextRegistry, InternAndLookup) {
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  ContextRegistry registry = ContextRegistry::FromOntology(*onto);
+  ContextId ind = registry.FindByLabel("Indication-hasFinding-Finding");
+  ASSERT_NE(ind, kNoContext);
+  EXPECT_EQ(registry.context(ind).relationship, "hasFinding");
+  EXPECT_EQ(registry.FindByLabel("No-such-Context"), kNoContext);
+  // Interning an existing context returns the same id.
+  EXPECT_EQ(registry.Intern(registry.context(ind)), ind);
+}
+
+TEST(ContextRegistry, ContextsWithRange) {
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  ContextRegistry registry = ContextRegistry::FromOntology(*onto);
+  std::vector<ContextId> finding_ctxs = registry.ContextsWithRange("Finding");
+  EXPECT_EQ(finding_ctxs.size(), 2u);
+}
+
+TEST(InstanceStore, AddAndLookup) {
+  InstanceStore store;
+  Result<InstanceId> fever = store.AddInstance("Fever", 3);
+  ASSERT_TRUE(fever.ok());
+  // Lookup is normalized.
+  std::vector<InstanceId> hits = store.FindByName("  FEVER ");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], *fever);
+  EXPECT_EQ(store.FindByNameAndConcept("fever", 3), *fever);
+  EXPECT_EQ(store.FindByNameAndConcept("fever", 4), kInvalidInstance);
+}
+
+TEST(InstanceStore, DuplicatePerConceptRejected) {
+  InstanceStore store;
+  ASSERT_TRUE(store.AddInstance("fever", 1).ok());
+  EXPECT_TRUE(store.AddInstance("Fever", 1).status().IsAlreadyExists());
+  // Same name under a different concept is allowed.
+  EXPECT_TRUE(store.AddInstance("fever", 2).ok());
+}
+
+TEST(InstanceStore, RejectsEmptyAndInvalid) {
+  InstanceStore store;
+  EXPECT_TRUE(store.AddInstance("  ", 1).status().IsInvalidArgument());
+  EXPECT_TRUE(store.AddInstance("x", kInvalidOntologyConcept)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TripleStore, AddQueryAndIdempotence) {
+  TripleStore store;
+  ASSERT_TRUE(store.AddTriple(1, 2, 3).ok());
+  ASSERT_TRUE(store.AddTriple(1, 2, 4).ok());
+  ASSERT_TRUE(store.AddTriple(1, 2, 3).ok());  // duplicate ignored
+  EXPECT_EQ(store.num_triples(), 2u);
+  std::vector<InstanceId> objs = store.Objects(1, 2);
+  EXPECT_EQ(objs.size(), 2u);
+  std::vector<InstanceId> subs = store.Subjects(2, 3);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], 1u);
+  EXPECT_TRUE(store.Contains(1, 2, 3));
+  EXPECT_FALSE(store.Contains(1, 2, 9));
+  EXPECT_TRUE(store.Objects(9, 9).empty());
+}
+
+TEST(TripleStore, RejectsInvalidComponents) {
+  TripleStore store;
+  EXPECT_TRUE(
+      store.AddTriple(kInvalidInstance, 1, 2).IsInvalidArgument());
+  EXPECT_TRUE(
+      store.AddTriple(1, kInvalidRelationship, 2).IsInvalidArgument());
+}
+
+// A tiny end-to-end KB: aspirin treats indication which has finding fever.
+struct TinyKb {
+  KnowledgeBase kb;
+  InstanceId aspirin, indication, fever;
+  RelationshipId treat, has_finding;
+};
+
+TinyKb MakeTinyKb() {
+  TinyKb t;
+  auto onto = BuildFigure1Ontology();
+  t.kb.ontology = std::move(*onto);
+  OntologyConceptId drug = t.kb.ontology.FindConcept("Drug");
+  OntologyConceptId ind = t.kb.ontology.FindConcept("Indication");
+  OntologyConceptId finding = t.kb.ontology.FindConcept("Finding");
+  t.aspirin = *t.kb.instances.AddInstance("aspirin", drug);
+  t.indication = *t.kb.instances.AddInstance("aspirin for fever", ind);
+  t.fever = *t.kb.instances.AddInstance("fever", finding);
+  for (RelationshipId r = 0; r < t.kb.ontology.num_relationships(); ++r) {
+    const Relationship& rel = t.kb.ontology.relationship(r);
+    if (rel.name == "treat") t.treat = r;
+    if (rel.name == "hasFinding" &&
+        t.kb.ontology.concept_name(rel.domain) == "Indication") {
+      t.has_finding = r;
+    }
+  }
+  EXPECT_TRUE(t.kb.triples.AddTriple(t.aspirin, t.treat, t.indication).ok());
+  EXPECT_TRUE(
+      t.kb.triples.AddTriple(t.indication, t.has_finding, t.fever).ok());
+  return t;
+}
+
+TEST(KbQuery, ResolveContext) {
+  TinyKb t = MakeTinyKb();
+  KbQuery query(&t.kb);
+  Context ctx{"Indication", "hasFinding", "Finding"};
+  auto rel = query.ResolveContext(ctx);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, t.has_finding);
+  Context bad{"Indication", "nope", "Finding"};
+  EXPECT_TRUE(query.ResolveContext(bad).status().IsNotFound());
+}
+
+TEST(KbQuery, SubjectsForWalksBackward) {
+  TinyKb t = MakeTinyKb();
+  KbQuery query(&t.kb);
+  Context ctx{"Indication", "hasFinding", "Finding"};
+  std::vector<InstanceId> subjects = query.SubjectsFor(ctx, t.fever);
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0], t.indication);
+}
+
+TEST(KbQuery, FollowPathForwardAndReverse) {
+  TinyKb t = MakeTinyKb();
+  KbQuery query(&t.kb);
+  std::vector<InstanceId> found =
+      query.FollowPath({t.aspirin}, {t.treat, t.has_finding});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], t.fever);
+  std::vector<InstanceId> back =
+      query.FollowPathReverse({t.fever}, {t.has_finding, t.treat});
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], t.aspirin);
+}
+
+TEST(KbQuery, DrugsForFinding) {
+  TinyKb t = MakeTinyKb();
+  KbQuery query(&t.kb);
+  auto drugs = query.DrugsForFinding("treat", "hasFinding", t.fever);
+  ASSERT_TRUE(drugs.ok());
+  ASSERT_EQ(drugs->size(), 1u);
+  EXPECT_EQ((*drugs)[0], t.aspirin);
+  EXPECT_TRUE(
+      query.DrugsForFinding("treat", "hasFinding", kInvalidInstance)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(ConjunctiveQuery, TwoHopChainBindsAnswer) {
+  TinyKb t = MakeTinyKb();
+  ConjunctiveQueryEvaluator evaluator(&t.kb);
+  // ?drug -treat-> ?indication -hasFinding-> ?finding, ?finding = fever.
+  ConjunctiveQuery cq;
+  cq.patterns.push_back({"drug", t.treat, "indication"});
+  cq.patterns.push_back({"indication", t.has_finding, "finding"});
+  cq.var_groundings["finding"] = {t.fever};
+  cq.answer_var = "drug";
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], t.aspirin);
+}
+
+TEST(ConjunctiveQuery, UnsatisfiableGroundingYieldsEmpty) {
+  TinyKb t = MakeTinyKb();
+  // A finding with no hasFinding assertions.
+  OntologyConceptId finding = t.kb.ontology.FindConcept("Finding");
+  InstanceId lonely = *t.kb.instances.AddInstance("lonely", finding);
+  ConjunctiveQueryEvaluator evaluator(&t.kb);
+  ConjunctiveQuery cq;
+  cq.patterns.push_back({"drug", t.treat, "indication"});
+  cq.patterns.push_back({"indication", t.has_finding, "finding"});
+  cq.var_groundings["finding"] = {lonely};
+  cq.answer_var = "drug";
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(ConjunctiveQuery, TypeConstraintFiltersGrounding) {
+  TinyKb t = MakeTinyKb();
+  ConjunctiveQueryEvaluator evaluator(&t.kb);
+  ConjunctiveQuery cq;
+  cq.answer_var = "x";
+  cq.var_groundings["x"] = {t.fever, t.aspirin};
+  cq.var_types["x"] = t.kb.ontology.FindConcept("Finding");
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], t.fever);
+}
+
+TEST(ConjunctiveQuery, RejectsMalformedQueries) {
+  TinyKb t = MakeTinyKb();
+  ConjunctiveQueryEvaluator evaluator(&t.kb);
+  ConjunctiveQuery no_answer;
+  EXPECT_TRUE(evaluator.Evaluate(no_answer).status().IsInvalidArgument());
+  ConjunctiveQuery unconstrained;
+  unconstrained.answer_var = "x";
+  EXPECT_TRUE(
+      evaluator.Evaluate(unconstrained).status().IsInvalidArgument());
+  ConjunctiveQuery bad_rel;
+  bad_rel.answer_var = "a";
+  bad_rel.patterns.push_back({"a", 9999, "b"});
+  EXPECT_TRUE(evaluator.Evaluate(bad_rel).status().IsInvalidArgument());
+}
+
+TEST(ConjunctiveQuery, UntypedVariableDrawsFromPatternEndpoints) {
+  TinyKb t = MakeTinyKb();
+  ConjunctiveQueryEvaluator evaluator(&t.kb);
+  // ?drug -treat-> ?i : untyped ?drug is still constrained by the pattern.
+  ConjunctiveQuery cq;
+  cq.patterns.push_back({"drug", t.treat, "i"});
+  cq.answer_var = "drug";
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], t.aspirin);
+}
+
+}  // namespace
+}  // namespace medrelax

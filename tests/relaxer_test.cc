@@ -1,0 +1,240 @@
+// Tests of the online query relaxation (Algorithm 2): candidate retrieval
+// within the radius, ranking by Equation 5, top-k materialization, dynamic
+// radius growth, and the Scenario 1 flow ("pyelectasia" -> kidney disease).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/datasets/paper_fixtures.h"
+#include "medrelax/matching/edit_matcher.h"
+#include "medrelax/matching/exact_matcher.h"
+#include "medrelax/matching/name_index.h"
+#include "medrelax/relax/ingestion.h"
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+namespace {
+
+// Figure 5 world with several flagged concepts at different distances.
+struct RelaxWorld {
+  Figure5Fixture fx;
+  KnowledgeBase kb;
+  InstanceId kidney_instance = kInvalidInstance;
+  InstanceId hrd_instance = kInvalidInstance;
+  NameIndex* index = nullptr;  // owned below
+  std::unique_ptr<NameIndex> index_holder;
+  std::unique_ptr<ExactMatcher> matcher;
+  IngestionResult ingestion;
+};
+
+RelaxWorld MakeRelaxWorld() {
+  RelaxWorld w;
+  auto fx = BuildFigure5Fixture();
+  EXPECT_TRUE(fx.ok());
+  w.fx = std::move(*fx);
+  // Add a synonym-named concept "pyelectasia" as a deep leaf near the ckd
+  // chain so the Scenario 1 unknown-term flow has a resolvable query term.
+  ConceptId pyelectasia = *w.fx.dag.AddConcept("pyelectasia");
+  EXPECT_TRUE(
+      w.fx.dag.AddSubsumption(pyelectasia, w.fx.hypertensive_nephropathy)
+          .ok());
+
+  auto onto = BuildFigure1Ontology();
+  EXPECT_TRUE(onto.ok());
+  w.kb.ontology = std::move(*onto);
+  OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+  w.kidney_instance = *w.kb.instances.AddInstance("kidney disease", finding);
+  w.hrd_instance =
+      *w.kb.instances.AddInstance("hypertensive renal disease", finding);
+
+  w.index_holder = std::make_unique<NameIndex>(&w.fx.dag);
+  w.matcher = std::make_unique<ExactMatcher>(w.index_holder.get());
+  auto ingestion =
+      RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, IngestionOptions{});
+  EXPECT_TRUE(ingestion.ok());
+  w.ingestion = std::move(*ingestion);
+  return w;
+}
+
+TEST(Relaxer, UnknownTermYieldsNotFound) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  auto result = relaxer.Relax("no such term at all", 0);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(Relaxer, Scenario1PyelectasiaFindsKidneyDisease) {
+  RelaxWorld w = MakeRelaxWorld();
+  RelaxationOptions opts;
+  opts.top_k = 5;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  auto result = relaxer.Relax("pyelectasia", 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->concepts.empty());
+  // Both flagged concepts should be surfaced; the instances materialize.
+  ASSERT_FALSE(result->instances.empty());
+  bool found_kidney = false;
+  for (InstanceId i : result->instances) {
+    if (i == w.kidney_instance) found_kidney = true;
+  }
+  EXPECT_TRUE(found_kidney);
+}
+
+TEST(Relaxer, OnlyFlaggedConceptsAreReturned) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  for (const ScoredConcept& sc : outcome.concepts) {
+    EXPECT_TRUE(w.ingestion.flagged[sc.concept_id])
+        << w.fx.dag.name(sc.concept_id);
+  }
+}
+
+TEST(Relaxer, RankingIsDescendingSimilarity) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  for (size_t i = 1; i < outcome.concepts.size(); ++i) {
+    EXPECT_GE(outcome.concepts[i - 1].similarity,
+              outcome.concepts[i].similarity);
+  }
+}
+
+TEST(Relaxer, CloserConceptRanksHigher) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  // From the ckd leaf, hypertensive renal disease (2 up) should outrank
+  // kidney disease (3 up): more specific LCS and fewer generalizations.
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  ASSERT_GE(outcome.concepts.size(), 2u);
+  EXPECT_EQ(outcome.concepts[0].concept_id, w.fx.hypertensive_renal_disease);
+  EXPECT_EQ(outcome.concepts[1].concept_id, w.fx.kidney_disease);
+}
+
+TEST(Relaxer, QueryConceptItselfIncludedWhenFlagged) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  RelaxationOutcome outcome = relaxer.RelaxConcept(w.fx.kidney_disease, 0);
+  ASSERT_FALSE(outcome.concepts.empty());
+  // Exact match has similarity 1 and ranks first.
+  EXPECT_EQ(outcome.concepts[0].concept_id, w.fx.kidney_disease);
+  EXPECT_DOUBLE_EQ(outcome.concepts[0].similarity, 1.0);
+}
+
+TEST(Relaxer, FixedSmallRadiusLimitsCandidates) {
+  RelaxWorld w = MakeRelaxWorld();
+  RelaxationOptions opts;
+  opts.radius = 1;
+  opts.dynamic_radius = false;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  // Shortcut edges make kidney disease 1 hop from the ckd leaf even at
+  // radius 1 — that is exactly what the customization is for.
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  EXPECT_EQ(outcome.effective_radius, 1u);
+  EXPECT_FALSE(outcome.concepts.empty());
+}
+
+TEST(Relaxer, WithoutShortcutsSmallRadiusFindsNothing) {
+  // Rebuild the world with shortcuts disabled: radius 1 now misses all
+  // flagged concepts from the leaf.
+  RelaxWorld w;
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  w.fx = std::move(*fx);
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  w.kb.ontology = std::move(*onto);
+  OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+  w.kidney_instance = *w.kb.instances.AddInstance("kidney disease", finding);
+  w.index_holder = std::make_unique<NameIndex>(&w.fx.dag);
+  w.matcher = std::make_unique<ExactMatcher>(w.index_holder.get());
+  IngestionOptions ing_opts;
+  ing_opts.add_shortcut_edges = false;
+  auto ingestion =
+      RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, ing_opts);
+  ASSERT_TRUE(ingestion.ok());
+  w.ingestion = std::move(*ingestion);
+
+  RelaxationOptions opts;
+  opts.radius = 1;
+  opts.dynamic_radius = false;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  EXPECT_TRUE(outcome.concepts.empty());
+}
+
+TEST(Relaxer, DynamicRadiusGrowsUntilResults) {
+  // Same shortcut-free world, but dynamic growth enabled: the relaxer
+  // expands r until the flagged concepts come into range.
+  RelaxWorld w;
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  w.fx = std::move(*fx);
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  w.kb.ontology = std::move(*onto);
+  OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+  w.kidney_instance = *w.kb.instances.AddInstance("kidney disease", finding);
+  w.index_holder = std::make_unique<NameIndex>(&w.fx.dag);
+  w.matcher = std::make_unique<ExactMatcher>(w.index_holder.get());
+  IngestionOptions ing_opts;
+  ing_opts.add_shortcut_edges = false;
+  auto ingestion =
+      RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, ing_opts);
+  ASSERT_TRUE(ingestion.ok());
+  w.ingestion = std::move(*ingestion);
+
+  RelaxationOptions opts;
+  opts.radius = 1;
+  opts.dynamic_radius = true;
+  opts.max_radius = 8;
+  opts.top_k = 1;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  EXPECT_GT(outcome.effective_radius, 1u);
+  ASSERT_FALSE(outcome.concepts.empty());
+  EXPECT_EQ(outcome.instances[0], w.kidney_instance);
+}
+
+TEST(Relaxer, TopKStopsOnceInstancesCovered) {
+  RelaxWorld w = MakeRelaxWorld();
+  RelaxationOptions opts;
+  opts.top_k = 1;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  // One concept suffices to cover k=1 instances.
+  EXPECT_EQ(outcome.concepts.size(), 1u);
+  EXPECT_EQ(outcome.instances.size(), 1u);
+}
+
+TEST(Relaxer, EditMatcherResolvesTypos) {
+  RelaxWorld w = MakeRelaxWorld();
+  EditDistanceMatcher edit(w.index_holder.get(), EditMatcherOptions{});
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, &edit, SimilarityOptions{},
+                       RelaxationOptions{});
+  // "pyelectesia" (one substitution) still resolves and relaxes.
+  auto result = relaxer.Relax("pyelectesia", 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->instances.empty());
+}
+
+}  // namespace
+}  // namespace medrelax

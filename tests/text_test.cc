@@ -1,0 +1,160 @@
+// Tests of the text substrate: normalization, tokenization, edit
+// distances, and tf-idf.
+
+#include <gtest/gtest.h>
+
+#include "medrelax/text/edit_distance.h"
+#include "medrelax/text/normalize.h"
+#include "medrelax/text/tfidf.h"
+#include "medrelax/text/tokenize.h"
+
+namespace medrelax {
+namespace {
+
+TEST(Normalize, LowercasesAndCollapses) {
+  EXPECT_EQ(NormalizeTerm("  Pain  In   THROAT "), "pain in throat");
+}
+
+TEST(Normalize, StripsPunctuation) {
+  EXPECT_EQ(NormalizeTerm("chronic-kidney_disease (stage 1)"),
+            "chronic kidney disease stage 1");
+}
+
+TEST(Normalize, OptionsCanDisableSteps) {
+  NormalizeOptions opts;
+  opts.lowercase = false;
+  EXPECT_EQ(NormalizeTerm("Ab-c", opts), "Ab c");
+  opts.lowercase = true;
+  opts.strip_punctuation = false;
+  EXPECT_EQ(NormalizeTerm("Ab-c", opts), "ab-c");
+}
+
+TEST(Normalize, EmptyInput) { EXPECT_EQ(NormalizeTerm(""), ""); }
+
+TEST(Tokenize, SplitsOnNonWordChars) {
+  std::vector<std::string> toks = Tokenize("pain in throat, stage 2");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "pain");
+  EXPECT_EQ(toks[4], "2");
+}
+
+TEST(Tokenize, EmptyAndAllPunct) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- ,, !").empty());
+}
+
+TEST(CharNgrams, BasicAndShortInput) {
+  std::vector<std::string> grams = CharNgrams("abcd", 3);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "abc");
+  EXPECT_EQ(grams[1], "bcd");
+  grams = CharNgrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+  EXPECT_TRUE(CharNgrams("", 3).empty());
+}
+
+TEST(Levenshtein, KnownDistances) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+}
+
+TEST(Levenshtein, Symmetric) {
+  EXPECT_EQ(Levenshtein("headache", "headace"),
+            Levenshtein("headace", "headache"));
+}
+
+TEST(BoundedLevenshtein, MatchesUnboundedWithinThreshold) {
+  const char* pairs[][2] = {
+      {"pertussis", "pertusis"}, {"fever", "feever"},
+      {"asthma", "astma"},       {"bronchitis", "bronchitis"},
+      {"kidney", "kidnye"},
+  };
+  for (const auto& p : pairs) {
+    size_t full = Levenshtein(p[0], p[1]);
+    auto bounded = BoundedLevenshtein(p[0], p[1], 2);
+    if (full <= 2) {
+      ASSERT_TRUE(bounded.has_value()) << p[0] << " vs " << p[1];
+      EXPECT_EQ(*bounded, full);
+    } else {
+      EXPECT_FALSE(bounded.has_value());
+    }
+  }
+}
+
+TEST(BoundedLevenshtein, RejectsBeyondThreshold) {
+  EXPECT_FALSE(BoundedLevenshtein("pneumonia", "hypothermia", 2).has_value());
+  EXPECT_FALSE(BoundedLevenshtein("abc", "abcdef", 2).has_value());
+}
+
+TEST(BoundedLevenshtein, ZeroThresholdIsExactMatch) {
+  EXPECT_TRUE(BoundedLevenshtein("x", "x", 0).has_value());
+  EXPECT_FALSE(BoundedLevenshtein("x", "y", 0).has_value());
+}
+
+// Property sweep: bounded distance agrees with the full DP on random-ish
+// string pairs for every threshold.
+class BoundedSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BoundedSweep, AgreesWithFullDp) {
+  size_t tau = GetParam();
+  const char* words[] = {"inflammation", "infection",  "informatics",
+                         "infarction",   "insufficiency", "inflamation",
+                         "a",            "",           "infla"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      size_t full = Levenshtein(a, b);
+      auto bounded = BoundedLevenshtein(a, b, tau);
+      if (full <= tau) {
+        ASSERT_TRUE(bounded.has_value()) << a << " vs " << b << " tau " << tau;
+        EXPECT_EQ(*bounded, full) << a << " vs " << b;
+      } else {
+        EXPECT_FALSE(bounded.has_value()) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BoundedSweep,
+                         ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(JaroWinkler, KnownBehaviors) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xyz"), 0.0);
+  // Shared prefix boosts similarity.
+  EXPECT_GT(JaroWinkler("headache", "headaches"),
+            JaroWinkler("headache", "backache"));
+  double jw = JaroWinkler("martha", "marhta");
+  EXPECT_GT(jw, 0.94);
+  EXPECT_LT(jw, 1.0);
+}
+
+TEST(TfIdf, CountsAndWeights) {
+  TfIdfModel model;
+  model.AddDocument({{"fever", 3}, {"cough", 1}});
+  model.AddDocument({{"fever", 1}});
+  model.AddDocument({{"rash", 2}});
+  EXPECT_EQ(model.num_documents(), 3u);
+  EXPECT_EQ(model.TermFrequency("fever"), 4u);
+  EXPECT_EQ(model.DocumentFrequency("fever"), 2u);
+  EXPECT_EQ(model.TermFrequency("nope"), 0u);
+  EXPECT_DOUBLE_EQ(model.Idf("nope"), 0.0);
+  // Rarer terms get a higher idf.
+  EXPECT_GT(model.Idf("rash"), model.Idf("fever"));
+  // Weight = tf * idf.
+  EXPECT_DOUBLE_EQ(model.Weight("fever"), 4.0 * model.Idf("fever"));
+}
+
+TEST(TfIdf, ZeroCountEntriesIgnored) {
+  TfIdfModel model;
+  model.AddDocument({{"x", 0}});
+  EXPECT_EQ(model.DocumentFrequency("x"), 0u);
+}
+
+}  // namespace
+}  // namespace medrelax
