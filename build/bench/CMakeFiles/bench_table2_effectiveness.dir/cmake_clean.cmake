@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_effectiveness.dir/bench_table2_effectiveness.cc.o"
+  "CMakeFiles/bench_table2_effectiveness.dir/bench_table2_effectiveness.cc.o.d"
+  "bench_table2_effectiveness"
+  "bench_table2_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_userstudy.dir/bench_table3_userstudy.cc.o"
+  "CMakeFiles/bench_table3_userstudy.dir/bench_table3_userstudy.cc.o.d"
+  "bench_table3_userstudy"
+  "bench_table3_userstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_userstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

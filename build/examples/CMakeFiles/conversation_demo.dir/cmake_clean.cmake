@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conversation_demo.dir/conversation_demo.cc.o"
+  "CMakeFiles/conversation_demo.dir/conversation_demo.cc.o.d"
+  "conversation_demo"
+  "conversation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conversation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

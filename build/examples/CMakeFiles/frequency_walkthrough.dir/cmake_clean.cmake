@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_walkthrough.dir/frequency_walkthrough.cc.o"
+  "CMakeFiles/frequency_walkthrough.dir/frequency_walkthrough.cc.o.d"
+  "frequency_walkthrough"
+  "frequency_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

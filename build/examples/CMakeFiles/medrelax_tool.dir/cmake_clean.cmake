@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medrelax_tool.dir/medrelax_tool.cc.o"
+  "CMakeFiles/medrelax_tool.dir/medrelax_tool.cc.o.d"
+  "medrelax_tool"
+  "medrelax_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medrelax_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

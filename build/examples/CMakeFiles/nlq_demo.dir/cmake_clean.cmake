@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlq_demo.dir/nlq_demo.cc.o"
+  "CMakeFiles/nlq_demo.dir/nlq_demo.cc.o.d"
+  "nlq_demo"
+  "nlq_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlq_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/medrelax/common/logging.cc" "src/CMakeFiles/medrelax.dir/medrelax/common/logging.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/common/logging.cc.o.d"
+  "/root/repo/src/medrelax/common/random.cc" "src/CMakeFiles/medrelax.dir/medrelax/common/random.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/common/random.cc.o.d"
+  "/root/repo/src/medrelax/common/status.cc" "src/CMakeFiles/medrelax.dir/medrelax/common/status.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/common/status.cc.o.d"
+  "/root/repo/src/medrelax/common/string_util.cc" "src/CMakeFiles/medrelax.dir/medrelax/common/string_util.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/common/string_util.cc.o.d"
+  "/root/repo/src/medrelax/corpus/corpus_stats.cc" "src/CMakeFiles/medrelax.dir/medrelax/corpus/corpus_stats.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/corpus/corpus_stats.cc.o.d"
+  "/root/repo/src/medrelax/corpus/document.cc" "src/CMakeFiles/medrelax.dir/medrelax/corpus/document.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/corpus/document.cc.o.d"
+  "/root/repo/src/medrelax/datasets/corpus_generator.cc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/corpus_generator.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/corpus_generator.cc.o.d"
+  "/root/repo/src/medrelax/datasets/kb_generator.cc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/kb_generator.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/kb_generator.cc.o.d"
+  "/root/repo/src/medrelax/datasets/paper_fixtures.cc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/paper_fixtures.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/paper_fixtures.cc.o.d"
+  "/root/repo/src/medrelax/datasets/query_generator.cc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/query_generator.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/query_generator.cc.o.d"
+  "/root/repo/src/medrelax/datasets/snomed_generator.cc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/snomed_generator.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/datasets/snomed_generator.cc.o.d"
+  "/root/repo/src/medrelax/embedding/cooccurrence.cc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/cooccurrence.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/cooccurrence.cc.o.d"
+  "/root/repo/src/medrelax/embedding/ppmi.cc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/ppmi.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/ppmi.cc.o.d"
+  "/root/repo/src/medrelax/embedding/sif.cc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/sif.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/sif.cc.o.d"
+  "/root/repo/src/medrelax/embedding/svd.cc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/svd.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/svd.cc.o.d"
+  "/root/repo/src/medrelax/embedding/word_vectors.cc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/word_vectors.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/embedding/word_vectors.cc.o.d"
+  "/root/repo/src/medrelax/eval/gold_standard.cc" "src/CMakeFiles/medrelax.dir/medrelax/eval/gold_standard.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/eval/gold_standard.cc.o.d"
+  "/root/repo/src/medrelax/eval/mapping_eval.cc" "src/CMakeFiles/medrelax.dir/medrelax/eval/mapping_eval.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/eval/mapping_eval.cc.o.d"
+  "/root/repo/src/medrelax/eval/metrics.cc" "src/CMakeFiles/medrelax.dir/medrelax/eval/metrics.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/eval/metrics.cc.o.d"
+  "/root/repo/src/medrelax/eval/relaxation_eval.cc" "src/CMakeFiles/medrelax.dir/medrelax/eval/relaxation_eval.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/eval/relaxation_eval.cc.o.d"
+  "/root/repo/src/medrelax/eval/user_study.cc" "src/CMakeFiles/medrelax.dir/medrelax/eval/user_study.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/eval/user_study.cc.o.d"
+  "/root/repo/src/medrelax/graph/concept_dag.cc" "src/CMakeFiles/medrelax.dir/medrelax/graph/concept_dag.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/graph/concept_dag.cc.o.d"
+  "/root/repo/src/medrelax/graph/lcs.cc" "src/CMakeFiles/medrelax.dir/medrelax/graph/lcs.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/graph/lcs.cc.o.d"
+  "/root/repo/src/medrelax/graph/merge.cc" "src/CMakeFiles/medrelax.dir/medrelax/graph/merge.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/graph/merge.cc.o.d"
+  "/root/repo/src/medrelax/graph/paths.cc" "src/CMakeFiles/medrelax.dir/medrelax/graph/paths.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/graph/paths.cc.o.d"
+  "/root/repo/src/medrelax/graph/topology.cc" "src/CMakeFiles/medrelax.dir/medrelax/graph/topology.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/graph/topology.cc.o.d"
+  "/root/repo/src/medrelax/graph/traversal.cc" "src/CMakeFiles/medrelax.dir/medrelax/graph/traversal.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/graph/traversal.cc.o.d"
+  "/root/repo/src/medrelax/io/corpus_io.cc" "src/CMakeFiles/medrelax.dir/medrelax/io/corpus_io.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/io/corpus_io.cc.o.d"
+  "/root/repo/src/medrelax/io/dag_io.cc" "src/CMakeFiles/medrelax.dir/medrelax/io/dag_io.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/io/dag_io.cc.o.d"
+  "/root/repo/src/medrelax/io/ingestion_io.cc" "src/CMakeFiles/medrelax.dir/medrelax/io/ingestion_io.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/io/ingestion_io.cc.o.d"
+  "/root/repo/src/medrelax/io/kb_io.cc" "src/CMakeFiles/medrelax.dir/medrelax/io/kb_io.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/io/kb_io.cc.o.d"
+  "/root/repo/src/medrelax/kb/conjunctive_query.cc" "src/CMakeFiles/medrelax.dir/medrelax/kb/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/kb/conjunctive_query.cc.o.d"
+  "/root/repo/src/medrelax/kb/instance_store.cc" "src/CMakeFiles/medrelax.dir/medrelax/kb/instance_store.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/kb/instance_store.cc.o.d"
+  "/root/repo/src/medrelax/kb/kb_query.cc" "src/CMakeFiles/medrelax.dir/medrelax/kb/kb_query.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/kb/kb_query.cc.o.d"
+  "/root/repo/src/medrelax/kb/triple_store.cc" "src/CMakeFiles/medrelax.dir/medrelax/kb/triple_store.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/kb/triple_store.cc.o.d"
+  "/root/repo/src/medrelax/matching/edit_matcher.cc" "src/CMakeFiles/medrelax.dir/medrelax/matching/edit_matcher.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/matching/edit_matcher.cc.o.d"
+  "/root/repo/src/medrelax/matching/embedding_matcher.cc" "src/CMakeFiles/medrelax.dir/medrelax/matching/embedding_matcher.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/matching/embedding_matcher.cc.o.d"
+  "/root/repo/src/medrelax/matching/exact_matcher.cc" "src/CMakeFiles/medrelax.dir/medrelax/matching/exact_matcher.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/matching/exact_matcher.cc.o.d"
+  "/root/repo/src/medrelax/matching/name_index.cc" "src/CMakeFiles/medrelax.dir/medrelax/matching/name_index.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/matching/name_index.cc.o.d"
+  "/root/repo/src/medrelax/nli/dialogue_manager.cc" "src/CMakeFiles/medrelax.dir/medrelax/nli/dialogue_manager.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/nli/dialogue_manager.cc.o.d"
+  "/root/repo/src/medrelax/nli/entity_extractor.cc" "src/CMakeFiles/medrelax.dir/medrelax/nli/entity_extractor.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/nli/entity_extractor.cc.o.d"
+  "/root/repo/src/medrelax/nli/intent_classifier.cc" "src/CMakeFiles/medrelax.dir/medrelax/nli/intent_classifier.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/nli/intent_classifier.cc.o.d"
+  "/root/repo/src/medrelax/nli/nlq_interpreter.cc" "src/CMakeFiles/medrelax.dir/medrelax/nli/nlq_interpreter.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/nli/nlq_interpreter.cc.o.d"
+  "/root/repo/src/medrelax/nli/training_data.cc" "src/CMakeFiles/medrelax.dir/medrelax/nli/training_data.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/nli/training_data.cc.o.d"
+  "/root/repo/src/medrelax/ontology/context.cc" "src/CMakeFiles/medrelax.dir/medrelax/ontology/context.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/ontology/context.cc.o.d"
+  "/root/repo/src/medrelax/ontology/domain_ontology.cc" "src/CMakeFiles/medrelax.dir/medrelax/ontology/domain_ontology.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/ontology/domain_ontology.cc.o.d"
+  "/root/repo/src/medrelax/relax/baseline_measures.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/baseline_measures.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/baseline_measures.cc.o.d"
+  "/root/repo/src/medrelax/relax/explain.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/explain.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/explain.cc.o.d"
+  "/root/repo/src/medrelax/relax/feedback.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/feedback.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/feedback.cc.o.d"
+  "/root/repo/src/medrelax/relax/frequency_model.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/frequency_model.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/frequency_model.cc.o.d"
+  "/root/repo/src/medrelax/relax/ingestion.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/ingestion.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/ingestion.cc.o.d"
+  "/root/repo/src/medrelax/relax/query_relaxer.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/query_relaxer.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/query_relaxer.cc.o.d"
+  "/root/repo/src/medrelax/relax/similarity.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/similarity.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/similarity.cc.o.d"
+  "/root/repo/src/medrelax/relax/weight_learner.cc" "src/CMakeFiles/medrelax.dir/medrelax/relax/weight_learner.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/relax/weight_learner.cc.o.d"
+  "/root/repo/src/medrelax/text/edit_distance.cc" "src/CMakeFiles/medrelax.dir/medrelax/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/text/edit_distance.cc.o.d"
+  "/root/repo/src/medrelax/text/normalize.cc" "src/CMakeFiles/medrelax.dir/medrelax/text/normalize.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/text/normalize.cc.o.d"
+  "/root/repo/src/medrelax/text/tfidf.cc" "src/CMakeFiles/medrelax.dir/medrelax/text/tfidf.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/text/tfidf.cc.o.d"
+  "/root/repo/src/medrelax/text/tokenize.cc" "src/CMakeFiles/medrelax.dir/medrelax/text/tokenize.cc.o" "gcc" "src/CMakeFiles/medrelax.dir/medrelax/text/tokenize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

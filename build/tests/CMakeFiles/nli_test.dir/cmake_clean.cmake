@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nli_test.dir/nli_test.cc.o"
+  "CMakeFiles/nli_test.dir/nli_test.cc.o.d"
+  "nli_test"
+  "nli_test.pdb"
+  "nli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

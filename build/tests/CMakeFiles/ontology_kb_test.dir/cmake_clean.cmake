@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_kb_test.dir/ontology_kb_test.cc.o"
+  "CMakeFiles/ontology_kb_test.dir/ontology_kb_test.cc.o.d"
+  "ontology_kb_test"
+  "ontology_kb_test.pdb"
+  "ontology_kb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_kb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

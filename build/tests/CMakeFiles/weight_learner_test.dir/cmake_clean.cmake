@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_learner_test.dir/weight_learner_test.cc.o"
+  "CMakeFiles/weight_learner_test.dir/weight_learner_test.cc.o.d"
+  "weight_learner_test"
+  "weight_learner_test.pdb"
+  "weight_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_test[1]_include.cmake")
+include("/root/repo/build/tests/ontology_kb_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/embedding_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/ingestion_test[1]_include.cmake")
+include("/root/repo/build/tests/relaxer_test[1]_include.cmake")
+include("/root/repo/build/tests/weight_learner_test[1]_include.cmake")
+include("/root/repo/build/tests/relax_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/nli_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
