@@ -10,6 +10,7 @@
 // google-benchmark binary: run with --benchmark_filter=... to narrow.
 
 #include <map>
+#include <memory>
 
 #include <benchmark/benchmark.h>
 
@@ -197,9 +198,10 @@ void BM_OnlineRelaxationWarm(benchmark::State& state) {
   RelaxationOptions ropts;
   ropts.radius = 4;
   ropts.top_k = 10;
-  static QueryRelaxer* warm = [&] {
-    auto* r = new QueryRelaxer(&s->world.eks.dag, &s->with_corpus,
-                               s->edit.get(), SimilarityOptions{}, ropts);
+  static std::unique_ptr<QueryRelaxer> warm = [&] {
+    auto r = std::make_unique<QueryRelaxer>(&s->world.eks.dag, &s->with_corpus,
+                                            s->edit.get(), SimilarityOptions{},
+                                            ropts);
     r->PrecomputeSimilarities();
     return r;
   }();

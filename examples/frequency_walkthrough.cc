@@ -61,6 +61,7 @@ int main() {
   if (!onto.ok()) return 1;
   kb.ontology = std::move(*onto);
   OntologyConceptId finding = kb.ontology.FindConcept("Finding");
+  // Demo setup on an empty store; a name collision is impossible here.
   (void)kb.instances.AddInstance("kidney disease", finding);
 
   std::printf("=== Figure 5: shortcut edges (Example 2) ===\n");

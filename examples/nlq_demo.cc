@@ -44,12 +44,16 @@ int main() {
     const Relationship& rel = kb.ontology.relationship(r);
     const std::string& dn = kb.ontology.concept_name(rel.domain);
     if (rel.name == "treat") {
+      // Freshly created ids in an empty store: AddTriple cannot fail.
       (void)kb.triples.AddTriple(aspirin, r, renal_ind);
     } else if (rel.name == "cause") {
+      // Freshly created ids in an empty store: AddTriple cannot fail.
       (void)kb.triples.AddTriple(aspirin, r, renal_risk);
     } else if (rel.name == "hasFinding" && dn == "Indication") {
+      // Freshly created ids in an empty store: AddTriple cannot fail.
       (void)kb.triples.AddTriple(renal_ind, r, kidney);
     } else if (rel.name == "hasFinding" && dn == "Risk") {
+      // Freshly created ids in an empty store: AddTriple cannot fail.
       (void)kb.triples.AddTriple(renal_risk, r, kidney);
     }
   }

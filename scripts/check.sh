@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Lint suite for medrelax: format check, clang-tidy, project-invariant lints.
+#
+# Usage:
+#   scripts/check.sh            # run everything available on this machine
+#   scripts/check.sh --fix      # let clang-format rewrite files in place
+#
+# clang-format and clang-tidy are used when installed and skipped with a
+# warning otherwise (CI always has them); the Python invariant lints always
+# run. clang-tidy needs a compile_commands.json — configure any build dir
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default) or set MEDRELAX_BUILD_DIR.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+BUILD_DIR=${MEDRELAX_BUILD_DIR:-"${REPO_ROOT}/build"}
+FIX=0
+[[ "${1:-}" == "--fix" ]] && FIX=1
+
+failures=0
+note() { printf '== %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; failures=$((failures + 1)); }
+skip() { printf 'SKIP: %s\n' "$*" >&2; }
+
+mapfile -t CXX_FILES < <(find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' \) -type f | sort)
+
+# 1. clang-format ------------------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  note "clang-format ($([[ ${FIX} == 1 ]] && echo fix || echo check) mode)"
+  if [[ ${FIX} == 1 ]]; then
+    clang-format -i "${CXX_FILES[@]}" || fail "clang-format --fix"
+  else
+    if ! clang-format --dry-run -Werror "${CXX_FILES[@]}"; then
+      fail "clang-format (run scripts/check.sh --fix to apply)"
+    fi
+  fi
+else
+  skip "clang-format not installed"
+fi
+
+# 2. clang-tidy --------------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    note "clang-tidy (compile db: ${BUILD_DIR})"
+    mapfile -t SRC_CC < <(find src -name '*.cc' -type f | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -quiet -p "${BUILD_DIR}" "${SRC_CC[@]}" || fail "clang-tidy"
+    else
+      clang-tidy -quiet -p "${BUILD_DIR}" "${SRC_CC[@]}" || fail "clang-tidy"
+    fi
+  else
+    skip "clang-tidy: no ${BUILD_DIR}/compile_commands.json (configure a build first)"
+  fi
+else
+  skip "clang-tidy not installed"
+fi
+
+# 3. project-invariant lints -------------------------------------------------
+note "invariant lints (scripts/lint/check_invariants.py)"
+python3 scripts/lint/check_invariants.py || fail "invariant lints"
+
+if [[ ${failures} -gt 0 ]]; then
+  printf '\ncheck.sh: %d stage(s) failed\n' "${failures}" >&2
+  exit 1
+fi
+printf '\ncheck.sh: all stages passed\n'

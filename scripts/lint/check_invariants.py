@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Project-invariant lints for medrelax.
+
+Source-level checks that neither the compiler nor clang-tidy enforce the way
+this project wants them enforced:
+
+  ignored-status     A statement-expression calls a function declared to
+                     return Status or Result<T> and drops the value. The
+                     compiler catches most of these via [[nodiscard]], but
+                     this lint also fires on `(void)` casts that lack a
+                     justifying comment, and it works without a build.
+  raw-new-delete     `new` / `delete` outside of smart-pointer factories.
+                     Ownership in this codebase is std::unique_ptr or value
+                     semantics; raw allocation needs an explicit waiver.
+  include-cc         `#include` of a .cc file (breaks the one-TU-per-source
+                     build model and the static archive layout).
+  header-guard       Headers must use an include guard spelled from the
+                     repo-relative path (MEDRELAX_IO_DAG_IO_H_ style for
+                     src/, <DIR>_<NAME>_H_ for bench/), never #pragma once,
+                     so guards stay unique and greppable.
+
+Exit status is the number of violation kinds found (0 = clean). Waivers:
+append `// lint:allow(<rule>) <reason>` to the offending line.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+WAIVER_RE = re.compile(r"//\s*lint:allow\((?P<rules>[a-z\-, ]+)\)\s*\S")
+
+# Function-name heuristics the ignored-status lint treats as consuming the
+# value: control flow, assignment, macro wrapping, or an explicit (void) cast
+# carrying a comment.
+CONSUMING_RE = re.compile(
+    r"(=|\breturn\b|\bif\b|\bwhile\b|\bfor\b|\bswitch\b|\bco_return\b|"
+    r"MEDRELAX_RETURN_NOT_OK|MEDRELAX_ASSIGN_OR_RETURN|MEDRELAX_CHECK_OK|"
+    r"EXPECT_|ASSERT_|CHECK\(|\.ok\(\)|\.status\(\)|\.value|\bstatic_cast<)"
+)
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(exts):
+    for d in SOURCE_DIRS:
+        root = os.path.join(REPO, d)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.relpath(os.path.join(dirpath, name), REPO)
+
+
+def read_lines(relpath):
+    with open(os.path.join(REPO, relpath), encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def waived(line, rule):
+    m = WAIVER_RE.search(line)
+    return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
+
+
+# --- rule: ignored-status --------------------------------------------------
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)?"
+    r"(?:::)?(?:medrelax::)?(?:Status|Result<.+>)\s+"
+    r"(?P<name>\w+)\s*\("
+)
+
+
+def collect_status_functions():
+    """Names of functions declared in headers to return Status/Result<T>."""
+    names = set()
+    for relpath in iter_source_files({".h"}):
+        for line in read_lines(relpath):
+            m = STATUS_DECL_RE.match(line)
+            if m:
+                names.add(m.group("name"))
+    # Accessors named like values, not operations, are excluded: calling
+    # kb.status() to *read* a status is not an ignored error.
+    names.discard("status")
+    names.discard("OK")
+    return names
+
+
+def check_ignored_status(violations):
+    names = collect_status_functions()
+    if not names:
+        return
+    names_alt = "|".join(sorted(re.escape(n) for n in names))
+    call_re = re.compile(
+        r"^\s*(?:[\w\.\->:\[\]\(\)]+(?:\.|->|::))?(?:%s)\s*\(" % names_alt
+    )
+    void_cast_re = re.compile(
+        r"^\s*\(void\)\s*(?:[\w\.\->:\[\]\(\)]+(?:\.|->|::))?(?:%s)\s*\("
+        % names_alt
+    )
+    for relpath in iter_source_files({".cc", ".h"}):
+        raw_lines = read_lines(relpath)
+        depth = 0  # paren depth at the start of the current line
+        prev_terminated = True  # did the previous code line end a statement?
+        for lineno, raw in enumerate(raw_lines, 1):
+            line = strip_comments_and_strings(raw)
+            at_statement_start = depth == 0 and prev_terminated
+            depth += line.count("(") - line.count(")")
+            depth = max(depth, 0)
+            stripped = line.strip()
+            if stripped:
+                prev_terminated = (
+                    stripped.endswith((";", "{", "}", ":", ">"))
+                    or stripped.startswith("#"))
+            if not at_statement_start:
+                # Continuation of a multi-line expression; the consuming
+                # construct (macro, assignment, EXPECT_..., `... =`) was on
+                # an earlier line.
+                continue
+            if waived(raw, "ignored-status"):
+                continue
+            if void_cast_re.match(line):
+                # (void)-discards of a fallible call are allowed only with
+                # an explanation on the same or the preceding line.
+                prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+                if not (re.search(r"//\s*\S", raw)
+                        or re.search(r"^\s*//\s*\S", prev)):
+                    violations.append(
+                        ("ignored-status", relpath, lineno,
+                         "(void)-discard of a Status/Result needs a comment "
+                         "explaining why the error is ignorable"))
+                continue
+            if not call_re.match(line):
+                continue
+            if CONSUMING_RE.search(line):
+                continue
+            # Bare call statement: `Foo(...);` or `obj.Foo(...);` with the
+            # return value unused on this line. Multi-line consumers start
+            # the expression on the consuming token, so this stays precise.
+            if line.rstrip().endswith(";"):
+                violations.append(
+                    ("ignored-status", relpath, lineno,
+                     "call discards a Status/Result return value"))
+
+
+# --- rule: raw-new-delete --------------------------------------------------
+
+NEW_RE = re.compile(r"(?<![\w_])new\s+[\w:<]")
+DELETE_RE = re.compile(r"(?<![\w_])delete(\[\])?\s+[\w\*]")
+SMART_OK_RE = re.compile(r"(make_unique|make_shared|unique_ptr|shared_ptr)")
+DELETED_FN_RE = re.compile(r"=\s*delete")
+
+
+def check_raw_new_delete(violations):
+    for relpath in iter_source_files({".cc", ".h"}):
+        for lineno, raw in enumerate(read_lines(relpath), 1):
+            if waived(raw, "raw-new-delete"):
+                continue
+            line = strip_comments_and_strings(raw)
+            if NEW_RE.search(line) and not SMART_OK_RE.search(line):
+                violations.append(
+                    ("raw-new-delete", relpath, lineno,
+                     "raw `new`; use std::make_unique or value semantics"))
+            if DELETE_RE.search(line) and not DELETED_FN_RE.search(line):
+                violations.append(
+                    ("raw-new-delete", relpath, lineno,
+                     "raw `delete`; ownership belongs in a smart pointer"))
+
+
+# --- rule: include-cc ------------------------------------------------------
+
+INCLUDE_CC_RE = re.compile(r"#\s*include\s*[\"<][^\">]+\.cc[\">]")
+
+
+def check_include_cc(violations):
+    for relpath in iter_source_files({".cc", ".h"}):
+        for lineno, raw in enumerate(read_lines(relpath), 1):
+            if waived(raw, "include-cc"):
+                continue
+            if INCLUDE_CC_RE.search(strip_comments_and_strings(raw)):
+                violations.append(
+                    ("include-cc", relpath, lineno,
+                     "#include of a .cc file; include the header instead"))
+
+
+# --- rule: header-guard ----------------------------------------------------
+
+
+def expected_guard(relpath):
+    # src/medrelax/io/dag_io.h -> MEDRELAX_IO_DAG_IO_H_
+    # bench/bench_common.h     -> MEDRELAX_BENCH_BENCH_COMMON_H_
+    if relpath.startswith("src/medrelax/"):
+        stem = relpath[len("src/medrelax/"):]
+    else:
+        stem = relpath
+    return "MEDRELAX_" + re.sub(r"[/\.]", "_", stem).upper() + "_"
+
+
+def check_header_guards(violations):
+    for relpath in iter_source_files({".h"}):
+        lines = read_lines(relpath)
+        text = "\n".join(lines)
+        if "#pragma once" in text:
+            violations.append(
+                ("header-guard", relpath, 1,
+                 "#pragma once is banned; use an include guard"))
+            continue
+        guard = expected_guard(relpath)
+        ifndef_re = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
+        m = ifndef_re.search(text)
+        if m is None:
+            violations.append(
+                ("header-guard", relpath, 1, "missing include guard"))
+            continue
+        actual = m.group(1)
+        if actual != guard:
+            violations.append(
+                ("header-guard", relpath, 1,
+                 f"guard is {actual}, expected {guard}"))
+            continue
+        if f"#define {guard}" not in text:
+            violations.append(
+                ("header-guard", relpath, 1,
+                 f"#ifndef {guard} has no matching #define"))
+
+
+def main():
+    violations = []
+    check_ignored_status(violations)
+    check_raw_new_delete(violations)
+    check_include_cc(violations)
+    check_header_guards(violations)
+
+    if violations:
+        for rule, path, lineno, msg in violations:
+            print(f"{path}:{lineno}: [{rule}] {msg}")
+        kinds = sorted({v[0] for v in violations})
+        print(
+            f"\n{len(violations)} violation(s) across rule(s): {', '.join(kinds)}",
+            file=sys.stderr)
+        print("Waive a single line with: // lint:allow(<rule>) <reason>",
+              file=sys.stderr)
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,11 @@ namespace medrelax {
 /// The Arrow-style companion of Status for fallible functions that produce a
 /// value. Converting constructors allow `return value;` and `return status;`
 /// directly from a function declared to return Result<T>.
+///
+/// Like Status, the class is [[nodiscard]]: a Result returned by value must
+/// be consumed so errors cannot be silently dropped at the callsite.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -29,9 +32,9 @@ class Result {
   }
 
   /// True iff a value is present.
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   /// The status; OK when a value is present.
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Borrows the held value. Precondition: ok().
   const T& value() const& {
@@ -50,7 +53,7 @@ class Result {
   }
 
   /// Returns the held value or `fallback` when in the error state.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 

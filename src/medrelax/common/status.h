@@ -29,7 +29,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy for the
 /// OK case (no allocation) and carry a message only on error.
-class Status {
+///
+/// The class is [[nodiscard]]: any function returning Status by value must
+/// have its return value consumed (checked, propagated, or explicitly
+/// discarded with a cast through void and a comment saying why).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -70,27 +74,32 @@ class Status {
   }
 
   /// True iff the operation succeeded.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   /// The status code.
-  StatusCode code() const { return code_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   /// The error message; empty for OK.
-  const std::string& message() const { return message_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// True iff this status carries the given code.
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  [[nodiscard]]
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  [[nodiscard]]
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  [[nodiscard]]
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
-  bool IsFailedPrecondition() const {
+  [[nodiscard]] bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  [[nodiscard]]
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  [[nodiscard]]
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
 
   /// Renders "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;

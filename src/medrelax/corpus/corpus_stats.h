@@ -33,24 +33,24 @@ class MentionStats {
   /// throat"), mirroring naive string counting over a corpus.
   void Process(const Corpus& corpus, size_t num_contexts);
 
-  size_t num_phrases() const { return phrases_.size(); }
-  size_t num_documents() const { return num_documents_; }
+  [[nodiscard]] size_t num_phrases() const { return phrases_.size(); }
+  [[nodiscard]] size_t num_documents() const { return num_documents_; }
 
   /// Mentions of phrase `p` inside sections tagged with context `ctx`.
-  size_t MentionCount(size_t p, ContextId ctx) const;
+  [[nodiscard]] size_t MentionCount(size_t p, ContextId ctx) const;
 
   /// Mentions of phrase `p` across all sections (any or no context).
-  size_t TotalMentions(size_t p) const;
+  [[nodiscard]] size_t TotalMentions(size_t p) const;
 
   /// Documents containing at least one mention of phrase `p`.
-  size_t DocumentFrequency(size_t p) const;
+  [[nodiscard]] size_t DocumentFrequency(size_t p) const;
 
   /// tf-idf adjusted mention weight for (p, ctx):
   /// mention_count * log(1 + N / df). 0 when the phrase never occurs.
-  double TfIdfWeight(size_t p, ContextId ctx) const;
+  [[nodiscard]] double TfIdfWeight(size_t p, ContextId ctx) const;
 
   /// tf-idf adjusted weight using total (context-agnostic) mentions.
-  double TfIdfWeightTotal(size_t p) const;
+  [[nodiscard]] double TfIdfWeightTotal(size_t p) const;
 
  private:
   std::vector<std::string> phrases_;

@@ -44,16 +44,18 @@ class Corpus {
   void AddDocument(Document doc) { documents_.push_back(std::move(doc)); }
 
   /// Number of documents.
-  size_t size() const { return documents_.size(); }
+  [[nodiscard]] size_t size() const { return documents_.size(); }
 
   /// The i-th document. Precondition: i < size().
+  [[nodiscard]]
   const Document& document(size_t i) const { return documents_[i]; }
 
   /// All documents.
+  [[nodiscard]]
   const std::vector<Document>& documents() const { return documents_; }
 
   /// Total token count across all sections (corpus size metric).
-  size_t TotalTokens() const;
+  [[nodiscard]] size_t TotalTokens() const;
 
  private:
   std::vector<Document> documents_;

@@ -81,10 +81,11 @@ struct GeneratedWorld {
 /// Builds the MED-shaped domain ontology: 43 concepts and 58 relationships
 /// (the sizes Section 7.1 reports for the paper's proprietary data set),
 /// including the Figure 1 fragment.
-Result<DomainOntology> BuildMedOntology();
+[[nodiscard]] Result<DomainOntology> BuildMedOntology();
 
 /// Generates the full world: external source (via GenerateSnomedLike), the
 /// MED-like KB populated against it, and all ground-truth metadata.
+[[nodiscard]]
 Result<GeneratedWorld> GenerateWorld(const SnomedGeneratorOptions& eks_options,
                                      const KbGeneratorOptions& kb_options);
 

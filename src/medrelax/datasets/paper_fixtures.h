@@ -19,7 +19,7 @@ namespace medrelax {
 /// Drug cause Risk, Indication/Risk hasFinding Finding, with Risk's TBox
 /// descendants Black Box Warning, Adverse Effect, Contra Indication, and
 /// the surrounding concepts the examples mention.
-Result<DomainOntology> BuildFigure1Ontology();
+[[nodiscard]] Result<DomainOntology> BuildFigure1Ontology();
 
 /// Handle bundle for the Figure 4 fixture.
 struct Figure4Fixture {
@@ -41,7 +41,7 @@ struct Figure4Fixture {
 
 /// Figure 4: the SNOMED CT snippet around "pain of head and neck region"
 /// with the paper's printed frequencies for two contexts.
-Result<Figure4Fixture> BuildFigure4Fixture();
+[[nodiscard]] Result<Figure4Fixture> BuildFigure4Fixture();
 
 /// Handle bundle for the Figure 5 fixture.
 struct Figure5Fixture {
@@ -55,7 +55,7 @@ struct Figure5Fixture {
 
 /// Figure 5: the 3-hop chain from "chronic kidney disease stage 1 due to
 /// hypertension" up to "kidney disease" used to demonstrate shortcut edges.
-Result<Figure5Fixture> BuildFigure5Fixture();
+[[nodiscard]] Result<Figure5Fixture> BuildFigure5Fixture();
 
 /// Handle bundle for the Figure 6 fixture.
 struct Figure6Fixture {
@@ -70,7 +70,7 @@ struct Figure6Fixture {
 /// Figure 6: the respiratory fragment where pneumonia and lower
 /// respiratory tract infection are 4 hops apart with direction-dependent
 /// penalties (Example 4).
-Result<Figure6Fixture> BuildFigure6Fixture();
+[[nodiscard]] Result<Figure6Fixture> BuildFigure6Fixture();
 
 }  // namespace medrelax
 

@@ -50,6 +50,7 @@ struct GeneratedEks {
 };
 
 /// Generates a SNOMED-like DAG. Fails only on degenerate options.
+[[nodiscard]]
 Result<GeneratedEks> GenerateSnomedLike(const SnomedGeneratorOptions& options);
 
 }  // namespace medrelax

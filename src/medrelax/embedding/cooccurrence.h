@@ -28,15 +28,15 @@ class Vocabulary {
   WordId AddWithCount(const std::string& word, uint64_t count);
 
   /// Lookup without interning; kOovWord when absent.
-  WordId Find(const std::string& word) const;
+  [[nodiscard]] WordId Find(const std::string& word) const;
 
-  size_t size() const { return words_.size(); }
-  const std::string& word(WordId id) const { return words_[id]; }
-  uint64_t count(WordId id) const { return counts_[id]; }
-  uint64_t total_count() const { return total_; }
+  [[nodiscard]] size_t size() const { return words_.size(); }
+  [[nodiscard]] const std::string& word(WordId id) const { return words_[id]; }
+  [[nodiscard]] uint64_t count(WordId id) const { return counts_[id]; }
+  [[nodiscard]] uint64_t total_count() const { return total_; }
 
   /// Unigram probability p(w) = count / total, used by SIF weighting.
-  double Probability(WordId id) const;
+  [[nodiscard]] double Probability(WordId id) const;
 
  private:
   std::vector<std::string> words_;
@@ -60,17 +60,17 @@ class CooccurrenceCounter {
   /// occurrence, both orientations recorded).
   void Process(const Corpus& corpus);
 
-  const Vocabulary& vocabulary() const { return vocab_; }
+  [[nodiscard]] const Vocabulary& vocabulary() const { return vocab_; }
 
   /// Co-occurrence count for the ordered pair (a, b). Symmetric by
   /// construction.
-  uint64_t Count(WordId a, WordId b) const;
+  [[nodiscard]] uint64_t Count(WordId a, WordId b) const;
 
   /// Row of co-occurrence counts for word `a` (unordered column order).
-  const std::unordered_map<WordId, uint64_t>& Row(WordId a) const;
+  [[nodiscard]] const std::unordered_map<WordId, uint64_t>& Row(WordId a) const;
 
   /// Sum of all co-occurrence counts (both orientations).
-  uint64_t total_pairs() const { return total_pairs_; }
+  [[nodiscard]] uint64_t total_pairs() const { return total_pairs_; }
 
  private:
   uint32_t window_;

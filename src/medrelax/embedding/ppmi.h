@@ -14,7 +14,7 @@ class SparseMatrix {
  public:
   explicit SparseMatrix(size_t dim) : rows_(dim) {}
 
-  size_t dim() const { return rows_.size(); }
+  [[nodiscard]] size_t dim() const { return rows_.size(); }
 
   /// Appends an entry; caller guarantees one entry per (row, col).
   void Add(uint32_t row, uint32_t col, double value) {
@@ -22,7 +22,7 @@ class SparseMatrix {
   }
 
   /// Number of stored non-zeros.
-  size_t nnz() const;
+  [[nodiscard]] size_t nnz() const;
 
   /// y = M x (dense vector product).
   void Multiply(const std::vector<double>& x, std::vector<double>* y) const;
@@ -31,6 +31,7 @@ class SparseMatrix {
     uint32_t col;
     double value;
   };
+  [[nodiscard]]
   const std::vector<Entry>& row(uint32_t r) const { return rows_[r]; }
 
  private:

@@ -43,6 +43,7 @@ class SifModel {
 
   /// Embeds a tokenized phrase; returns a zero vector when every token is
   /// OOV. Output has vectors->dimensions() entries.
+  [[nodiscard]]
   std::vector<double> Embed(const std::vector<std::string>& tokens) const;
 
   /// Cosine similarity of two tokenized phrases.
@@ -50,7 +51,7 @@ class SifModel {
                       const std::vector<std::string>& b) const;
 
   /// The fitted common-component direction (empty when removal disabled).
-  const std::vector<double>& common_component() const {
+  [[nodiscard]] const std::vector<double>& common_component() const {
     return common_component_;
   }
 

@@ -49,39 +49,39 @@ class WordVectors {
                            const WordVectorOptions& options);
 
   /// Embedding dimensionality (0 before training).
-  size_t dimensions() const { return dims_; }
+  [[nodiscard]] size_t dimensions() const { return dims_; }
 
   /// The vocabulary the model was trained on.
-  const Vocabulary& vocabulary() const { return vocab_; }
+  [[nodiscard]] const Vocabulary& vocabulary() const { return vocab_; }
 
   /// True iff the word is in-vocabulary.
-  bool Contains(const std::string& word) const;
+  [[nodiscard]] bool Contains(const std::string& word) const;
 
   /// The vector for a word; nullptr for OOV.
-  const double* Vector(const std::string& word) const;
-  const double* Vector(WordId id) const;
+  [[nodiscard]] const double* Vector(const std::string& word) const;
+  [[nodiscard]] const double* Vector(WordId id) const;
 
   /// Cosine similarity of two words; 0 when either is OOV.
-  double Cosine(const std::string& a, const std::string& b) const;
+  [[nodiscard]] double Cosine(const std::string& a, const std::string& b) const;
 
   /// Embeds a word even when OOV: in-vocabulary words return their trained
   /// vector; OOV words back off to the average of their known character-
   /// n-gram vectors (fastText-style). Returns an empty vector when nothing
   /// is known about the word (no subword table or no known n-grams).
-  std::vector<double> EmbedWord(const std::string& word) const;
+  [[nodiscard]] std::vector<double> EmbedWord(const std::string& word) const;
 
   /// True iff the subword table was built.
-  bool has_subwords() const { return !ngram_vectors_.empty(); }
+  [[nodiscard]] bool has_subwords() const { return !ngram_vectors_.empty(); }
 
   /// Estimates the unigram probability of a word: the true probability for
   /// in-vocabulary words, and the mean probability of subword-sharing
   /// vocabulary words for OOV words (0 when nothing is known). Keeps the
   /// SIF weight of a typo'd token on the same scale as its intended word.
-  double EstimateProbability(const std::string& word) const;
+  [[nodiscard]] double EstimateProbability(const std::string& word) const;
 
   /// Fraction of `words` that are OOV (the vocabulary-mismatch metric that
   /// explains Embedding-pre-trained's poor showing in Table 2).
-  double OovRate(const std::vector<std::string>& words) const;
+  [[nodiscard]] double OovRate(const std::vector<std::string>& words) const;
 
  private:
   Vocabulary vocab_;

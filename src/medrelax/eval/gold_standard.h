@@ -38,13 +38,14 @@ class GoldStandard {
   /// True iff `candidate` is a relevant relaxation of `query` in `ctx`.
   /// `candidate == query` is relevant by definition (distance 0) when it
   /// participates in the context.
+  [[nodiscard]]
   bool IsRelevant(ConceptId query, ContextId ctx, ConceptId candidate) const;
 
   /// Number of relevant candidates among `pool` for (query, ctx).
   size_t CountRelevant(ConceptId query, ContextId ctx,
                        const std::vector<ConceptId>& pool) const;
 
-  const GoldStandardOptions& options() const { return options_; }
+  [[nodiscard]] const GoldStandardOptions& options() const { return options_; }
 
  private:
   const GeneratedWorld* world_;
@@ -52,7 +53,7 @@ class GoldStandard {
   /// Memoized true-distance queries: key = (query<<32)|candidate.
   mutable std::unordered_map<uint64_t, uint32_t> distance_cache_;
 
-  uint32_t TrueDistance(ConceptId a, ConceptId b) const;
+  [[nodiscard]] uint32_t TrueDistance(ConceptId a, ConceptId b) const;
 };
 
 }  // namespace medrelax

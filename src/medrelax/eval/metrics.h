@@ -24,11 +24,11 @@ class PrCounter {
   void AddFalsePositive(size_t n = 1) { fp_ += n; }
   void AddFalseNegative(size_t n = 1) { fn_ += n; }
 
-  size_t tp() const { return tp_; }
-  size_t fp() const { return fp_; }
-  size_t fn() const { return fn_; }
+  [[nodiscard]] size_t tp() const { return tp_; }
+  [[nodiscard]] size_t fp() const { return fp_; }
+  [[nodiscard]] size_t fn() const { return fn_; }
 
-  PrF1 Compute() const;
+  [[nodiscard]] PrF1 Compute() const;
 
  private:
   size_t tp_ = 0;

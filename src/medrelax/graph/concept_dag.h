@@ -51,66 +51,67 @@ class ConceptDag {
 
   /// Adds a concept with a unique canonical name. Fails with AlreadyExists
   /// if the name is taken.
-  Result<ConceptId> AddConcept(std::string name);
+  [[nodiscard]] Result<ConceptId> AddConcept(std::string name);
 
   /// Adds an alternative surface form for a concept (SNOMED CT descriptions
   /// / synonyms). Synonyms need not be globally unique.
-  Status AddSynonym(ConceptId id, std::string synonym);
+  [[nodiscard]] Status AddSynonym(ConceptId id, std::string synonym);
 
   /// Adds a native subsumption edge child ⊑ parent (distance 1).
   /// Fails on out-of-range ids, self-edges, and duplicate native edges.
-  Status AddSubsumption(ConceptId child, ConceptId parent);
+  [[nodiscard]] Status AddSubsumption(ConceptId child, ConceptId parent);
 
   /// Adds a shortcut edge child ⊑ parent annotated with the original hop
   /// distance it replaces (Algorithm 1, line 21). Duplicate shortcuts are
   /// ignored (idempotent).
-  Status AddShortcut(ConceptId child, ConceptId parent,
+  [[nodiscard]] Status AddShortcut(ConceptId child, ConceptId parent,
                      uint32_t original_distance);
 
   /// Number of concepts.
-  size_t num_concepts() const { return names_.size(); }
+  [[nodiscard]] size_t num_concepts() const { return names_.size(); }
 
   /// Total number of edges (native + shortcut).
-  size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] size_t num_edges() const { return num_edges_; }
 
   /// Number of shortcut edges.
-  size_t num_shortcut_edges() const { return num_shortcuts_; }
+  [[nodiscard]] size_t num_shortcut_edges() const { return num_shortcuts_; }
 
   /// Canonical name of a concept. Precondition: id is valid.
+  [[nodiscard]]
   const std::string& name(ConceptId id) const { return names_[id]; }
 
   /// Synonyms of a concept (canonical name not included).
-  const std::vector<std::string>& synonyms(ConceptId id) const {
+  [[nodiscard]] const std::vector<std::string>& synonyms(ConceptId id) const {
     return synonyms_[id];
   }
 
   /// Outgoing generalization edges: everything `id` is a (possibly shortcut)
   /// direct child of.
-  const std::vector<DagEdge>& parents(ConceptId id) const {
+  [[nodiscard]] const std::vector<DagEdge>& parents(ConceptId id) const {
     return parents_[id];
   }
 
   /// Incoming specialization edges: everything that directly (possibly via
   /// shortcut) specializes `id`.
-  const std::vector<DagEdge>& children(ConceptId id) const {
+  [[nodiscard]] const std::vector<DagEdge>& children(ConceptId id) const {
     return children_[id];
   }
 
   /// Native (non-shortcut) parents only.
-  std::vector<ConceptId> NativeParents(ConceptId id) const;
+  [[nodiscard]] std::vector<ConceptId> NativeParents(ConceptId id) const;
 
   /// Native (non-shortcut) children only.
-  std::vector<ConceptId> NativeChildren(ConceptId id) const;
+  [[nodiscard]] std::vector<ConceptId> NativeChildren(ConceptId id) const;
 
   /// Looks up a concept by exact canonical name; kInvalidConcept if absent.
-  ConceptId FindByName(std::string_view name) const;
+  [[nodiscard]] ConceptId FindByName(std::string_view name) const;
 
   /// True iff the id addresses an existing concept.
-  bool IsValid(ConceptId id) const { return id < names_.size(); }
+  [[nodiscard]] bool IsValid(ConceptId id) const { return id < names_.size(); }
 
   /// Concepts with no parents. A well-formed external knowledge source has
   /// exactly one root (owl:Thing, Section 2.2).
-  std::vector<ConceptId> Roots() const;
+  [[nodiscard]] std::vector<ConceptId> Roots() const;
 
  private:
   std::vector<std::string> names_;

@@ -42,7 +42,7 @@ struct MergeResult {
 /// the application). Fails with FailedPrecondition when unification would
 /// introduce a subsumption cycle (contradictory hierarchies), leaving the
 /// caller to resolve the conflict.
-Result<MergeResult> MergeExternalSources(const ConceptDag& a,
+[[nodiscard]] Result<MergeResult> MergeExternalSources(const ConceptDag& a,
                                          const ConceptDag& b,
                                          const MergeOptions& options = {});
 

@@ -31,6 +31,7 @@ struct TaxonomicPath {
   std::vector<HopDirection> hops;
 
   /// |D| of Equation (4).
+  [[nodiscard]]
   uint32_t length() const { return static_cast<uint32_t>(hops.size()); }
 };
 

@@ -16,11 +16,11 @@ Result<std::vector<ConceptId>> TopologicalSortChildrenFirst(
     const ConceptDag& dag);
 
 /// Validates that the native subsumption relation is acyclic.
-Status ValidateAcyclic(const ConceptDag& dag);
+[[nodiscard]] Status ValidateAcyclic(const ConceptDag& dag);
 
 /// Validates the well-formedness assumptions of Section 2.2: acyclic and a
 /// single root of which every concept is a descendant.
-Status ValidateExternalSource(const ConceptDag& dag);
+[[nodiscard]] Status ValidateExternalSource(const ConceptDag& dag);
 
 /// Depth of every concept: length of the longest native generalization
 /// chain from the concept up to a root (roots have depth 0).

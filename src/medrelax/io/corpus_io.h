@@ -18,16 +18,17 @@ namespace medrelax {
 /// Sections belong to the most recent D record; an untyped section writes
 /// "-" for the context. Tokens must not contain tabs/newlines (the
 /// tokenizer guarantees that).
-Status SaveCorpus(const Corpus& corpus, std::ostream& out);
+[[nodiscard]] Status SaveCorpus(const Corpus& corpus, std::ostream& out);
 
 /// Convenience: SaveCorpus to a file path.
+[[nodiscard]]
 Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
 
 /// Parses the format written by SaveCorpus.
-Result<Corpus> LoadCorpus(std::istream& in);
+[[nodiscard]] Result<Corpus> LoadCorpus(std::istream& in);
 
 /// Convenience: LoadCorpus from a file path.
-Result<Corpus> LoadCorpusFromFile(const std::string& path);
+[[nodiscard]] Result<Corpus> LoadCorpusFromFile(const std::string& path);
 
 }  // namespace medrelax
 

@@ -19,17 +19,18 @@ namespace medrelax {
 /// Names may contain spaces but not tabs or newlines (normalization strips
 /// both). The format round-trips shortcut edges, so a customized external
 /// source can be ingested once and reloaded.
-Status SaveDag(const ConceptDag& dag, std::ostream& out);
+[[nodiscard]] Status SaveDag(const ConceptDag& dag, std::ostream& out);
 
 /// Convenience: SaveDag to a file path.
+[[nodiscard]]
 Status SaveDagToFile(const ConceptDag& dag, const std::string& path);
 
 /// Parses the format written by SaveDag. Fails with InvalidArgument on
 /// malformed input (wrong header, bad ids, tab-embedded names).
-Result<ConceptDag> LoadDag(std::istream& in);
+[[nodiscard]] Result<ConceptDag> LoadDag(std::istream& in);
 
 /// Convenience: LoadDag from a file path.
-Result<ConceptDag> LoadDagFromFile(const std::string& path);
+[[nodiscard]] Result<ConceptDag> LoadDagFromFile(const std::string& path);
 
 }  // namespace medrelax
 

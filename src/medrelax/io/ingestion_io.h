@@ -31,10 +31,11 @@ namespace medrelax {
 ///
 /// The shortcut edges themselves live in the DAG (see dag_io.h): persist
 /// the customized DAG alongside this file.
+[[nodiscard]]
 Status SaveIngestion(const IngestionResult& ingestion, std::ostream& out);
 
 /// Convenience: SaveIngestion to a file path.
-Status SaveIngestionToFile(const IngestionResult& ingestion,
+[[nodiscard]] Status SaveIngestionToFile(const IngestionResult& ingestion,
                            const std::string& path);
 
 /// Parses the format written by SaveIngestion and re-derives the flagged
@@ -42,9 +43,11 @@ Status SaveIngestionToFile(const IngestionResult& ingestion,
 /// frequencies. `dag` must be the (customized) external source the
 /// ingestion ran against: ids are validated against it and the root is
 /// used for re-normalization.
+[[nodiscard]]
 Result<IngestionResult> LoadIngestion(std::istream& in, const ConceptDag& dag);
 
 /// Convenience: LoadIngestion from a file path.
+[[nodiscard]]
 Result<IngestionResult> LoadIngestionFromFile(const std::string& path,
                                               const ConceptDag& dag);
 

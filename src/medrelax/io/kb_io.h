@@ -18,16 +18,17 @@ namespace medrelax {
 ///   OS<TAB><child-id><TAB><parent-id>           (TBox subsumption)
 ///   I<TAB><concept-id><TAB><instance-name>
 ///   T<TAB><subject><TAB><relationship><TAB><object>
-Status SaveKb(const KnowledgeBase& kb, std::ostream& out);
+[[nodiscard]] Status SaveKb(const KnowledgeBase& kb, std::ostream& out);
 
 /// Convenience: SaveKb to a file path.
+[[nodiscard]]
 Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path);
 
 /// Parses the format written by SaveKb.
-Result<KnowledgeBase> LoadKb(std::istream& in);
+[[nodiscard]] Result<KnowledgeBase> LoadKb(std::istream& in);
 
 /// Convenience: LoadKb from a file path.
-Result<KnowledgeBase> LoadKbFromFile(const std::string& path);
+[[nodiscard]] Result<KnowledgeBase> LoadKbFromFile(const std::string& path);
 
 }  // namespace medrelax
 

@@ -39,14 +39,18 @@ class InstanceStore {
 
   /// Adds an instance of `concept` named `name` (stored verbatim; lookups
   /// normalize). Fails if the same (concept, name) pair exists.
-  Result<InstanceId> AddInstance(std::string name, OntologyConceptId concept_id);
+  [[nodiscard]]
+  Result<InstanceId> AddInstance(std::string name,
+                                 OntologyConceptId concept_id);
 
-  size_t num_instances() const { return instances_.size(); }
+  [[nodiscard]] size_t num_instances() const { return instances_.size(); }
 
   /// The instance record. Precondition: valid id.
+  [[nodiscard]]
   const Instance& instance(InstanceId id) const { return instances_[id]; }
 
   /// True iff the id addresses an existing instance.
+  [[nodiscard]]
   bool IsValid(InstanceId id) const { return id < instances_.size(); }
 
   /// All instances of the given ontology concept, in insertion order.
@@ -55,7 +59,7 @@ class InstanceStore {
 
   /// All instances whose normalized name equals the normalized input
   /// (possibly several, across concepts).
-  std::vector<InstanceId> FindByName(std::string_view name) const;
+  [[nodiscard]] std::vector<InstanceId> FindByName(std::string_view name) const;
 
   /// Like FindByName but restricted to instances of `concept`; returns
   /// kInvalidInstance when absent.

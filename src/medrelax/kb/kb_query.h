@@ -36,6 +36,7 @@ class KbQuery {
 
   /// Resolves the relationship id for a context (domain-rel-range triple);
   /// NotFound when the ontology has no such relationship.
+  [[nodiscard]]
   Result<RelationshipId> ResolveContext(const Context& context) const;
 
   /// Instances on the domain side of `context` connected to the given

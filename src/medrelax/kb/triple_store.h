@@ -37,14 +37,15 @@ class TripleStore {
   TripleStore& operator=(const TripleStore&) = delete;
 
   /// Adds an assertion; duplicates are ignored (idempotent).
+  [[nodiscard]]
   Status AddTriple(InstanceId subject, RelationshipId relationship,
                    InstanceId object);
 
   /// Number of stored (distinct) triples.
-  size_t num_triples() const { return triples_.size(); }
+  [[nodiscard]] size_t num_triples() const { return triples_.size(); }
 
   /// All triples in insertion order.
-  const std::vector<Triple>& triples() const { return triples_; }
+  [[nodiscard]] const std::vector<Triple>& triples() const { return triples_; }
 
   /// Objects o with (subject, relationship, o).
   std::vector<InstanceId> Objects(InstanceId subject,

@@ -34,6 +34,7 @@ class NameIndex {
 
   /// Concepts whose canonical name or synonym normalizes to exactly the
   /// normalized input (usually 0 or 1; synonym collisions can yield more).
+  [[nodiscard]]
   std::vector<ConceptId> FindExact(std::string_view surface) const;
 
   /// Entry indexes of surface forms sharing at least one character trigram
@@ -43,9 +44,10 @@ class NameIndex {
                                           size_t max_candidates) const;
 
   /// All indexed entries.
+  [[nodiscard]]
   const std::vector<NameEntry>& entries() const { return entries_; }
 
-  const ConceptDag& dag() const { return *dag_; }
+  [[nodiscard]] const ConceptDag& dag() const { return *dag_; }
 
  private:
   const ConceptDag* dag_;

@@ -70,7 +70,7 @@ class DialogueManager {
   void RejectSuggestion(ConceptId concept_id);
 
   /// The context carried in the dialogue state.
-  ContextId previous_context() const { return previous_context_; }
+  [[nodiscard]] ContextId previous_context() const { return previous_context_; }
 
  private:
   DialogueResponse AnswerKnown(InstanceId instance, ContextId context);

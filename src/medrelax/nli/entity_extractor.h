@@ -39,6 +39,7 @@ class EntityExtractor {
                   std::unordered_set<std::string> query_vocabulary);
 
   /// Extracts known + unknown mentions from an utterance.
+  [[nodiscard]]
   std::vector<EntityMention> Extract(const std::string& utterance) const;
 
  private:

@@ -31,14 +31,15 @@ class IntentClassifier {
 
   /// Classifies an utterance; kNoContext with confidence 0 before Train or
   /// for empty input.
-  IntentPrediction Classify(const std::string& utterance) const;
+  [[nodiscard]] IntentPrediction Classify(const std::string& utterance) const;
 
   /// Posterior over all contexts (same order as context ids); empty before
   /// Train.
+  [[nodiscard]]
   std::vector<double> Posterior(const std::string& utterance) const;
 
-  size_t num_contexts() const { return num_contexts_; }
-  size_t vocabulary_size() const { return vocab_.size(); }
+  [[nodiscard]] size_t num_contexts() const { return num_contexts_; }
+  [[nodiscard]] size_t vocabulary_size() const { return vocab_.size(); }
 
  private:
   size_t num_contexts_ = 0;

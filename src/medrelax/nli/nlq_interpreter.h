@@ -57,7 +57,7 @@ struct Interpretation {
 
   /// Human-readable rendering, e.g. "Drug -cause-> Risk -hasFinding->
   /// Finding".
-  std::string Describe(const DomainOntology& ontology) const;
+  [[nodiscard]] std::string Describe(const DomainOntology& ontology) const;
 };
 
 /// One executed interpretation: the ontology concept the query asks for
@@ -79,6 +79,7 @@ class NlqInterpreter {
 
   /// Evidence generation: tokenizes the query and produces the evidence
   /// set of every token span that matched anything.
+  [[nodiscard]]
   std::vector<TokenEvidence> GenerateEvidence(const std::string& query) const;
 
   /// Full pipeline: evidence -> selection sets -> interpretation trees,
@@ -91,6 +92,7 @@ class NlqInterpreter {
   /// semi-join to a fixpoint, and the instances of the answer concept
   /// (the first concept-metadata evidence, else the first tree edge's
   /// domain) are returned. Fails on an empty interpretation.
+  [[nodiscard]]
   Result<NlqAnswer> Execute(const Interpretation& interpretation) const;
 
   /// Executes interpretations best-first and returns the first one whose
@@ -98,7 +100,7 @@ class NlqInterpreter {
   /// yet empty when a relaxed grounding has no KB links — the next
   /// selection set is then the right reading). NotFound when every
   /// interpretation executes empty.
-  Result<NlqAnswer> ExecuteFirstNonEmpty(
+  [[nodiscard]] Result<NlqAnswer> ExecuteFirstNonEmpty(
       const std::vector<Interpretation>& interpretations) const;
 
  private:

@@ -28,7 +28,7 @@ struct Context {
   std::string range;
 
   /// The paper's printed form, e.g. "Indication-hasFinding-Finding".
-  std::string Label() const {
+  [[nodiscard]] std::string Label() const {
     return domain + "-" + relationship + "-" + range;
   }
 
@@ -57,18 +57,20 @@ class ContextRegistry {
   ContextId Intern(const Context& context);
 
   /// Looks up a context; kNoContext if absent.
-  ContextId Find(const Context& context) const;
+  [[nodiscard]] ContextId Find(const Context& context) const;
 
   /// Looks up by printed label, e.g. "Indication-hasFinding-Finding".
-  ContextId FindByLabel(const std::string& label) const;
+  [[nodiscard]] ContextId FindByLabel(const std::string& label) const;
 
   /// Number of registered contexts.
-  size_t size() const { return contexts_.size(); }
+  [[nodiscard]] size_t size() const { return contexts_.size(); }
 
   /// The context for an id. Precondition: id < size().
+  [[nodiscard]]
   const Context& context(ContextId id) const { return contexts_[id]; }
 
   /// All registered contexts in id order.
+  [[nodiscard]]
   const std::vector<Context>& contexts() const { return contexts_; }
 
   /// Context ids whose range concept matches `range_concept` — the contexts

@@ -48,39 +48,41 @@ class DomainOntology {
   DomainOntology& operator=(const DomainOntology&) = delete;
 
   /// Adds a concept with a unique name.
-  Result<OntologyConceptId> AddConcept(std::string name);
+  [[nodiscard]] Result<OntologyConceptId> AddConcept(std::string name);
 
   /// Adds a relationship; fails if the exact (domain, name, range) triple
   /// already exists or either endpoint is invalid.
-  Result<RelationshipId> AddRelationship(std::string name,
+  [[nodiscard]] Result<RelationshipId> AddRelationship(std::string name,
                                          OntologyConceptId domain,
                                          OntologyConceptId range);
 
   /// Declares `child` a specialization of `parent` in the TBox (e.g.
   /// AdverseEffect ⊑ Risk).
+  [[nodiscard]]
   Status AddSubConcept(OntologyConceptId child, OntologyConceptId parent);
 
-  size_t num_concepts() const { return concept_names_.size(); }
+  [[nodiscard]] size_t num_concepts() const { return concept_names_.size(); }
+  [[nodiscard]]
   size_t num_relationships() const { return relationships_.size(); }
 
   /// Name of a concept. Precondition: valid id.
-  const std::string& concept_name(OntologyConceptId id) const {
+  [[nodiscard]] const std::string& concept_name(OntologyConceptId id) const {
     return concept_names_[id];
   }
 
   /// The relationship record. Precondition: valid id.
-  const Relationship& relationship(RelationshipId id) const {
+  [[nodiscard]] const Relationship& relationship(RelationshipId id) const {
     return relationships_[id];
   }
 
   /// All relationships, in insertion order (Algorithm 1 lines 1-4 iterate
   /// this set to build contexts).
-  const std::vector<Relationship>& relationships() const {
+  [[nodiscard]] const std::vector<Relationship>& relationships() const {
     return relationships_;
   }
 
   /// Concept lookup by exact name; kInvalidOntologyConcept if absent.
-  OntologyConceptId FindConcept(std::string_view name) const;
+  [[nodiscard]] OntologyConceptId FindConcept(std::string_view name) const;
 
   /// Relationships whose range (destination) is `concept` — the contexts a
   /// query term typed as `concept` can appear in (Section 5.1).
@@ -92,13 +94,15 @@ class DomainOntology {
       OntologyConceptId concept_id) const;
 
   /// Direct TBox sub-concepts of `parent`.
+  [[nodiscard]]
   std::vector<OntologyConceptId> SubConcepts(OntologyConceptId parent) const;
 
   /// Direct TBox super-concepts of `child`.
+  [[nodiscard]]
   std::vector<OntologyConceptId> SuperConcepts(OntologyConceptId child) const;
 
   /// True iff the id addresses an existing concept.
-  bool IsValidConcept(OntologyConceptId id) const {
+  [[nodiscard]] bool IsValidConcept(OntologyConceptId id) const {
     return id < concept_names_.size();
   }
 

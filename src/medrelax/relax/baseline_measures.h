@@ -33,15 +33,15 @@ class BaselineMeasures {
   /// Wu-Palmer similarity in [0, 1]; 1 for identical concepts. Depth is
   /// counted from the root with the root at depth 1 (the customary +1 so
   /// the root is not infinitely dissimilar to everything).
-  double WuPalmer(ConceptId a, ConceptId b) const;
+  [[nodiscard]] double WuPalmer(ConceptId a, ConceptId b) const;
 
   /// 1 / (1 + taxonomic distance); 1 for identical concepts, 0 for
   /// disconnected pairs.
-  double PathSimilarity(ConceptId a, ConceptId b) const;
+  [[nodiscard]] double PathSimilarity(ConceptId a, ConceptId b) const;
 
   /// Resnik similarity: the (context-conditioned) IC of the LCS.
   /// Requires a frequency model.
-  double Resnik(ConceptId a, ConceptId b, ContextId ctx) const;
+  [[nodiscard]] double Resnik(ConceptId a, ConceptId b, ContextId ctx) const;
 
  private:
   BaselineMeasures(const ConceptDag* dag, const FrequencyModel* freq,

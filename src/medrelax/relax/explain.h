@@ -35,7 +35,7 @@ struct SimilarityExplanation {
   double similarity = 0.0;
 
   /// Multi-line human-readable rendering with concept names resolved.
-  std::string Render(const ConceptDag& dag) const;
+  [[nodiscard]] std::string Render(const ConceptDag& dag) const;
 };
 
 /// Computes the full explanation. Numerically identical to

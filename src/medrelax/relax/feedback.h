@@ -49,6 +49,7 @@ class FeedbackRelaxer {
 
   /// Algorithm 2 with feedback re-ranking applied to the scored concepts
   /// (instances are re-materialized in the new order).
+  [[nodiscard]]
   RelaxationOutcome RelaxConcept(ConceptId query, ContextId context) const;
 
   /// Records that the user accepted `candidate` as a relaxation under
@@ -60,10 +61,10 @@ class FeedbackRelaxer {
 
   /// The accumulated multiplicative factor for (concept, context); 1.0
   /// when no feedback touched it.
-  double Factor(ConceptId concept_id, ContextId context) const;
+  [[nodiscard]] double Factor(ConceptId concept_id, ContextId context) const;
 
   /// Number of (concept, context) cells carrying feedback.
-  size_t feedback_cells() const { return factors_.size(); }
+  [[nodiscard]] size_t feedback_cells() const { return factors_.size(); }
 
   /// Forgets all feedback (new session).
   void Reset() { factors_.clear(); }

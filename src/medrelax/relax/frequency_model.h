@@ -27,15 +27,15 @@ class FrequencyModel {
   FrequencyModel(size_t num_concepts, size_t num_contexts,
                  double smoothing = 1.0);
 
-  size_t num_concepts() const { return num_concepts_; }
-  size_t num_contexts() const { return num_contexts_; }
-  double smoothing() const { return smoothing_; }
+  [[nodiscard]] size_t num_concepts() const { return num_concepts_; }
+  [[nodiscard]] size_t num_contexts() const { return num_contexts_; }
+  [[nodiscard]] double smoothing() const { return smoothing_; }
 
   /// Sets the raw (propagated, un-normalized) frequency of (concept, ctx).
   void SetRaw(ConceptId id, ContextId ctx, double raw);
 
   /// Raw propagated frequency of (concept, ctx).
-  double Raw(ConceptId id, ContextId ctx) const;
+  [[nodiscard]] double Raw(ConceptId id, ContextId ctx) const;
 
   /// Finalizes the model: computes the aggregated table as the per-concept
   /// sum over contexts, then normalizes every table by its root value.
@@ -44,14 +44,14 @@ class FrequencyModel {
 
   /// Normalized frequency in (0, 1]; ctx == kNoContext selects the
   /// aggregated table.
-  double Frequency(ConceptId id, ContextId ctx) const;
+  [[nodiscard]] double Frequency(ConceptId id, ContextId ctx) const;
 
   /// Information content IC = -log(frequency) (Equation 1); 0 at the root,
   /// growing with specificity. ctx == kNoContext uses aggregation.
-  double Ic(ConceptId id, ContextId ctx) const;
+  [[nodiscard]] double Ic(ConceptId id, ContextId ctx) const;
 
  private:
-  size_t Index(ConceptId id, ContextId ctx) const;
+  [[nodiscard]] size_t Index(ConceptId id, ContextId ctx) const;
 
   size_t num_concepts_;
   size_t num_contexts_;
@@ -67,7 +67,7 @@ class FrequencyModel {
 /// children's freq), then normalizes by the root (Section 5.1). The outer
 /// index of `direct_per_context` is the context; each inner vector has one
 /// entry per concept. Fails if the DAG is cyclic.
-Result<FrequencyModel> PropagateFrequencies(
+[[nodiscard]] Result<FrequencyModel> PropagateFrequencies(
     const ConceptDag& dag,
     const std::vector<std::vector<double>>& direct_per_context,
     ConceptId root, double smoothing = 1.0);

@@ -68,6 +68,7 @@ struct IngestionResult {
 ///      mutating `eks`.
 ///
 /// Fails if `eks` is not a single-rooted DAG.
+[[nodiscard]]
 Result<IngestionResult> RunIngestion(const KnowledgeBase& kb, ConceptDag* eks,
                                      const MappingFunction& mapper,
                                      const Corpus* corpus,

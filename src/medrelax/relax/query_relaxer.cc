@@ -107,7 +107,9 @@ size_t QueryRelaxer::PrecomputeSimilarities() const {
     for (const Neighbor& n : NeighborsWithinRadius(
              *eks_, query, relaxation_options_.radius)) {
       if (n.id < flagged.size() && flagged[n.id]) {
-        similarity_.Geometry(query, n.id);
+        // Called for the memoization side effect; the geometry itself is
+        // recomputed on demand by Similarity().
+        (void)similarity_.Geometry(query, n.id);
       }
     }
   }

@@ -62,11 +62,12 @@ class QueryRelaxer {
   /// the top-k semantically related KB instances under `context`
   /// (kNoContext aggregates frequencies over all contexts).
   /// Fails with NotFound when the term maps to no external concept.
-  Result<RelaxationOutcome> Relax(std::string_view term,
+  [[nodiscard]] Result<RelaxationOutcome> Relax(std::string_view term,
                                   ContextId context) const;
 
   /// Concept-level entry point used when the query concept is already
   /// known (evaluation harness; NLQ integration).
+  [[nodiscard]]
   RelaxationOutcome RelaxConcept(ConceptId query, ContextId context) const;
 
   /// Like RelaxConcept but with an explicit k, so wrappers (e.g. the
@@ -80,12 +81,15 @@ class QueryRelaxer {
   /// (flagged concept, neighborhood member) pair within the configured
   /// radius, so first-query latency equals steady-state latency. Returns
   /// the number of cached pairs afterwards. A no-op (returning 0) when
-  /// geometry memoization is disabled.
+  /// geometry memoization is disabled. Deliberately not [[nodiscard]]:
+  /// callers warming the cache for the side effect may drop the count.
   size_t PrecomputeSimilarities() const;
 
   /// The underlying similarity model (exposed for diagnostics and tests).
+  [[nodiscard]]
   const SimilarityModel& similarity() const { return similarity_; }
 
+  [[nodiscard]]
   const RelaxationOptions& options() const { return relaxation_options_; }
 
  private:

@@ -66,35 +66,39 @@ class SimilarityModel {
                   const SimilarityOptions& options)
       : dag_(dag), freq_(freq), options_(options) {}
 
-  const SimilarityOptions& options() const { return options_; }
+  [[nodiscard]] const SimilarityOptions& options() const { return options_; }
 
   /// IC under the effective context (aggregated when context is disabled
   /// or kNoContext).
-  double Ic(ConceptId id, ContextId ctx) const;
+  [[nodiscard]] double Ic(ConceptId id, ContextId ctx) const;
 
   /// sim_IC of Equation 3, with the footnote-1 LCS policy: shortest-path
   /// tie-break, then average IC over remaining ties.
-  double SimIc(ConceptId a, ConceptId b, ContextId ctx) const;
+  [[nodiscard]] double SimIc(ConceptId a, ConceptId b, ContextId ctx) const;
 
   /// p_{A,B} of Equation 4 over the shortest taxonomic path *from* `from`
   /// *to* `to` (direction matters: Example 4 / Figure 6).
-  double PathPenalty(ConceptId from, ConceptId to) const;
+  [[nodiscard]] double PathPenalty(ConceptId from, ConceptId to) const;
 
   /// p for an explicit hop sequence (exposed for tests and the weight
   /// learner): prod_i w_i^(D-i), i one-based.
+  [[nodiscard]]
   double PathPenaltyForHops(const std::vector<HopDirection>& hops) const;
 
   /// The combined measure of Equation 5.
+  [[nodiscard]]
   double Similarity(ConceptId from, ConceptId to, ContextId ctx) const;
 
   /// The memoized (or freshly computed) geometry for (from, to).
+  [[nodiscard]]
   const PairGeometry& Geometry(ConceptId from, ConceptId to) const;
 
   /// Number of memoized pairs (0 when memoization is off).
-  size_t cached_pairs() const { return geometry_cache_.size(); }
+  [[nodiscard]] size_t cached_pairs() const { return geometry_cache_.size(); }
 
  private:
-  ContextId EffectiveContext(ContextId ctx) const;
+  [[nodiscard]] ContextId EffectiveContext(ContextId ctx) const;
+  [[nodiscard]]
   PairGeometry ComputeGeometry(ConceptId from, ConceptId to) const;
 
   const ConceptDag* dag_;

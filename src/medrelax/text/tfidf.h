@@ -22,19 +22,19 @@ class TfIdfModel {
   void AddDocument(const std::unordered_map<std::string, size_t>& counts);
 
   /// Number of documents seen.
-  size_t num_documents() const { return num_documents_; }
+  [[nodiscard]] size_t num_documents() const { return num_documents_; }
 
   /// Total mentions of `term` across all documents.
-  size_t TermFrequency(const std::string& term) const;
+  [[nodiscard]] size_t TermFrequency(const std::string& term) const;
 
   /// Number of documents mentioning `term`.
-  size_t DocumentFrequency(const std::string& term) const;
+  [[nodiscard]] size_t DocumentFrequency(const std::string& term) const;
 
   /// Smoothed idf = log(1 + N / df); returns 0 for unseen terms.
-  double Idf(const std::string& term) const;
+  [[nodiscard]] double Idf(const std::string& term) const;
 
   /// tf * idf for `term`; 0 for unseen terms.
-  double Weight(const std::string& term) const;
+  [[nodiscard]] double Weight(const std::string& term) const;
 
  private:
   size_t num_documents_ = 0;

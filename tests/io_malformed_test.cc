@@ -1,0 +1,245 @@
+// Negative-path coverage for the dag_io and kb_io text loaders: truncated
+// input, bad headers, duplicate ids, and out-of-range references. These are
+// the first code paths the sanitizer presets exercise, so every rejection
+// here must come back as a clean error Status, never UB or a crash.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/io/dag_io.h"
+#include "medrelax/io/kb_io.h"
+
+namespace medrelax {
+namespace {
+
+// A well-formed two-concept DAG in the v1 text format.
+constexpr const char kGoodDag[] =
+    "# medrelax-dag v1\n"
+    "C\theart disease\n"
+    "C\tcardiomyopathy\n"
+    "S\t1\tcmp\n"
+    "E\t1\t0\t1\t0\n";
+
+// A well-formed KB: two ontology concepts, one relationship, one
+// subsumption, two instances, one triple.
+constexpr const char kGoodKb[] =
+    "# medrelax-kb v1\n"
+    "OC\tDrug\n"
+    "OC\tIndication\n"
+    "OR\ttreat\t0\t1\n"
+    "OS\t1\t0\n"
+    "I\t0\taspirin\n"
+    "I\t1\trenal disease\n"
+    "T\t0\t0\t1\n";
+
+std::string WriteTempFile(const std::string& contents) {
+  std::string path =
+      testing::TempDir() + "/io_malformed_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+// --- dag_io ----------------------------------------------------------------
+
+TEST(DagIoMalformed, GoodFixtureParses) {
+  std::stringstream in(kGoodDag);
+  auto dag = LoadDag(in);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  EXPECT_EQ(dag->num_concepts(), 2u);
+  EXPECT_EQ(dag->num_edges(), 1u);
+}
+
+TEST(DagIoMalformed, EmptyInputIsBadHeader) {
+  std::stringstream in("");
+  auto dag = LoadDag(in);
+  ASSERT_FALSE(dag.ok());
+  EXPECT_TRUE(dag.status().IsInvalidArgument());
+}
+
+TEST(DagIoMalformed, WrongHeaderVersionRejected) {
+  std::stringstream in("# medrelax-dag v2\nC\tfoo\n");
+  EXPECT_TRUE(LoadDag(in).status().IsInvalidArgument());
+}
+
+TEST(DagIoMalformed, TruncatedRecordRejected) {
+  // "E" with too few fields after a valid prefix of the file.
+  std::stringstream in(
+      "# medrelax-dag v1\n"
+      "C\ta\n"
+      "C\tb\n"
+      "E\t1\n");
+  auto dag = LoadDag(in);
+  ASSERT_FALSE(dag.ok());
+  EXPECT_TRUE(dag.status().IsInvalidArgument());
+}
+
+TEST(DagIoMalformed, DuplicateConceptNameRejected) {
+  std::stringstream in(
+      "# medrelax-dag v1\n"
+      "C\theart disease\n"
+      "C\theart disease\n");
+  auto dag = LoadDag(in);
+  ASSERT_FALSE(dag.ok());
+  EXPECT_TRUE(dag.status().IsAlreadyExists()) << dag.status();
+}
+
+TEST(DagIoMalformed, EdgeToUndeclaredConceptRejected) {
+  // Concept id 7 is never declared; the loader must bound-check, not index.
+  std::stringstream in(
+      "# medrelax-dag v1\n"
+      "C\ta\n"
+      "E\t0\t7\t1\t0\n");
+  auto dag = LoadDag(in);
+  ASSERT_FALSE(dag.ok());
+  EXPECT_TRUE(dag.status().IsInvalidArgument());
+}
+
+TEST(DagIoMalformed, NonNumericIdRejected) {
+  std::stringstream in(
+      "# medrelax-dag v1\n"
+      "C\ta\n"
+      "S\tzero\tsyn\n");
+  EXPECT_TRUE(LoadDag(in).status().IsInvalidArgument());
+}
+
+TEST(DagIoMalformed, SelfEdgeRejected) {
+  std::stringstream in(
+      "# medrelax-dag v1\n"
+      "C\ta\n"
+      "E\t0\t0\t1\t0\n");
+  EXPECT_TRUE(LoadDag(in).status().IsInvalidArgument());
+}
+
+TEST(DagIoMalformed, TruncatedFileOnDiskRejected) {
+  // Cut the good fixture mid-record, as a crashed writer would leave it.
+  std::string truncated(kGoodDag, sizeof(kGoodDag) - 8);
+  std::string path = WriteTempFile(truncated);
+  auto dag = LoadDagFromFile(path);
+  EXPECT_FALSE(dag.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DagIoMalformed, MissingFileIsNotFound) {
+  auto dag = LoadDagFromFile("/nonexistent/medrelax/dag.txt");
+  ASSERT_FALSE(dag.ok());
+  EXPECT_TRUE(dag.status().IsNotFound());
+}
+
+// --- kb_io -----------------------------------------------------------------
+
+TEST(KbIoMalformed, GoodFixtureParses) {
+  std::stringstream in(kGoodKb);
+  auto kb = LoadKb(in);
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_EQ(kb->ontology.num_concepts(), 2u);
+  EXPECT_EQ(kb->instances.num_instances(), 2u);
+  EXPECT_EQ(kb->triples.triples().size(), 1u);
+}
+
+TEST(KbIoMalformed, DagHeaderOnKbLoaderRejected) {
+  std::stringstream in("# medrelax-dag v1\n");
+  EXPECT_TRUE(LoadKb(in).status().IsInvalidArgument());
+}
+
+TEST(KbIoMalformed, TruncatedTripleRejected) {
+  std::string text(kGoodKb);
+  // Drop the last two fields of the trailing "T" record.
+  text.resize(text.size() - 5);
+  text += "\n";
+  std::stringstream in(text);
+  auto kb = LoadKb(in);
+  ASSERT_FALSE(kb.ok());
+  EXPECT_TRUE(kb.status().IsInvalidArgument());
+}
+
+TEST(KbIoMalformed, DuplicateOntologyConceptRejected) {
+  std::stringstream in(
+      "# medrelax-kb v1\n"
+      "OC\tDrug\n"
+      "OC\tDrug\n");
+  auto kb = LoadKb(in);
+  ASSERT_FALSE(kb.ok());
+  EXPECT_TRUE(kb.status().IsAlreadyExists()) << kb.status();
+}
+
+TEST(KbIoMalformed, DuplicateInstanceRejected) {
+  std::stringstream in(
+      "# medrelax-kb v1\n"
+      "OC\tDrug\n"
+      "I\t0\taspirin\n"
+      "I\t0\tAspirin\n");  // normalizes to the same name + concept
+  auto kb = LoadKb(in);
+  ASSERT_FALSE(kb.ok());
+  EXPECT_TRUE(kb.status().IsAlreadyExists()) << kb.status();
+}
+
+TEST(KbIoMalformed, RelationshipEndpointOutOfRangeRejected) {
+  std::stringstream in(
+      "# medrelax-kb v1\n"
+      "OC\tDrug\n"
+      "OR\ttreat\t0\t9\n");
+  EXPECT_TRUE(LoadKb(in).status().IsInvalidArgument());
+}
+
+TEST(KbIoMalformed, TripleWithUnknownInstanceRejected) {
+  std::stringstream in(
+      "# medrelax-kb v1\n"
+      "OC\tDrug\n"
+      "OC\tIndication\n"
+      "OR\ttreat\t0\t1\n"
+      "I\t0\taspirin\n"
+      "T\t0\t0\t5\n");
+  EXPECT_TRUE(LoadKb(in).status().IsInvalidArgument());
+}
+
+TEST(KbIoMalformed, TripleBeforeRelationshipsRejected) {
+  // num_relationships() is still 0, so relationship id 0 is out of range.
+  std::stringstream in(
+      "# medrelax-kb v1\n"
+      "OC\tDrug\n"
+      "I\t0\taspirin\n"
+      "I\t0\tibuprofen\n"
+      "T\t0\t0\t1\n");
+  EXPECT_TRUE(LoadKb(in).status().IsInvalidArgument());
+}
+
+TEST(KbIoMalformed, UnknownRecordTagRejected) {
+  std::stringstream in(
+      "# medrelax-kb v1\n"
+      "ZZ\tDrug\n");
+  EXPECT_TRUE(LoadKb(in).status().IsInvalidArgument());
+}
+
+TEST(KbIoMalformed, TruncatedFileOnDiskRejected) {
+  std::string truncated(kGoodKb, sizeof(kGoodKb) - 6);
+  std::string path = WriteTempFile(truncated);
+  auto kb = LoadKbFromFile(path);
+  EXPECT_FALSE(kb.ok());
+  std::remove(path.c_str());
+}
+
+TEST(KbIoMalformed, MissingFileIsNotFound) {
+  auto kb = LoadKbFromFile("/nonexistent/medrelax/kb.txt");
+  ASSERT_FALSE(kb.ok());
+  EXPECT_TRUE(kb.status().IsNotFound());
+}
+
+// Round-trip after rejection: a loader failure must not leave partially
+// constructed state that breaks a subsequent good parse (regression guard
+// for reused-stream patterns in callers).
+TEST(KbIoMalformed, GoodParseAfterFailedParse) {
+  std::stringstream bad("# medrelax-kb v1\nZZ\tx\n");
+  EXPECT_FALSE(LoadKb(bad).ok());
+  std::stringstream good(kGoodKb);
+  EXPECT_TRUE(LoadKb(good).ok());
+}
+
+}  // namespace
+}  // namespace medrelax
