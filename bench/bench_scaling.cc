@@ -5,17 +5,24 @@
 //   * online relaxation is Θ(N log N) in the candidate count and is kept
 //     fast by the shortcut edges (small radius suffices);
 //   * the shortcut customization shrinks the radius needed to reach the
-//     flagged set.
+//     flagged set;
+//   * before/after: BM_OnlineRelaxationLegacy replays the pre-engine hot
+//     path (per-radius re-search + per-pair full-graph geometry, no
+//     memoization) against BM_OnlineRelaxation's shared-frontier engine;
+//   * BM_RelaxBatch measures multi-threaded batch throughput.
 //
 // google-benchmark binary: run with --benchmark_filter=... to narrow.
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
 #include "medrelax/graph/traversal.h"
+#include "medrelax/relax/relax_stats.h"
 
 using namespace medrelax;         // NOLINT — bench brevity
 using namespace medrelax::bench;  // NOLINT
@@ -64,6 +71,69 @@ BENCHMARK(BM_OfflineIngestion)
     ->Arg(8000)
     ->Unit(benchmark::kMillisecond);
 
+// The pre-engine online path, kept verbatim as the before/after baseline:
+// every radius increment re-runs the bounded search from scratch, and
+// every candidate pair pays the naive full-graph geometry (pass a model
+// with memoize_geometry = false to reproduce the original cost profile).
+RelaxationOutcome LegacyRelaxConcept(const ConceptDag& dag,
+                                     const IngestionResult& ingestion,
+                                     const SimilarityModel& model,
+                                     ConceptId query, ContextId context,
+                                     const RelaxationOptions& options) {
+  RelaxationOutcome outcome;
+  outcome.query_concept = query;
+  const size_t k = options.top_k;
+  const std::vector<bool>& flagged = ingestion.flagged;
+  uint32_t radius = options.radius;
+  std::vector<ConceptId> candidates;
+  for (;;) {
+    candidates.clear();
+    if (query < flagged.size() && flagged[query]) candidates.push_back(query);
+    for (const Neighbor& n : NeighborsWithinRadius(dag, query, radius)) {
+      if (n.id < flagged.size() && flagged[n.id]) candidates.push_back(n.id);
+    }
+    size_t covered = 0;
+    for (ConceptId b : candidates) {
+      auto it = ingestion.concept_instances.find(b);
+      if (it != ingestion.concept_instances.end()) {
+        covered += it->second.size();
+      }
+    }
+    if (!options.dynamic_radius || covered >= k ||
+        radius >= options.max_radius) {
+      break;
+    }
+    ++radius;
+  }
+  outcome.effective_radius = radius;
+  std::vector<ScoredConcept> scored;
+  scored.reserve(candidates.size());
+  for (ConceptId b : candidates) {
+    ScoredConcept sc;
+    sc.concept_id = b;
+    sc.similarity = model.Similarity(query, b, context);
+    auto it = ingestion.concept_instances.find(b);
+    if (it != ingestion.concept_instances.end()) sc.instances = it->second;
+    scored.push_back(std::move(sc));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredConcept& a, const ScoredConcept& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.concept_id < b.concept_id;
+            });
+  for (ScoredConcept& sc : scored) {
+    if (outcome.instances.size() >= k) break;
+    for (InstanceId inst : sc.instances) {
+      if (outcome.instances.size() >= k) break;
+      outcome.instances.push_back(inst);
+    }
+    outcome.concepts.push_back(std::move(sc));
+  }
+  return outcome;
+}
+
 void BM_OnlineRelaxation(benchmark::State& state) {
   const size_t num_concepts = static_cast<size_t>(state.range(0));
   auto& s = WorldForSize(num_concepts);
@@ -78,12 +148,25 @@ void BM_OnlineRelaxation(benchmark::State& state) {
                        SimilarityOptions{}, ropts);
   const std::vector<ConceptId>& region = s->world.eks.finding_concepts;
   size_t i = 0;
+  RelaxStats total;
   for (auto _ : state) {
     RelaxationOutcome outcome = relaxer.RelaxConcept(
         region[i % region.size()], s->world.ctx_indication);
+    total.Accumulate(outcome.stats);
     benchmark::DoNotOptimize(outcome);
     ++i;
   }
+  const double runs = std::max<double>(1.0, static_cast<double>(i));
+  state.counters["avg_candidates"] =
+      static_cast<double>(total.candidates_scanned) / runs;
+  state.counters["avg_neighbors"] =
+      static_cast<double>(total.neighbors_visited) / runs;
+  state.counters["cache_hit_rate"] =
+      total.geometry_cache_hits + total.geometry_cache_misses == 0
+          ? 0.0
+          : static_cast<double>(total.geometry_cache_hits) /
+                static_cast<double>(total.geometry_cache_hits +
+                                    total.geometry_cache_misses);
   state.SetLabel("concepts=" + std::to_string(num_concepts));
 }
 BENCHMARK(BM_OnlineRelaxation)
@@ -91,7 +174,78 @@ BENCHMARK(BM_OnlineRelaxation)
     ->Arg(2000)
     ->Arg(4000)
     ->Arg(8000)
+    ->Arg(16000)
+    ->Arg(64000)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_OnlineRelaxationLegacy(benchmark::State& state) {
+  const size_t num_concepts = static_cast<size_t>(state.range(0));
+  auto& s = WorldForSize(num_concepts);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  RelaxationOptions ropts;
+  ropts.radius = 4;
+  ropts.top_k = 10;
+  SimilarityOptions sopts;
+  sopts.memoize_geometry = false;  // the legacy path cached nothing
+  SimilarityModel model(&s->world.eks.dag, &s->with_corpus.frequencies,
+                        sopts);
+  const std::vector<ConceptId>& region = s->world.eks.finding_concepts;
+  size_t i = 0;
+  for (auto _ : state) {
+    RelaxationOutcome outcome =
+        LegacyRelaxConcept(s->world.eks.dag, s->with_corpus, model,
+                           region[i % region.size()],
+                           s->world.ctx_indication, ropts);
+    benchmark::DoNotOptimize(outcome);
+    ++i;
+  }
+  state.SetLabel("concepts=" + std::to_string(num_concepts));
+}
+BENCHMARK(BM_OnlineRelaxationLegacy)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RelaxBatch(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  auto& s = WorldForSize(8000);
+  if (s == nullptr) {
+    state.SkipWithError("world build failed");
+    return;
+  }
+  RelaxationOptions ropts;
+  ropts.radius = 4;
+  ropts.top_k = 10;
+  QueryRelaxer relaxer(&s->world.eks.dag, &s->with_corpus, s->edit.get(),
+                       SimilarityOptions{}, ropts);
+  const std::vector<ConceptId>& region = s->world.eks.finding_concepts;
+  std::vector<ConceptQuery> queries;
+  queries.reserve(64);
+  for (size_t i = 0; i < 64; ++i) {
+    queries.push_back({region[i % region.size()], s->world.ctx_indication});
+  }
+  for (auto _ : state) {
+    std::vector<RelaxationOutcome> outcomes =
+        relaxer.RelaxBatch(queries, threads);
+    benchmark::DoNotOptimize(outcomes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_RelaxBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OnlineRelaxationByRadius(benchmark::State& state) {
   auto& s = WorldForSize(4000);

@@ -1,0 +1,113 @@
+#include "medrelax/graph/geometry.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "medrelax/graph/traversal.h"
+
+namespace medrelax {
+
+namespace {
+constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+GeometryEngine::GeometryEngine(const ConceptDag* dag)
+    : dag_(dag),
+      up_target_(dag->num_concepts(), 0),
+      stamp_(dag->num_concepts(), 0) {}
+
+void GeometryEngine::SetSource(ConceptId source) {
+  if (source == source_) return;
+  source_ = source;
+  if (!dag_->IsValid(source)) {
+    up_source_.assign(dag_->num_concepts(), kUnreachable);
+    return;
+  }
+  up_source_ = UpDistances(*dag_, source);
+}
+
+PairGeometry GeometryEngine::Compute(ConceptId target) {
+  PairGeometry g;
+  if (!dag_->IsValid(source_) || !dag_->IsValid(target)) return g;
+
+  // Sparse upward BFS from the target over native edges: the reflexive
+  // ancestor cone with original-hop distances, epoch-stamped so the
+  // graph-sized scratch arrays are reused without clearing.
+  if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  cone_.clear();
+  stamp_[target] = epoch_;
+  up_target_[target] = 0;
+  cone_.push_back(target);
+  for (size_t head = 0; head < cone_.size(); ++head) {
+    ConceptId u = cone_[head];
+    for (const DagEdge& e : dag_->parents(u)) {
+      if (e.is_shortcut) continue;
+      if (stamp_[e.target] != epoch_) {
+        stamp_[e.target] = epoch_;
+        up_target_[e.target] = up_target_[u] + 1;
+        cone_.push_back(e.target);
+      }
+    }
+  }
+
+  // Best apex: minimal total original-hop length, ties broken towards the
+  // fewest generalization hops (matching ShortestTaxonomicPath).
+  uint32_t best_total = kUnreachable;
+  uint32_t best_up = kUnreachable;
+  for (ConceptId c : cone_) {
+    if (up_source_[c] == kUnreachable) continue;
+    uint32_t total = up_source_[c] + up_target_[c];
+    if (total < best_total ||
+        (total == best_total && up_source_[c] < best_up)) {
+      best_total = total;
+      best_up = up_source_[c];
+    }
+  }
+  if (best_total == kUnreachable) return g;  // disconnected forest
+
+  g.connected = true;
+  // The path generalizes `up` hops to the apex then specializes `down`
+  // hops; Equation 4 assigns hop i (one-based) the exponent D - i, so the
+  // per-direction sums collapse to closed forms. All quantities are small
+  // integers, so the doubles are exact.
+  const double up = static_cast<double>(best_up);
+  const double down = static_cast<double>(best_total - best_up);
+  const double d = up + down;
+  g.gen_exponent = up * d - up * (up + 1.0) / 2.0;
+  g.spec_exponent = down * (down - 1.0) / 2.0;
+
+  // LCS (footnote 1): among minimal common subsumers — those with no
+  // native child that is also a common subsumer — keep the shortest
+  // combined distance; ties are all returned. Common subsumers are
+  // exactly the cone members the source also reaches upward.
+  uint32_t best_combined = kUnreachable;
+  for (ConceptId c : cone_) {
+    if (up_source_[c] == kUnreachable) continue;
+    bool minimal = true;
+    for (const DagEdge& e : dag_->children(c)) {
+      if (e.is_shortcut) continue;
+      if (stamp_[e.target] == epoch_ &&
+          up_source_[e.target] != kUnreachable) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    uint32_t combined = up_source_[c] + up_target_[c];
+    if (combined < best_combined) {
+      best_combined = combined;
+      g.lcs.clear();
+      g.lcs.push_back(c);
+    } else if (combined == best_combined) {
+      g.lcs.push_back(c);
+    }
+  }
+  std::sort(g.lcs.begin(), g.lcs.end());
+  return g;
+}
+
+}  // namespace medrelax

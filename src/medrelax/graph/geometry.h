@@ -1,0 +1,81 @@
+#ifndef MEDRELAX_GRAPH_GEOMETRY_H_
+#define MEDRELAX_GRAPH_GEOMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "medrelax/graph/concept_dag.h"
+
+namespace medrelax {
+
+/// The weight- and context-independent geometry of a concept pair: enough
+/// to evaluate Equations 3-5 for any (w_gen, w_spec, context) without
+/// touching the graph again.
+struct PairGeometry {
+  /// False for disconnected pairs (non-rooted graphs only).
+  bool connected = false;
+  /// Sum of the Equation 4 exponents (D - i) over generalization hops:
+  /// p = w_gen^gen_exponent * w_spec^spec_exponent.
+  double gen_exponent = 0.0;
+  /// Sum over specialization hops.
+  double spec_exponent = 0.0;
+  /// Tied least common subsumers (footnote-1 policy applied), ascending id.
+  std::vector<ConceptId> lcs;
+};
+
+/// Per-query geometry engine: the shared-frontier core of the online hot
+/// path (Algorithm 2 line 3).
+///
+/// `SetSource(Q)` runs ONE upward BFS from the query concept; after that,
+/// `Compute(B)` derives the full pair geometry of (Q, B) — shortest
+/// taxonomic path split at the best apex, the Equation 4 gen/spec
+/// exponents, and the footnote-1 LCS set — from B's ancestor cone alone,
+/// in O(|ancestors(B)| * degree). The naive per-pair formulation
+/// (ShortestTaxonomicPath + LeastCommonSubsumers) walks the whole graph
+/// four times per pair; candidates share the query-side frontier here, so
+/// a k-candidate query costs one full traversal plus k small cones.
+///
+/// Results are value-identical to the naive formulation (property-tested
+/// in tests/graph_reference_test.cc).
+///
+/// Scratch state is reused across calls via epoch stamping, so no
+/// per-candidate allocation of graph-sized arrays happens after
+/// construction. NOT thread-safe: create one engine per thread
+/// (QueryRelaxer::RelaxBatch does exactly that).
+class GeometryEngine {
+ public:
+  /// Borrows `dag`, which must outlive the engine.
+  explicit GeometryEngine(const ConceptDag* dag);
+
+  /// Re-anchors the engine on `source` (one upward BFS over native
+  /// edges). A no-op when `source` is already the anchor.
+  void SetSource(ConceptId source);
+
+  /// The current anchor, kInvalidConcept before the first SetSource.
+  [[nodiscard]] ConceptId source() const { return source_; }
+
+  /// Geometry of (source(), target). Precondition: SetSource was called.
+  [[nodiscard]] PairGeometry Compute(ConceptId target);
+
+  /// Original-hop generalization distances from the current source
+  /// (UINT32_MAX where unreachable), exposed for diagnostics.
+  [[nodiscard]] const std::vector<uint32_t>& source_up_distances() const {
+    return up_source_;
+  }
+
+ private:
+  const ConceptDag* dag_;
+  ConceptId source_ = kInvalidConcept;
+  /// Full upward-distance array from the source (refreshed by SetSource).
+  std::vector<uint32_t> up_source_;
+  /// Epoch-stamped sparse upward distances of the current target cone.
+  std::vector<uint32_t> up_target_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  /// Reflexive ancestors of the current target, in BFS order.
+  std::vector<ConceptId> cone_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_GRAPH_GEOMETRY_H_

@@ -71,26 +71,55 @@ bool IsAncestorOf(const ConceptDag& dag, ConceptId ancestor,
   return false;
 }
 
+RadiusExpander::RadiusExpander(const ConceptDag& dag, ConceptId start)
+    : dag_(&dag), dist_(dag.num_concepts(), kUnreachable) {
+  if (start < dag.num_concepts()) {
+    dist_[start] = 0;
+    buckets_.resize(1);
+    buckets_[0].push_back(start);
+  }
+}
+
+void RadiusExpander::ExpandTo(uint32_t radius, std::vector<Neighbor>* out) {
+  while (next_bucket_ < buckets_.size() && next_bucket_ <= radius) {
+    // Index-based loop: relaxations never push into the current bucket
+    // (edge weights are >= 1) but do grow `buckets_`.
+    for (size_t i = 0; i < buckets_[next_bucket_].size(); ++i) {
+      ConceptId u = buckets_[next_bucket_][i];
+      if (dist_[u] != next_bucket_) continue;  // stale dial entry
+      if (next_bucket_ > 0 && out != nullptr) {
+        out->push_back({u, next_bucket_});
+      }
+      auto relax = [&](const DagEdge& e) {
+        ++edges_relaxed_;
+        // A well-formed edge has original_distance >= 1; clamp malformed
+        // zero-distance edges so the dial queue always advances.
+        uint32_t weight = e.original_distance == 0 ? 1 : e.original_distance;
+        uint32_t candidate = next_bucket_ + weight;
+        if (candidate < next_bucket_) return;  // overflow guard
+        if (candidate < dist_[e.target]) {
+          dist_[e.target] = candidate;
+          if (candidate >= buckets_.size()) buckets_.resize(candidate + 1);
+          buckets_[candidate].push_back(e.target);
+        }
+      };
+      for (const DagEdge& e : dag_->parents(u)) relax(e);
+      for (const DagEdge& e : dag_->children(u)) relax(e);
+    }
+    buckets_[next_bucket_].clear();
+    ++next_bucket_;
+  }
+  // When the queue drains early, remember the requested radius so a later
+  // ExpandTo with a larger one resumes correctly (nothing left to do).
+  if (next_bucket_ <= radius) next_bucket_ = radius + 1;
+}
+
 std::vector<Neighbor> NeighborsWithinRadius(const ConceptDag& dag,
                                             ConceptId start, uint32_t radius) {
   std::vector<Neighbor> out;
   if (radius == 0) return out;
-  std::vector<uint32_t> hops(dag.num_concepts(), kUnreachable);
-  hops[start] = 0;
-  std::vector<ConceptId> queue = {start};
-  for (size_t head = 0; head < queue.size(); ++head) {
-    ConceptId u = queue[head];
-    if (hops[u] == radius) continue;
-    auto visit = [&](const DagEdge& e) {
-      if (hops[e.target] == kUnreachable) {
-        hops[e.target] = hops[u] + 1;
-        queue.push_back(e.target);
-        out.push_back({e.target, hops[e.target]});
-      }
-    };
-    for (const DagEdge& e : dag.parents(u)) visit(e);
-    for (const DagEdge& e : dag.children(u)) visit(e);
-  }
+  RadiusExpander expander(dag, start);
+  expander.ExpandTo(radius, &out);
   return out;
 }
 

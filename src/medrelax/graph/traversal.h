@@ -20,20 +20,55 @@ std::vector<ConceptId> Descendants(const ConceptDag& dag, ConceptId id);
 bool IsAncestorOf(const ConceptDag& dag, ConceptId ancestor,
                   ConceptId descendant);
 
-/// A concept reached by the radius-bounded search together with its hop
-/// count from the start concept.
+/// A concept reached by the radius-bounded search together with its
+/// distance from the start concept.
 struct Neighbor {
   ConceptId id = kInvalidConcept;
-  /// Application-level hops: every edge, including a shortcut, counts 1
-  /// (Section 5.1: shortcut endpoints "become one-hop neighbors with
-  /// respect to the application").
+  /// Shortest distance in *original* hops: a native edge counts 1 and a
+  /// shortcut edge counts its annotated original distance. The radius-r
+  /// ball is therefore identical whether or not shortcut edges were
+  /// materialized — shortcuts are a traversal-latency lever (one edge
+  /// relaxation spans several original hops), never a semantics change
+  /// (DESIGN.md ablation promise: shortcut edges on/off yields the same
+  /// candidates).
   uint32_t hops = 0;
 };
 
-/// Concepts within `radius` application-level hops of `start`, traversing
-/// edges in both directions (generalization and specialization), excluding
-/// `start` itself. Shortcut edges count as one hop — this is precisely the
-/// latency lever the offline customization buys (Algorithm 2, line 2).
+/// Incremental radius-bounded search (Algorithm 2 line 2, including the
+/// dynamic-radius growth of Section 5.2): a bounded Dijkstra over
+/// taxonomic edges in both directions, weighted by original distance.
+///
+/// `ExpandTo(r)` settles every concept within original-hop distance r and
+/// may be called repeatedly with nondecreasing radii; each call resumes
+/// from the previous frontier instead of re-running the search from
+/// scratch, so `++radius` growth costs only the newly uncovered shell.
+class RadiusExpander {
+ public:
+  /// Borrows `dag`, which must outlive the expander.
+  RadiusExpander(const ConceptDag& dag, ConceptId start);
+
+  /// Expands the settled ball to `radius`, appending every newly settled
+  /// concept (excluding `start`) to `out` in nondecreasing hop order.
+  /// Precondition: `radius` is >= every radius passed before.
+  void ExpandTo(uint32_t radius, std::vector<Neighbor>* out);
+
+  /// Edge relaxations performed so far (bench/stats instrumentation).
+  [[nodiscard]] size_t edges_relaxed() const { return edges_relaxed_; }
+
+ private:
+  const ConceptDag* dag_;
+  std::vector<uint32_t> dist_;
+  /// Dial queue: buckets_[d] holds concepts tentatively at distance d.
+  /// Entries go stale when a shorter path is found first; stale entries
+  /// are skipped on settlement (dist_ no longer matches the bucket).
+  std::vector<std::vector<ConceptId>> buckets_;
+  uint32_t next_bucket_ = 0;
+  size_t edges_relaxed_ = 0;
+};
+
+/// Concepts within `radius` original hops of `start`, traversing edges in
+/// both directions (generalization and specialization), excluding `start`
+/// itself. A convenience wrapper over RadiusExpander for one-shot use.
 std::vector<Neighbor> NeighborsWithinRadius(const ConceptDag& dag,
                                             ConceptId start, uint32_t radius);
 

@@ -50,13 +50,16 @@ RelaxationOutcome FeedbackRelaxer::RelaxConcept(ConceptId query,
               }
               return a.concept_id < b.concept_id;
             });
-  // Truncate back to the base k, counting covered instances like
-  // Algorithm 2 does.
+  // Truncate back to exactly the base k, like Algorithm 2 does: the last
+  // concept's contribution is cut at the k boundary.
   outcome.instances.clear();
   std::vector<ScoredConcept> kept;
   for (ScoredConcept& sc : outcome.concepts) {
     if (outcome.instances.size() >= k) break;
-    for (InstanceId i : sc.instances) outcome.instances.push_back(i);
+    for (InstanceId i : sc.instances) {
+      if (outcome.instances.size() >= k) break;
+      outcome.instances.push_back(i);
+    }
     kept.push_back(std::move(sc));
   }
   outcome.concepts = std::move(kept);

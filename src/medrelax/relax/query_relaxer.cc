@@ -1,11 +1,24 @@
 #include "medrelax/relax/query_relaxer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "medrelax/common/string_util.h"
 #include "medrelax/graph/traversal.h"
 
 namespace medrelax {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
 
 QueryRelaxer::QueryRelaxer(const ConceptDag* eks,
                            const IngestionResult* ingestion,
@@ -38,28 +51,45 @@ RelaxationOutcome QueryRelaxer::RelaxConcept(ConceptId query,
 RelaxationOutcome QueryRelaxer::RelaxConceptWithK(ConceptId query,
                                                   ContextId context,
                                                   size_t k) const {
+  GeometryEngine engine(eks_);
+  return RelaxWithEngine(query, context, k, engine);
+}
+
+RelaxationOutcome QueryRelaxer::RelaxWithEngine(ConceptId query,
+                                                ContextId context, size_t k,
+                                                GeometryEngine& engine) const {
+  const auto t_start = std::chrono::steady_clock::now();
   RelaxationOutcome outcome;
   outcome.query_concept = query;
 
   const std::vector<bool>& flagged = ingestion_->flagged;
+  auto instance_count = [&](ConceptId b) -> size_t {
+    auto it = ingestion_->concept_instances.find(b);
+    return it == ingestion_->concept_instances.end() ? 0 : it->second.size();
+  };
 
-  // Line 2: candidates = flagged concepts within radius r, growing r when
-  // dynamic sizing is on and the candidate pool cannot cover k.
+  // Line 2: candidates = flagged concepts within radius r. The expander
+  // keeps its Dijkstra frontier across iterations, so dynamic growth only
+  // pays for the newly uncovered ring, and candidate/coverage bookkeeping
+  // only touches neighbors not seen at the previous radius.
   uint32_t radius = relaxation_options_.radius;
+  RadiusExpander expander(*eks_, query);
+  std::vector<Neighbor> neighbors;
   std::vector<ConceptId> candidates;
+  size_t covered_instances = 0;
+  if (query < flagged.size() && flagged[query]) {
+    candidates.push_back(query);  // the term itself, when in the KB
+    covered_instances += instance_count(query);
+  }
+  size_t consumed = 0;
   for (;;) {
-    candidates.clear();
-    if (query < flagged.size() && flagged[query]) {
-      candidates.push_back(query);  // the term itself, when in the KB
-    }
-    for (const Neighbor& n : NeighborsWithinRadius(*eks_, query, radius)) {
-      if (n.id < flagged.size() && flagged[n.id]) candidates.push_back(n.id);
-    }
-    size_t covered_instances = 0;
-    for (ConceptId b : candidates) {
-      auto it = ingestion_->concept_instances.find(b);
-      if (it != ingestion_->concept_instances.end()) {
-        covered_instances += it->second.size();
+    ++outcome.stats.radius_iterations;
+    expander.ExpandTo(radius, &neighbors);
+    for (; consumed < neighbors.size(); ++consumed) {
+      ConceptId id = neighbors[consumed].id;
+      if (id < flagged.size() && flagged[id]) {
+        candidates.push_back(id);
+        covered_instances += instance_count(id);
       }
     }
     if (!relaxation_options_.dynamic_radius || covered_instances >= k ||
@@ -69,19 +99,40 @@ RelaxationOutcome QueryRelaxer::RelaxConceptWithK(ConceptId query,
     ++radius;
   }
   outcome.effective_radius = radius;
+  outcome.stats.neighbors_visited = neighbors.size();
+  const auto t_candidates = std::chrono::steady_clock::now();
+  outcome.stats.candidate_ns = ElapsedNs(t_start, t_candidates);
 
-  // Line 3: sort candidates by sim(A, B) descending; deterministic
-  // tie-break on concept id.
+  // Line 3: score each candidate. Geometry comes from the memoization
+  // cache when available, otherwise from the shared-frontier engine (one
+  // upward BFS for the query, then one small cone per candidate).
+  engine.SetSource(query);
   std::vector<ScoredConcept> scored;
   scored.reserve(candidates.size());
   for (ConceptId b : candidates) {
     ScoredConcept sc;
     sc.concept_id = b;
-    sc.similarity = similarity_.Similarity(query, b, context);
+    if (b == query) {
+      sc.similarity = 1.0;
+    } else if (std::optional<PairGeometry> hit =
+                   similarity_.CachedGeometry(query, b)) {
+      ++outcome.stats.geometry_cache_hits;
+      sc.similarity = similarity_.ScoreGeometry(*hit, query, b, context);
+    } else {
+      ++outcome.stats.geometry_cache_misses;
+      PairGeometry g = engine.Compute(b);
+      similarity_.StoreGeometry(query, b, g);
+      sc.similarity = similarity_.ScoreGeometry(g, query, b, context);
+    }
     auto it = ingestion_->concept_instances.find(b);
     if (it != ingestion_->concept_instances.end()) sc.instances = it->second;
     scored.push_back(std::move(sc));
   }
+  outcome.stats.candidates_scanned = candidates.size();
+  const auto t_scored = std::chrono::steady_clock::now();
+  outcome.stats.scoring_ns = ElapsedNs(t_candidates, t_scored);
+
+  // Sort by sim(A, B) descending; deterministic tie-break on concept id.
   std::sort(scored.begin(), scored.end(),
             [](const ScoredConcept& a, const ScoredConcept& b) {
               if (a.similarity != b.similarity) {
@@ -90,26 +141,67 @@ RelaxationOutcome QueryRelaxer::RelaxConceptWithK(ConceptId query,
               return a.concept_id < b.concept_id;
             });
 
-  // Lines 4-8: pop candidates until k instances are gathered.
+  // Lines 4-8: pop candidates until exactly k instances are gathered; the
+  // last concept's contribution is truncated at the k boundary.
   for (ScoredConcept& sc : scored) {
     if (outcome.instances.size() >= k) break;
-    for (InstanceId i : sc.instances) outcome.instances.push_back(i);
+    for (InstanceId i : sc.instances) {
+      if (outcome.instances.size() >= k) break;
+      outcome.instances.push_back(i);
+    }
     outcome.concepts.push_back(std::move(sc));
   }
+  const auto t_ranked = std::chrono::steady_clock::now();
+  outcome.stats.rank_ns = ElapsedNs(t_scored, t_ranked);
+  outcome.stats.total_ns = ElapsedNs(t_start, t_ranked);
   return outcome;
+}
+
+std::vector<RelaxationOutcome> QueryRelaxer::RelaxBatch(
+    std::span<const ConceptQuery> queries, unsigned num_threads) const {
+  std::vector<RelaxationOutcome> outcomes(queries.size());
+  if (queries.empty()) return outcomes;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads = static_cast<unsigned>(
+      std::min<size_t>(num_threads, queries.size()));
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    GeometryEngine engine(eks_);
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) return;
+      outcomes[i] =
+          RelaxWithEngine(queries[i].concept_id, queries[i].context,
+                          relaxation_options_.top_k, engine);
+    }
+  };
+  if (num_threads == 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+  return outcomes;
 }
 
 size_t QueryRelaxer::PrecomputeSimilarities() const {
   if (!similarity_.options().memoize_geometry) return 0;
   const std::vector<bool>& flagged = ingestion_->flagged;
+  GeometryEngine engine(eks_);
   for (ConceptId query = 0; query < flagged.size(); ++query) {
     if (!flagged[query]) continue;
+    engine.SetSource(query);
     for (const Neighbor& n : NeighborsWithinRadius(
              *eks_, query, relaxation_options_.radius)) {
-      if (n.id < flagged.size() && flagged[n.id]) {
-        // Called for the memoization side effect; the geometry itself is
-        // recomputed on demand by Similarity().
-        (void)similarity_.Geometry(query, n.id);
+      if (n.id < flagged.size() && flagged[n.id] &&
+          !similarity_.CachedGeometry(query, n.id)) {
+        similarity_.StoreGeometry(query, n.id, engine.Compute(n.id));
       }
     }
   }

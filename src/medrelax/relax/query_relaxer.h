@@ -1,20 +1,26 @@
 #ifndef MEDRELAX_RELAX_QUERY_RELAXER_H_
 #define MEDRELAX_RELAX_QUERY_RELAXER_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "medrelax/common/result.h"
+#include "medrelax/graph/geometry.h"
 #include "medrelax/matching/matcher.h"
 #include "medrelax/relax/ingestion.h"
+#include "medrelax/relax/relax_stats.h"
 #include "medrelax/relax/similarity.h"
 
 namespace medrelax {
 
 /// Knobs of the online query relaxation (Algorithm 2).
 struct RelaxationOptions {
-  /// Search radius r in application-level hops (shortcuts count 1).
+  /// Search radius r in original taxonomy hops. Shortcut edges do not
+  /// change the radius-r ball: they carry their pre-customization distance
+  /// (Section 4.2), so the same concepts are reachable with or without
+  /// customization.
   uint32_t radius = 4;
   /// Grow the radius when fewer than k candidates are found ("dynamically
   /// decided if a fixed r cannot provide k results", Section 5.2).
@@ -37,13 +43,23 @@ struct RelaxationOutcome {
   /// The external concept Q the query term resolved to.
   ConceptId query_concept = kInvalidConcept;
   /// Ranked flagged concepts (descending similarity), truncated once k
-  /// instances are covered.
+  /// instances are covered. The last concept's instance list may extend
+  /// past k; `instances` below is the truncated answer.
   std::vector<ScoredConcept> concepts;
-  /// Res of Algorithm 2: the union of the concepts' instances, in rank
-  /// order, at most max(k, last-concept overshoot) entries.
+  /// Res of Algorithm 2: the union of the concepts' instances in rank
+  /// order, truncated to exactly k entries (fewer only when the whole
+  /// neighborhood covers fewer than k).
   std::vector<InstanceId> instances;
   /// Radius actually used (>= options.radius when dynamic growth kicked in).
   uint32_t effective_radius = 0;
+  /// Instrumentation for this relaxation.
+  RelaxStats stats;
+};
+
+/// A concept-level query for batch relaxation.
+struct ConceptQuery {
+  ConceptId concept_id = kInvalidConcept;
+  ContextId context = kNoContext;
 };
 
 /// The online query relaxation engine (Algorithm 2 + Equation 5).
@@ -51,6 +67,11 @@ struct RelaxationOutcome {
 /// Borrows the external DAG (with shortcut edges applied), the ingestion
 /// result, and a mapping function for resolving query terms; all must
 /// outlive the relaxer.
+///
+/// Thread-safe: all entry points are const and the underlying
+/// SimilarityModel synchronizes its geometry cache, so one relaxer can
+/// serve concurrent queries. RelaxBatch exploits this with a worker pool
+/// holding one GeometryEngine per thread.
 class QueryRelaxer {
  public:
   QueryRelaxer(const ConceptDag* eks, const IngestionResult* ingestion,
@@ -75,6 +96,13 @@ class QueryRelaxer {
   RelaxationOutcome RelaxConceptWithK(ConceptId query, ContextId context,
                                       size_t k) const;
 
+  /// Relaxes a batch of concept-level queries on `num_threads` workers
+  /// (0 = hardware concurrency). Outcomes are returned in input order and
+  /// are identical to sequential RelaxConcept calls; each worker reuses
+  /// one GeometryEngine across its share of the batch.
+  [[nodiscard]] std::vector<RelaxationOutcome> RelaxBatch(
+      std::span<const ConceptQuery> queries, unsigned num_threads = 0) const;
+
   /// Offline pre-computation (Section 5.2: the online phase "retrieves
   /// the pre-computed similarity between A and each external concept in
   /// its neighborhood"): warms the memoized pair geometry for every
@@ -93,6 +121,13 @@ class QueryRelaxer {
   const RelaxationOptions& options() const { return relaxation_options_; }
 
  private:
+  /// The shared-engine core of Algorithm 2: incremental radius growth,
+  /// cache-first geometry through `engine`, scoring, ranking, exact-k
+  /// truncation. `engine` must be anchored on any source or fresh; it is
+  /// re-anchored on `query`.
+  RelaxationOutcome RelaxWithEngine(ConceptId query, ContextId context,
+                                    size_t k, GeometryEngine& engine) const;
+
   const ConceptDag* eks_;
   const IngestionResult* ingestion_;
   const MappingFunction* mapper_;

@@ -1,8 +1,16 @@
 #include "medrelax/relax/similarity.h"
 
 #include <cmath>
+#include <mutex>
+#include <utility>
 
 namespace medrelax {
+
+namespace {
+uint64_t PairKey(ConceptId from, ConceptId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+}  // namespace
 
 ContextId SimilarityModel::EffectiveContext(ContextId ctx) const {
   return options_.use_context ? ctx : kNoContext;
@@ -32,23 +40,41 @@ PairGeometry SimilarityModel::ComputeGeometry(ConceptId from,
   return g;
 }
 
-const PairGeometry& SimilarityModel::Geometry(ConceptId from,
-                                              ConceptId to) const {
-  if (!options_.memoize_geometry) {
-    scratch_ = ComputeGeometry(from, to);
-    return scratch_;
+PairGeometry SimilarityModel::Geometry(ConceptId from, ConceptId to) const {
+  if (!options_.memoize_geometry) return ComputeGeometry(from, to);
+  if (std::optional<PairGeometry> hit = CachedGeometry(from, to)) {
+    return *std::move(hit);
   }
-  uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
-  auto it = geometry_cache_.find(key);
-  if (it != geometry_cache_.end()) return it->second;
-  return geometry_cache_.emplace(key, ComputeGeometry(from, to))
-      .first->second;
+  PairGeometry g = ComputeGeometry(from, to);
+  StoreGeometry(from, to, g);
+  return g;
+}
+
+std::optional<PairGeometry> SimilarityModel::CachedGeometry(
+    ConceptId from, ConceptId to) const {
+  if (!options_.memoize_geometry) return std::nullopt;
+  std::shared_lock<std::shared_mutex> lock(geometry_mu_);
+  auto it = geometry_cache_.find(PairKey(from, to));
+  if (it == geometry_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SimilarityModel::StoreGeometry(ConceptId from, ConceptId to,
+                                    const PairGeometry& g) const {
+  if (!options_.memoize_geometry) return;
+  std::unique_lock<std::shared_mutex> lock(geometry_mu_);
+  geometry_cache_.emplace(PairKey(from, to), g);
+}
+
+size_t SimilarityModel::cached_pairs() const {
+  std::shared_lock<std::shared_mutex> lock(geometry_mu_);
+  return geometry_cache_.size();
 }
 
 double SimilarityModel::SimIc(ConceptId a, ConceptId b, ContextId ctx) const {
   if (a == b) return 1.0;
   ContextId effective = EffectiveContext(ctx);
-  const PairGeometry& g = Geometry(a, b);
+  const PairGeometry g = Geometry(a, b);
   if (g.lcs.empty()) return 0.0;  // disconnected (non-rooted input)
 
   // Footnote 1: equal-distance ties are averaged.
@@ -82,17 +108,16 @@ double SimilarityModel::PathPenaltyForHops(
 double SimilarityModel::PathPenalty(ConceptId from, ConceptId to) const {
   if (!options_.use_path_penalty) return 1.0;
   if (from == to) return 1.0;
-  const PairGeometry& g = Geometry(from, to);
+  const PairGeometry g = Geometry(from, to);
   if (!g.connected) return 0.0;
   return std::pow(options_.generalization_weight, g.gen_exponent) *
          std::pow(options_.specialization_weight, g.spec_exponent);
 }
 
-double SimilarityModel::Similarity(ConceptId from, ConceptId to,
-                                   ContextId ctx) const {
+double SimilarityModel::ScoreGeometry(const PairGeometry& g, ConceptId from,
+                                      ConceptId to, ContextId ctx) const {
   if (from == to) return 1.0;
   ContextId effective = EffectiveContext(ctx);
-  const PairGeometry& g = Geometry(from, to);
   if (!g.connected || g.lcs.empty()) return 0.0;
 
   double penalty = 1.0;
@@ -106,6 +131,12 @@ double SimilarityModel::Similarity(ConceptId from, ConceptId to,
   double denom = freq_->Ic(from, effective) + freq_->Ic(to, effective);
   if (denom <= 1e-12) return 0.0;
   return penalty * 2.0 * lcs_ic / denom;
+}
+
+double SimilarityModel::Similarity(ConceptId from, ConceptId to,
+                                   ContextId ctx) const {
+  if (from == to) return 1.0;
+  return ScoreGeometry(Geometry(from, to), from, to, ctx);
 }
 
 }  // namespace medrelax

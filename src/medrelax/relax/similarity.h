@@ -2,10 +2,13 @@
 #define MEDRELAX_RELAX_SIMILARITY_H_
 
 #include <cstdint>
+#include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "medrelax/graph/concept_dag.h"
+#include "medrelax/graph/geometry.h"
 #include "medrelax/graph/lcs.h"
 #include "medrelax/graph/paths.h"
 #include "medrelax/ontology/context.h"
@@ -32,24 +35,9 @@ struct SimilarityOptions {
   bool use_context = true;
   /// Memoize the per-pair graph geometry (shortest taxonomic path + LCS
   /// set). This realizes the paper's "retrieves the pre-computed
-  /// similarity" step (Section 5.2): the two BFS walks per pair are paid
+  /// similarity" step (Section 5.2): the graph work per pair is paid
   /// once, after which scoring is a table lookup plus arithmetic.
   bool memoize_geometry = true;
-};
-
-/// The weight- and context-independent geometry of a concept pair: enough
-/// to evaluate Equations 3-5 for any (w_gen, w_spec, context) without
-/// touching the graph again.
-struct PairGeometry {
-  /// False for disconnected pairs (non-rooted graphs only).
-  bool connected = false;
-  /// Sum of the Equation 4 exponents (D - i) over generalization hops:
-  /// p = w_gen^gen_exponent * w_spec^spec_exponent.
-  double gen_exponent = 0.0;
-  /// Sum over specialization hops.
-  double spec_exponent = 0.0;
-  /// Tied least common subsumers (footnote-1 policy applied).
-  std::vector<ConceptId> lcs;
 };
 
 /// The paper's similarity measure (Section 5.2):
@@ -57,8 +45,10 @@ struct PairGeometry {
 /// with the IC similarity of Equation 3 evaluated on context-conditioned
 /// frequencies and the direction-weighted path penalty of Equation 4.
 ///
-/// Not thread-safe when memoization is enabled (the cache is mutated on
-/// lookup); create one model per thread.
+/// Thread-safe: geometry is returned by value and the memoization cache is
+/// guarded by a shared mutex, so one model can serve concurrent queries
+/// (QueryRelaxer::RelaxBatch relies on this). Warm the cache up front with
+/// QueryRelaxer::PrecomputeSimilarities to avoid write contention.
 class SimilarityModel {
  public:
   /// Borrows `dag` and `freq`, which must outlive the model.
@@ -89,23 +79,41 @@ class SimilarityModel {
   [[nodiscard]]
   double Similarity(ConceptId from, ConceptId to, ContextId ctx) const;
 
-  /// The memoized (or freshly computed) geometry for (from, to).
-  [[nodiscard]]
-  const PairGeometry& Geometry(ConceptId from, ConceptId to) const;
+  /// Equation 5 evaluated on an externally supplied geometry (the
+  /// QueryRelaxer hot path computes geometries through a shared-frontier
+  /// GeometryEngine and scores them here). Returns 1 when from == to.
+  [[nodiscard]] double ScoreGeometry(const PairGeometry& g, ConceptId from,
+                                     ConceptId to, ContextId ctx) const;
+
+  /// The memoized (or freshly computed) geometry for (from, to), by
+  /// value: the result stays intact across later calls on any thread.
+  [[nodiscard]] PairGeometry Geometry(ConceptId from, ConceptId to) const;
+
+  /// Cache lookup only: nullopt on a miss or when memoization is off.
+  [[nodiscard]] std::optional<PairGeometry> CachedGeometry(ConceptId from,
+                                                           ConceptId to) const;
+
+  /// Inserts a geometry into the memoization cache (no-op when
+  /// memoization is off; first writer wins on a race).
+  void StoreGeometry(ConceptId from, ConceptId to,
+                     const PairGeometry& g) const;
 
   /// Number of memoized pairs (0 when memoization is off).
-  [[nodiscard]] size_t cached_pairs() const { return geometry_cache_.size(); }
+  [[nodiscard]] size_t cached_pairs() const;
 
  private:
   [[nodiscard]] ContextId EffectiveContext(ContextId ctx) const;
+  /// The naive per-pair formulation (four full-graph traversals); the
+  /// reference the shared-frontier engine is property-tested against, and
+  /// the fallback for standalone cache misses.
   [[nodiscard]]
   PairGeometry ComputeGeometry(ConceptId from, ConceptId to) const;
 
   const ConceptDag* dag_;
   const FrequencyModel* freq_;
   SimilarityOptions options_;
+  mutable std::shared_mutex geometry_mu_;
   mutable std::unordered_map<uint64_t, PairGeometry> geometry_cache_;
-  mutable PairGeometry scratch_;
 };
 
 }  // namespace medrelax

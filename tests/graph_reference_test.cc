@@ -12,6 +12,7 @@
 
 #include "medrelax/common/random.h"
 #include "medrelax/graph/concept_dag.h"
+#include "medrelax/graph/geometry.h"
 #include "medrelax/graph/lcs.h"
 #include "medrelax/graph/paths.h"
 #include "medrelax/graph/traversal.h"
@@ -195,6 +196,82 @@ TEST_P(GraphReferenceSweep, NeighborsHopsMatchUndirectedBfs) {
       }
     }
     EXPECT_EQ(got_sorted, expected) << "neighbors of " << start;
+  }
+}
+
+TEST_P(GraphReferenceSweep, NeighborsUnchangedByShortcuts) {
+  // Shortcut edges carry their original distance, so materializing them
+  // must leave every radius-bounded search result untouched.
+  ConceptDag dag = RandomDag(20, GetParam() + 500);
+  const size_t n = dag.num_concepts();
+  const uint32_t radius = 3;
+  std::vector<std::vector<Neighbor>> before(n);
+  for (ConceptId start = 0; start < n; ++start) {
+    before[start] = NeighborsWithinRadius(dag, start, radius);
+  }
+  // Materialize a shortcut for every strictly-transitive up-distance <= 4
+  // (the Algorithm 1 customization, exhaustively).
+  auto ref = RefUpDistances(dag);
+  for (ConceptId a = 0; a < n; ++a) {
+    for (ConceptId c = 0; c < n; ++c) {
+      if (ref[a][c] != kInf && ref[a][c] >= 2 && ref[a][c] <= 4) {
+        ASSERT_TRUE(dag.AddShortcut(a, c, ref[a][c]).ok());
+      }
+    }
+  }
+  for (ConceptId start = 0; start < n; ++start) {
+    std::vector<Neighbor> after = NeighborsWithinRadius(dag, start, radius);
+    auto sorted = [](std::vector<Neighbor> v) {
+      std::vector<std::pair<ConceptId, uint32_t>> out;
+      for (const Neighbor& nb : v) out.emplace_back(nb.id, nb.hops);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(sorted(before[start]), sorted(after))
+        << "neighbors of " << start << " changed by shortcuts";
+  }
+}
+
+TEST_P(GraphReferenceSweep, GeometryEngineMatchesNaiveFormulation) {
+  // The shared-frontier engine must reproduce, pair for pair, what the
+  // naive formulation (ShortestTaxonomicPath + Equation 4 loop +
+  // LeastCommonSubsumers) computes — including on customized graphs.
+  ConceptDag dag = RandomDag(18, GetParam() + 600);
+  const size_t n = dag.num_concepts();
+  auto ref = RefUpDistances(dag);
+  for (ConceptId a = 0; a < n; ++a) {
+    for (ConceptId c = 0; c < n; ++c) {
+      if (ref[a][c] != kInf && ref[a][c] >= 2 && ref[a][c] <= 3) {
+        ASSERT_TRUE(dag.AddShortcut(a, c, ref[a][c]).ok());
+      }
+    }
+  }
+  GeometryEngine engine(&dag);
+  for (ConceptId a = 0; a < n; ++a) {
+    engine.SetSource(a);
+    for (ConceptId b = 0; b < n; ++b) {
+      PairGeometry got = engine.Compute(b);
+
+      TaxonomicPath path = ShortestTaxonomicPath(dag, a, b);
+      EXPECT_EQ(got.connected, path.found) << a << " -> " << b;
+      if (!path.found) continue;
+      double gen = 0.0, spec = 0.0;
+      const double d = static_cast<double>(path.hops.size());
+      for (size_t i = 0; i < path.hops.size(); ++i) {
+        double exponent = d - static_cast<double>(i + 1);
+        if (path.hops[i] == HopDirection::kGeneralization) {
+          gen += exponent;
+        } else {
+          spec += exponent;
+        }
+      }
+      EXPECT_DOUBLE_EQ(got.gen_exponent, gen) << a << " -> " << b;
+      EXPECT_DOUBLE_EQ(got.spec_exponent, spec) << a << " -> " << b;
+
+      LcsResult lcs = LeastCommonSubsumers(dag, a, b);
+      std::sort(lcs.concepts.begin(), lcs.concepts.end());
+      EXPECT_EQ(got.lcs, lcs.concepts) << "lcs(" << a << ", " << b << ")";
+    }
   }
 }
 

@@ -156,7 +156,7 @@ TEST(Traversal, NeighborsRespectRadius) {
   EXPECT_TRUE(NeighborsWithinRadius(d.dag, d.ab, 0).empty());
 }
 
-TEST(Traversal, ShortcutCountsAsOneHop) {
+TEST(Traversal, ShortcutPreservesOriginalDistance) {
   Diamond d = MakeDiamond();
   // Without shortcut, root is 3 hops from leaf.
   auto hops_of = [&](uint32_t radius) {
@@ -166,10 +166,64 @@ TEST(Traversal, ShortcutCountsAsOneHop) {
     return UINT32_MAX;
   };
   EXPECT_EQ(hops_of(2), UINT32_MAX);
+  EXPECT_EQ(hops_of(3), 3u);
+  // A shortcut carries the original distance it replaces, so the radius-r
+  // ball (and every reported hop count) is unchanged by customization.
   ASSERT_TRUE(d.dag.AddShortcut(d.leaf, d.root, 3).ok());
-  EXPECT_EQ(hops_of(1), 1u);
+  EXPECT_EQ(hops_of(2), UINT32_MAX);
+  EXPECT_EQ(hops_of(3), 3u);
   // Original distances are unchanged: UpDistance still 3 (native edges).
   EXPECT_EQ(UpDistance(d.dag, d.leaf, d.root), 3u);
+}
+
+TEST(Traversal, ShortcutNeverShortensBelowOriginalDistance) {
+  // Chain a <- b <- c <- d plus a shortcut (d -> a, distance 3): nodes on
+  // the native path keep their distances even though the shortcut edge
+  // could otherwise act as a 1-hop bypass.
+  ConceptDag dag;
+  ConceptId a = *dag.AddConcept("a");
+  ConceptId b = *dag.AddConcept("b");
+  ConceptId c = *dag.AddConcept("c");
+  ConceptId e = *dag.AddConcept("e");
+  ASSERT_TRUE(dag.AddSubsumption(b, a).ok());
+  ASSERT_TRUE(dag.AddSubsumption(c, b).ok());
+  ASSERT_TRUE(dag.AddSubsumption(e, c).ok());
+  ASSERT_TRUE(dag.AddShortcut(e, a, 3).ok());
+  std::vector<Neighbor> within = NeighborsWithinRadius(dag, e, 4);
+  ASSERT_EQ(within.size(), 3u);
+  for (const Neighbor& n : within) {
+    if (n.id == c) {
+      EXPECT_EQ(n.hops, 1u);
+    } else if (n.id == b) {
+      EXPECT_EQ(n.hops, 2u);
+    } else {
+      EXPECT_EQ(n.id, a);
+      EXPECT_EQ(n.hops, 3u);
+    }
+  }
+}
+
+TEST(Traversal, RadiusExpanderResumesIncrementally) {
+  Diamond d = MakeDiamond();
+  RadiusExpander expander(d.dag, d.leaf);
+  std::vector<Neighbor> out;
+  expander.ExpandTo(1, &out);
+  EXPECT_EQ(out.size(), 1u);  // ab
+  EXPECT_EQ(out[0].id, d.ab);
+  expander.ExpandTo(2, &out);
+  EXPECT_EQ(out.size(), 3u);  // + a, b
+  expander.ExpandTo(3, &out);
+  EXPECT_EQ(out.size(), 4u);  // + root
+  // Results match the one-shot search at the final radius.
+  std::vector<Neighbor> oneshot = NeighborsWithinRadius(d.dag, d.leaf, 3);
+  ASSERT_EQ(oneshot.size(), out.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, oneshot[i].id);
+    EXPECT_EQ(out[i].hops, oneshot[i].hops);
+  }
+  // Re-expanding to an already-covered radius adds nothing.
+  expander.ExpandTo(3, &out);
+  EXPECT_EQ(out.size(), 4u);
 }
 
 TEST(Lcs, SelfLcsIsSelf) {

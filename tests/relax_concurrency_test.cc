@@ -1,0 +1,145 @@
+// Concurrency tests of the online relaxation stack: one SimilarityModel /
+// QueryRelaxer instance serving overlapping queries from many threads.
+// Run under the tsan preset, these pin the thread-safety contract of the
+// shared geometry cache and RelaxBatch.
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "medrelax/datasets/paper_fixtures.h"
+#include "medrelax/matching/exact_matcher.h"
+#include "medrelax/matching/name_index.h"
+#include "medrelax/relax/ingestion.h"
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+namespace {
+
+struct ConcurrencyWorld {
+  Figure5Fixture fx;
+  KnowledgeBase kb;
+  std::unique_ptr<NameIndex> index;
+  std::unique_ptr<ExactMatcher> matcher;
+  IngestionResult ingestion;
+};
+
+ConcurrencyWorld MakeWorld() {
+  ConcurrencyWorld w;
+  auto fx = BuildFigure5Fixture();
+  EXPECT_TRUE(fx.ok());
+  w.fx = std::move(*fx);
+  auto onto = BuildFigure1Ontology();
+  EXPECT_TRUE(onto.ok());
+  w.kb.ontology = std::move(*onto);
+  OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+  EXPECT_TRUE(w.kb.instances.AddInstance("kidney disease", finding).ok());
+  EXPECT_TRUE(
+      w.kb.instances.AddInstance("hypertensive renal disease", finding).ok());
+  w.index = std::make_unique<NameIndex>(&w.fx.dag);
+  w.matcher = std::make_unique<ExactMatcher>(w.index.get());
+  auto ingestion =
+      RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, IngestionOptions{});
+  EXPECT_TRUE(ingestion.ok());
+  w.ingestion = std::move(*ingestion);
+  return w;
+}
+
+TEST(Concurrency, ConcurrentSimilarityCallsShareTheCache) {
+  ConcurrencyWorld w = MakeWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  const SimilarityModel& model = relaxer.similarity();
+  ConceptId query = w.fx.ckd_stage1_due_to_hypertension;
+  double expected_kidney = model.Similarity(query, w.fx.kidney_disease, 0);
+  double expected_hrd =
+      model.Similarity(query, w.fx.hypertensive_renal_disease, 0);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < kIterations; ++i) {
+        // Alternate pairs so threads race on both reads and inserts.
+        double kidney = model.Similarity(query, w.fx.kidney_disease, 0);
+        double hrd =
+            model.Similarity(query, w.fx.hypertensive_renal_disease, 0);
+        if (kidney != expected_kidney || hrd != expected_hrd) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST(Concurrency, ParallelRelaxBatchMatchesSequential) {
+  ConcurrencyWorld w = MakeWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  std::vector<ConceptQuery> queries;
+  const std::vector<ConceptId> rotation = {
+      w.fx.ckd_stage1_due_to_hypertension, w.fx.kidney_disease,
+      w.fx.hypertensive_renal_disease, w.fx.hypertensive_nephropathy};
+  for (size_t i = 0; i < 64; ++i) {
+    queries.push_back({rotation[i % rotation.size()], 0});
+  }
+  std::vector<RelaxationOutcome> parallel = relaxer.RelaxBatch(queries, 4);
+  std::vector<RelaxationOutcome> sequential = relaxer.RelaxBatch(queries, 1);
+  ASSERT_EQ(parallel.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(parallel[i].concepts.size(), sequential[i].concepts.size())
+        << "query " << i;
+    for (size_t j = 0; j < parallel[i].concepts.size(); ++j) {
+      EXPECT_EQ(parallel[i].concepts[j].concept_id,
+                sequential[i].concepts[j].concept_id);
+      EXPECT_DOUBLE_EQ(parallel[i].concepts[j].similarity,
+                       sequential[i].concepts[j].similarity);
+    }
+    EXPECT_EQ(parallel[i].instances, sequential[i].instances) << "query " << i;
+  }
+}
+
+TEST(Concurrency, ConcurrentBatchesOnOneRelaxer) {
+  ConcurrencyWorld w = MakeWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  std::vector<ConceptQuery> queries = {
+      {w.fx.ckd_stage1_due_to_hypertension, 0},
+      {w.fx.kidney_disease, 0},
+      {w.fx.hypertensive_renal_disease, 0},
+  };
+  RelaxationOutcome expected = relaxer.RelaxConcept(queries[0].concept_id, 0);
+
+  constexpr int kThreads = 3;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < 20; ++i) {
+        std::vector<RelaxationOutcome> got = relaxer.RelaxBatch(queries, 2);
+        if (got[0].concepts.size() != expected.concepts.size() ||
+            got[0].instances != expected.instances) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace medrelax

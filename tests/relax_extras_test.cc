@@ -129,6 +129,29 @@ TEST(Geometry, CacheReturnsIdenticalScores) {
   EXPECT_EQ(without.cached_pairs(), 0u);
 }
 
+TEST(Geometry, InterleavedGeometriesStayIntact) {
+  // Regression: the non-memoized path used to return a reference into a
+  // shared scratch slot, so fetching a second geometry corrupted the
+  // first. Geometries are by value now; interleaving must be safe.
+  ExtrasWorld w = MakeExtrasWorld();
+  SimilarityOptions opts;
+  opts.memoize_geometry = false;
+  SimilarityModel model(&w.fx.dag, &w.freq, opts);
+  PairGeometry first =
+      model.Geometry(w.fx.frequent_headache, w.fx.pain_in_throat);
+  PairGeometry second =
+      model.Geometry(w.fx.craniofacial_pain, w.fx.headache);
+  PairGeometry first_again =
+      model.Geometry(w.fx.frequent_headache, w.fx.pain_in_throat);
+  EXPECT_TRUE(first.connected);
+  EXPECT_EQ(first.connected, first_again.connected);
+  EXPECT_DOUBLE_EQ(first.gen_exponent, first_again.gen_exponent);
+  EXPECT_DOUBLE_EQ(first.spec_exponent, first_again.spec_exponent);
+  EXPECT_EQ(first.lcs, first_again.lcs);
+  // And the two pairs are genuinely different, so aliasing would show.
+  EXPECT_NE(first.lcs, second.lcs);
+}
+
 // Feedback tests run on the Figure 5 relax world.
 struct FeedbackWorld {
   Figure5Fixture fx;

@@ -3,6 +3,8 @@
 // radius growth, and the Scenario 1 flow ("pyelectasia" -> kidney disease).
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -134,16 +136,71 @@ TEST(Relaxer, QueryConceptItselfIncludedWhenFlagged) {
 TEST(Relaxer, FixedSmallRadiusLimitsCandidates) {
   RelaxWorld w = MakeRelaxWorld();
   RelaxationOptions opts;
-  opts.radius = 1;
+  opts.radius = 2;
   opts.dynamic_radius = false;
   QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
                        SimilarityOptions{}, opts);
-  // Shortcut edges make kidney disease 1 hop from the ckd leaf even at
-  // radius 1 — that is exactly what the customization is for.
+  // The radius counts original hops even across shortcut edges, so radius
+  // 2 reaches hypertensive renal disease (2 native hops up) but not
+  // kidney disease (3) — with or without customization.
   RelaxationOutcome outcome =
       relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
-  EXPECT_EQ(outcome.effective_radius, 1u);
-  EXPECT_FALSE(outcome.concepts.empty());
+  EXPECT_EQ(outcome.effective_radius, 2u);
+  ASSERT_EQ(outcome.concepts.size(), 1u);
+  EXPECT_EQ(outcome.concepts[0].concept_id, w.fx.hypertensive_renal_disease);
+}
+
+TEST(Relaxer, ShortcutsDoNotChangeCandidatesOrScores) {
+  // Figure 5 regression: the radius-r ball and every similarity must be
+  // identical with customization (shortcut edges) on and off — shortcuts
+  // accelerate traversal, they never alter semantics.
+  auto build = [](bool shortcuts) {
+    RelaxWorld w;
+    auto fx = BuildFigure5Fixture();
+    EXPECT_TRUE(fx.ok());
+    w.fx = std::move(*fx);
+    auto onto = BuildFigure1Ontology();
+    EXPECT_TRUE(onto.ok());
+    w.kb.ontology = std::move(*onto);
+    OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+    w.kidney_instance =
+        *w.kb.instances.AddInstance("kidney disease", finding);
+    w.hrd_instance =
+        *w.kb.instances.AddInstance("hypertensive renal disease", finding);
+    w.index_holder = std::make_unique<NameIndex>(&w.fx.dag);
+    w.matcher = std::make_unique<ExactMatcher>(w.index_holder.get());
+    IngestionOptions ing_opts;
+    ing_opts.add_shortcut_edges = shortcuts;
+    auto ingestion =
+        RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, ing_opts);
+    EXPECT_TRUE(ingestion.ok());
+    w.ingestion = std::move(*ingestion);
+    return w;
+  };
+  RelaxWorld with = build(true);
+  RelaxWorld without = build(false);
+  for (uint32_t radius : {1u, 2u, 3u, 4u}) {
+    RelaxationOptions opts;
+    opts.radius = radius;
+    opts.dynamic_radius = false;
+    QueryRelaxer relaxer_with(&with.fx.dag, &with.ingestion,
+                              with.matcher.get(), SimilarityOptions{}, opts);
+    QueryRelaxer relaxer_without(&without.fx.dag, &without.ingestion,
+                                 without.matcher.get(), SimilarityOptions{},
+                                 opts);
+    RelaxationOutcome a =
+        relaxer_with.RelaxConcept(with.fx.ckd_stage1_due_to_hypertension, 0);
+    RelaxationOutcome b = relaxer_without.RelaxConcept(
+        without.fx.ckd_stage1_due_to_hypertension, 0);
+    ASSERT_EQ(a.concepts.size(), b.concepts.size()) << "radius " << radius;
+    for (size_t i = 0; i < a.concepts.size(); ++i) {
+      EXPECT_EQ(a.concepts[i].concept_id, b.concepts[i].concept_id)
+          << "radius " << radius;
+      EXPECT_DOUBLE_EQ(a.concepts[i].similarity, b.concepts[i].similarity)
+          << "radius " << radius;
+    }
+    EXPECT_EQ(a.instances, b.instances) << "radius " << radius;
+  }
 }
 
 TEST(Relaxer, WithoutShortcutsSmallRadiusFindsNothing) {
@@ -207,9 +264,48 @@ TEST(Relaxer, DynamicRadiusGrowsUntilResults) {
                        SimilarityOptions{}, opts);
   RelaxationOutcome outcome =
       relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
-  EXPECT_GT(outcome.effective_radius, 1u);
+  // kidney disease sits exactly 3 native hops above the ckd leaf, so
+  // growth stops precisely at r=3 after trying r=1, 2, 3.
+  EXPECT_EQ(outcome.effective_radius, 3u);
+  EXPECT_EQ(outcome.stats.radius_iterations, 3u);
   ASSERT_FALSE(outcome.concepts.empty());
   EXPECT_EQ(outcome.instances[0], w.kidney_instance);
+}
+
+TEST(Relaxer, DynamicRadiusStopsAtMaxRadius) {
+  // Shortcut-free world where the only flagged concept is 3 hops away but
+  // max_radius caps growth at 2: the search must give up exactly there.
+  RelaxWorld w;
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  w.fx = std::move(*fx);
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  w.kb.ontology = std::move(*onto);
+  OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+  w.kidney_instance = *w.kb.instances.AddInstance("kidney disease", finding);
+  w.index_holder = std::make_unique<NameIndex>(&w.fx.dag);
+  w.matcher = std::make_unique<ExactMatcher>(w.index_holder.get());
+  IngestionOptions ing_opts;
+  ing_opts.add_shortcut_edges = false;
+  auto ingestion =
+      RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, ing_opts);
+  ASSERT_TRUE(ingestion.ok());
+  w.ingestion = std::move(*ingestion);
+
+  RelaxationOptions opts;
+  opts.radius = 1;
+  opts.dynamic_radius = true;
+  opts.max_radius = 2;
+  opts.top_k = 1;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  EXPECT_EQ(outcome.effective_radius, 2u);
+  EXPECT_EQ(outcome.stats.radius_iterations, 2u);
+  EXPECT_TRUE(outcome.concepts.empty());
+  EXPECT_TRUE(outcome.instances.empty());
 }
 
 TEST(Relaxer, TopKStopsOnceInstancesCovered) {
@@ -223,6 +319,94 @@ TEST(Relaxer, TopKStopsOnceInstancesCovered) {
   // One concept suffices to cover k=1 instances.
   EXPECT_EQ(outcome.concepts.size(), 1u);
   EXPECT_EQ(outcome.instances.size(), 1u);
+}
+
+TEST(Relaxer, InstancesTruncatedToExactlyK) {
+  // kidney disease carries three KB instances (direct name + the two
+  // Figure 5 synonyms); the outcome must still stop at exactly k.
+  RelaxWorld w;
+  auto fx = BuildFigure5Fixture();
+  ASSERT_TRUE(fx.ok());
+  w.fx = std::move(*fx);
+  auto onto = BuildFigure1Ontology();
+  ASSERT_TRUE(onto.ok());
+  w.kb.ontology = std::move(*onto);
+  OntologyConceptId finding = w.kb.ontology.FindConcept("Finding");
+  w.kidney_instance = *w.kb.instances.AddInstance("kidney disease", finding);
+  ASSERT_TRUE(w.kb.instances.AddInstance("nephropathy", finding).ok());
+  ASSERT_TRUE(w.kb.instances.AddInstance("renal disease", finding).ok());
+  w.hrd_instance =
+      *w.kb.instances.AddInstance("hypertensive renal disease", finding);
+  w.index_holder = std::make_unique<NameIndex>(&w.fx.dag);
+  w.matcher = std::make_unique<ExactMatcher>(w.index_holder.get());
+  auto ingestion =
+      RunIngestion(w.kb, &w.fx.dag, *w.matcher, nullptr, IngestionOptions{});
+  ASSERT_TRUE(ingestion.ok());
+  w.ingestion = std::move(*ingestion);
+
+  RelaxationOptions opts;
+  opts.top_k = 2;
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, opts);
+  RelaxationOutcome outcome =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  // hypertensive renal disease (1 instance) ranks first; kidney disease
+  // (3 instances) fills the remaining slot — and only that slot.
+  EXPECT_EQ(outcome.instances.size(), 2u);
+  ASSERT_EQ(outcome.concepts.size(), 2u);
+  EXPECT_EQ(outcome.concepts[0].concept_id, w.fx.hypertensive_renal_disease);
+  EXPECT_EQ(outcome.concepts[1].concept_id, w.fx.kidney_disease);
+  EXPECT_EQ(outcome.instances[0], w.hrd_instance);
+  // The concept keeps its full instance list; only the answer is cut.
+  EXPECT_EQ(outcome.concepts[1].instances.size(), 3u);
+}
+
+TEST(Relaxer, RelaxBatchMatchesSequential) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  std::vector<ConceptQuery> queries = {
+      {w.fx.ckd_stage1_due_to_hypertension, 0},
+      {w.fx.kidney_disease, 0},
+      {w.fx.hypertensive_renal_disease, 0},
+      {w.fx.hypertensive_nephropathy, 0},
+      {w.fx.ckd_stage1_due_to_hypertension, 0},
+  };
+  std::vector<RelaxationOutcome> batch = relaxer.RelaxBatch(queries, 2);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    RelaxationOutcome seq =
+        relaxer.RelaxConcept(queries[i].concept_id, queries[i].context);
+    EXPECT_EQ(batch[i].query_concept, seq.query_concept);
+    EXPECT_EQ(batch[i].effective_radius, seq.effective_radius);
+    ASSERT_EQ(batch[i].concepts.size(), seq.concepts.size()) << "query " << i;
+    for (size_t j = 0; j < seq.concepts.size(); ++j) {
+      EXPECT_EQ(batch[i].concepts[j].concept_id, seq.concepts[j].concept_id);
+      EXPECT_DOUBLE_EQ(batch[i].concepts[j].similarity,
+                       seq.concepts[j].similarity);
+    }
+    EXPECT_EQ(batch[i].instances, seq.instances) << "query " << i;
+  }
+}
+
+TEST(Relaxer, StatsReportCandidatesAndCacheTraffic) {
+  RelaxWorld w = MakeRelaxWorld();
+  QueryRelaxer relaxer(&w.fx.dag, &w.ingestion, w.matcher.get(),
+                       SimilarityOptions{}, RelaxationOptions{});
+  RelaxationOutcome first =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  // Two flagged candidates in range, neither geometry cached yet.
+  EXPECT_EQ(first.stats.candidates_scanned, 2u);
+  EXPECT_EQ(first.stats.geometry_cache_misses, 2u);
+  EXPECT_EQ(first.stats.geometry_cache_hits, 0u);
+  EXPECT_GE(first.stats.radius_iterations, 1u);
+  EXPECT_GT(first.stats.neighbors_visited, 0u);
+  EXPECT_GT(first.stats.total_ns, 0u);
+  // The second identical query is served entirely from the cache.
+  RelaxationOutcome second =
+      relaxer.RelaxConcept(w.fx.ckd_stage1_due_to_hypertension, 0);
+  EXPECT_EQ(second.stats.geometry_cache_hits, 2u);
+  EXPECT_EQ(second.stats.geometry_cache_misses, 0u);
 }
 
 TEST(Relaxer, EditMatcherResolvesTypos) {

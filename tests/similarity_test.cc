@@ -329,7 +329,9 @@ TEST(IntroExample, PertussisRelaxesToBronchitis) {
       RunIngestion(kb, &dag, matcher, nullptr, IngestionOptions{});
   ASSERT_TRUE(ingestion.ok());
   RelaxationOptions ropts;
-  ropts.radius = 2;  // the shortcut edges make 4 native hops reachable
+  // Radius counts original hops (shortcuts keep their annotated
+  // distance); dynamic growth widens r=2 until k instances are covered.
+  ropts.radius = 2;
   QueryRelaxer relaxer(&dag, &*ingestion, &matcher, SimilarityOptions{},
                        ropts);
   auto outcome = relaxer.Relax("pertussis", 0);
