@@ -1,0 +1,133 @@
+// Closed-loop throughput benches for the serve/ subsystem:
+//
+//   * BM_ServingCold — result cache disabled: every request pays the full
+//     relaxation (mapper + radius search + geometry scoring). This is the
+//     pre-serving cost of the workload.
+//   * BM_ServingWarm — cache enabled and pre-warmed over the query pool:
+//     the steady state of a production mix dominated by repeated
+//     near-identical queries. The warm/cold ratio is the headline number;
+//     the serving layer targets >= 5x.
+//
+// Both run closed-loop (submit a batch, wait for every future) over
+// 1/2/4 workers. Worker threads do the serving, so wall time is the
+// meaningful axis: UseRealTime(). Pre-1.8 google-benchmark binary — pass
+// plain-double --benchmark_min_time=0.05 and filter with
+// --benchmark_filter='BM_Serving(Cold|Warm)/...'.
+
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "medrelax/datasets/kb_generator.h"
+#include "medrelax/serve/relaxation_service.h"
+
+using namespace medrelax;  // NOLINT — bench brevity
+
+namespace {
+
+constexpr size_t kBatch = 64;       // requests in flight per iteration
+constexpr size_t kPoolSize = 16;    // distinct queries cycled through
+
+// One snapshot shared by every bench registration (1-core box: the
+// offline build dominates startup, pay it once).
+std::shared_ptr<Snapshot>& SharedSnapshot() {
+  static std::shared_ptr<Snapshot> snapshot = [] {
+    SnomedGeneratorOptions eks;
+    eks.num_concepts = 2000;
+    eks.seed = 2026;
+    KbGeneratorOptions kb;
+    kb.num_drugs = 80;
+    kb.num_findings = 120;
+    kb.seed = 2027;
+    Result<GeneratedWorld> world = GenerateWorld(eks, kb);
+    if (!world.ok()) return std::shared_ptr<Snapshot>{};
+    Result<std::shared_ptr<Snapshot>> built =
+        Snapshot::Build(std::move(world->eks.dag), std::move(world->kb),
+                        nullptr, SnapshotOptions{});
+    if (!built.ok()) return std::shared_ptr<Snapshot>{};
+    return *built;
+  }();
+  return snapshot;
+}
+
+std::vector<ConceptId> QueryPool(const Snapshot& snap) {
+  std::vector<ConceptId> pool;
+  const std::vector<bool>& flagged = snap.ingestion().flagged;
+  for (ConceptId id = 0; id < flagged.size() && pool.size() < kPoolSize;
+       ++id) {
+    if (flagged[id]) pool.push_back(id);
+  }
+  return pool;
+}
+
+// Submits one closed-loop batch and blocks until every answer lands.
+void ServeBatch(RelaxationService& service,
+                const std::vector<ConceptId>& pool, size_t offset) {
+  std::vector<std::future<Result<RelaxResponse>>> futures;
+  futures.reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    RelaxRequest request;
+    request.concept_id = pool[(offset + i) % pool.size()];
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    Result<RelaxResponse> response = future.get();
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+void RunServingBench(benchmark::State& state, bool warm_cache) {
+  std::shared_ptr<Snapshot> snap = SharedSnapshot();
+  if (snap == nullptr) {
+    state.SkipWithError("snapshot build failed");
+    return;
+  }
+  std::vector<ConceptId> pool = QueryPool(*snap);
+  if (pool.empty()) {
+    state.SkipWithError("no flagged query pool");
+    return;
+  }
+
+  ServiceOptions options;
+  options.num_workers = static_cast<unsigned>(state.range(0));
+  options.queue_capacity = 4 * kBatch;
+  options.cache.capacity = warm_cache ? 4096 : 0;
+  RelaxationService service(snap, options);
+  if (warm_cache) ServeBatch(service, pool, 0);  // populate every key
+
+  size_t offset = 0;
+  for (auto _ : state) {
+    ServeBatch(service, pool, offset);
+    offset += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+  state.SetLabel(warm_cache ? "cache=warm" : "cache=off");
+}
+
+void BM_ServingCold(benchmark::State& state) {
+  RunServingBench(state, /*warm_cache=*/false);
+}
+BENCHMARK(BM_ServingCold)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServingWarm(benchmark::State& state) {
+  RunServingBench(state, /*warm_cache=*/true);
+}
+BENCHMARK(BM_ServingWarm)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -22,7 +22,7 @@ note() { printf '== %s\n' "$*"; }
 fail() { printf 'FAIL: %s\n' "$*" >&2; failures=$((failures + 1)); }
 skip() { printf 'SKIP: %s\n' "$*" >&2; }
 
-mapfile -t CXX_FILES < <(find src tests bench examples \
+mapfile -t CXX_FILES < <(find src tests bench examples tools \
   \( -name '*.cc' -o -name '*.h' \) -type f | sort)
 
 # 1. clang-format ------------------------------------------------------------
@@ -43,7 +43,7 @@ fi
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
     note "clang-tidy (compile db: ${BUILD_DIR})"
-    mapfile -t SRC_CC < <(find src -name '*.cc' -type f | sort)
+    mapfile -t SRC_CC < <(find src tools -name '*.cc' -type f | sort)
     if command -v run-clang-tidy >/dev/null 2>&1; then
       run-clang-tidy -quiet -p "${BUILD_DIR}" "${SRC_CC[@]}" || fail "clang-tidy"
     else

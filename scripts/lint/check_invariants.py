@@ -28,7 +28,7 @@ import re
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-SOURCE_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
 WAIVER_RE = re.compile(r"//\s*lint:allow\((?P<rules>[a-z\-, ]+)\)\s*\S")
 

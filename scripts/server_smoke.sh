@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving stack: generate the seeded smoke
+# world, pipe the scripted session (tests/golden/server_session.txt)
+# through `medrelax_server serve`, and diff stdout against the golden
+# transcript. Then run a short `load` burst to exercise the concurrent
+# path (only the deterministic first line is checked — throughput is
+# machine-dependent and goes to stderr anyway).
+#
+# Usage: scripts/server_smoke.sh   (MEDRELAX_BUILD_DIR overrides ./build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR=${MEDRELAX_BUILD_DIR:-build}
+TOOL="${BUILD_DIR}/examples/medrelax_tool"
+SERVER="${BUILD_DIR}/tools/medrelax_server"
+for bin in "${TOOL}" "${SERVER}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "server_smoke: missing ${bin} (build the medrelax_tool and" \
+         "medrelax_server targets first)" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+
+# The world every transcript line depends on: keep these parameters in
+# lockstep with tests/golden/server_session.golden.
+"${TOOL}" generate "${WORK}" --concepts 800 --findings 60 --seed 7 \
+  >/dev/null
+
+# --exact: deterministic term resolution (no fuzzy rescue of the
+# deliberate NotFound probe in the session script).
+"${SERVER}" serve "${WORK}" --exact --workers 1 \
+  < tests/golden/server_session.txt > "${WORK}/session.out"
+if ! diff -u tests/golden/server_session.golden "${WORK}/session.out"; then
+  echo "server_smoke: session transcript drifted from the golden file" >&2
+  echo "(regenerate with: ${SERVER} serve <world> --exact --workers 1" \
+       "< tests/golden/server_session.txt)" >&2
+  exit 1
+fi
+
+"${SERVER}" load "${WORK}" --requests 500 --workers 2 --queue 32 \
+  --distinct 8 > "${WORK}/load.out" 2>/dev/null
+grep -q '^ok load requests=500 ' "${WORK}/load.out"
+
+echo "server_smoke: PASS"

@@ -20,6 +20,8 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kResourceExhausted = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a short stable name for a status code, e.g. "NotFound".
@@ -72,6 +74,16 @@ class [[nodiscard]] Status {
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
   }
+  /// Factory for a ResourceExhausted error (admission control: a bounded
+  /// queue or quota is full and the request was rejected, not queued).
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  /// Factory for a DeadlineExceeded error (the request's deadline passed
+  /// before a worker could produce its answer).
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   /// True iff the operation succeeded.
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
@@ -97,6 +109,12 @@ class [[nodiscard]] Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   [[nodiscard]]
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  [[nodiscard]] bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  [[nodiscard]] bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<Code>: <message>".
   [[nodiscard]] std::string ToString() const;

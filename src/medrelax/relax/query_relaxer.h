@@ -93,8 +93,9 @@ class QueryRelaxer {
 
   /// Like RelaxConcept but with an explicit k, so wrappers (e.g. the
   /// relevance-feedback layer) can over-fetch candidates before re-ranking.
-  RelaxationOutcome RelaxConceptWithK(ConceptId query, ContextId context,
-                                      size_t k) const;
+  [[nodiscard]] RelaxationOutcome RelaxConceptWithK(ConceptId query,
+                                                    ContextId context,
+                                                    size_t k) const;
 
   /// Relaxes a batch of concept-level queries on `num_threads` workers
   /// (0 = hardware concurrency). Outcomes are returned in input order and

@@ -1,0 +1,209 @@
+#include "medrelax/serve/relaxation_service.h"
+
+#include <optional>
+#include <utility>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point from, Clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+RelaxationService::RelaxationService(std::shared_ptr<Snapshot> initial,
+                                     const ServiceOptions& options)
+    : options_(options), cache_(options.cache) {
+  registry_.Publish(std::move(initial));
+  workers_.reserve(options_.num_workers);
+  for (unsigned i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+RelaxationService::~RelaxationService() { Shutdown(); }
+
+std::future<Result<RelaxResponse>> RelaxationService::Submit(
+    RelaxRequest request) {
+  const Clock::time_point now = Clock::now();
+  Clock::time_point deadline = Clock::time_point::max();
+  if (request.timeout > Clock::duration::zero()) {
+    deadline = now + request.timeout;
+  } else if (options_.default_deadline > std::chrono::milliseconds::zero()) {
+    deadline = now + options_.default_deadline;
+  }
+
+  std::promise<Result<RelaxResponse>> promise;
+  std::future<Result<RelaxResponse>> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_) {
+      stats_.RecordRejectedShutdown();
+      promise.set_value(
+          Status::FailedPrecondition("service is shut down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      stats_.RecordRejectedQueueFull();
+      promise.set_value(Status::ResourceExhausted(StrFormat(
+          "admission queue full (%zu queued)", queue_.size())));
+      return future;
+    }
+    queue_.push_back(PendingRequest{std::move(request), now, deadline,
+                                    std::move(promise)});
+    stats_.RecordAdmitted(queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<RelaxResponse> RelaxationService::Relax(RelaxRequest request) {
+  std::future<Result<RelaxResponse>> future = Submit(std::move(request));
+  if (options_.num_workers == 0) {
+    // No background workers: pump the queue on this thread until the
+    // submitted request (or a rejection) resolved the future.
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!RunOnce()) break;
+    }
+  }
+  return future.get();
+}
+
+bool RelaxationService::RunOnce() {
+  PendingRequest pending;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.empty()) return false;
+    pending = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  Serve(std::move(pending));
+  return true;
+}
+
+void RelaxationService::WorkerLoop() {
+  for (;;) {
+    PendingRequest pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this]() { return stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped_ and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Serve(std::move(pending));
+  }
+}
+
+void RelaxationService::Serve(PendingRequest pending) {
+  const Clock::time_point start = Clock::now();
+  // Fail fast on requests that aged out while queued: no relaxation work,
+  // and the client learns immediately instead of receiving a late answer.
+  if (start > pending.deadline) {
+    stats_.RecordRejectedDeadline();
+    pending.promise.set_value(Status::DeadlineExceeded(StrFormat(
+        "deadline passed %zu us before service",
+        static_cast<size_t>(ElapsedNs(pending.deadline, start) / 1000))));
+    return;
+  }
+
+  // Pin the snapshot for the whole request: a concurrent PublishSnapshot
+  // must never switch the DAG under a half-served query.
+  std::shared_ptr<const Snapshot> snap = registry_.Current();
+
+  ConceptId concept_id = pending.request.concept_id;
+  if (concept_id == kInvalidConcept) {
+    std::optional<ConceptMatch> match =
+        snap->mapper().Map(pending.request.term);
+    if (!match.has_value()) {
+      stats_.RecordFailed();
+      pending.promise.set_value(Status::NotFound(StrFormat(
+          "query term '%s' has no corresponding external concept",
+          pending.request.term.c_str())));
+      return;
+    }
+    concept_id = match->id;
+  }
+  if (concept_id >= snap->dag().num_concepts()) {
+    stats_.RecordFailed();
+    pending.promise.set_value(Status::InvalidArgument(StrFormat(
+        "concept id %zu out of range", static_cast<size_t>(concept_id))));
+    return;
+  }
+  if (pending.request.context != kNoContext &&
+      pending.request.context >= snap->ingestion().contexts.size()) {
+    stats_.RecordFailed();
+    pending.promise.set_value(Status::InvalidArgument(StrFormat(
+        "context id %zu out of range",
+        static_cast<size_t>(pending.request.context))));
+    return;
+  }
+
+  const size_t k = pending.request.top_k != 0
+                       ? pending.request.top_k
+                       : snap->relaxer().options().top_k;
+  const CacheKey key{concept_id, pending.request.context,
+                     static_cast<uint64_t>(k), snap->options_fingerprint(),
+                     snap->generation()};
+
+  RelaxResponse response;
+  response.generation = snap->generation();
+  response.outcome = cache_.Lookup(key);
+  response.cache_hit = response.outcome != nullptr;
+  if (!response.cache_hit) {
+    auto outcome = std::make_shared<RelaxationOutcome>(
+        snap->relaxer().RelaxConceptWithK(concept_id,
+                                          pending.request.context, k));
+    stats_.RecordRelaxStats(outcome->stats);
+    response.outcome = std::move(outcome);
+    cache_.Insert(key, response.outcome);
+  }
+  response.latency_ns = ElapsedNs(pending.enqueued_at, Clock::now());
+  stats_.RecordCompleted(response.cache_hit, response.latency_ns);
+  pending.promise.set_value(std::move(response));
+}
+
+uint64_t RelaxationService::PublishSnapshot(
+    std::shared_ptr<Snapshot> snapshot) {
+  const uint64_t generation = registry_.Publish(std::move(snapshot));
+  stats_.RecordSnapshotSwap();
+  return generation;
+}
+
+size_t RelaxationService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+void RelaxationService::Shutdown() {
+  std::deque<PendingRequest> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_ && workers_.empty() && queue_.empty()) return;
+    stopped_ = true;
+    if (workers_.empty()) {
+      // No workers to drain the queue: fail the backlog here so no
+      // promise is ever silently broken.
+      orphaned.swap(queue_);
+    }
+  }
+  queue_cv_.notify_all();
+  for (PendingRequest& pending : orphaned) {
+    stats_.RecordRejectedShutdown();
+    pending.promise.set_value(
+        Status::FailedPrecondition("service shut down before service"));
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+}  // namespace medrelax

@@ -1,0 +1,154 @@
+#ifndef MEDRELAX_SERVE_RELAXATION_SERVICE_H_
+#define MEDRELAX_SERVE_RELAXATION_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "medrelax/common/result.h"
+#include "medrelax/serve/result_cache.h"
+#include "medrelax/serve/service_stats.h"
+#include "medrelax/serve/snapshot.h"
+
+namespace medrelax {
+
+/// Knobs of the long-lived relaxation service.
+struct ServiceOptions {
+  /// Background workers draining the request queue. 0 = no background
+  /// threads: callers pump the queue themselves with RunOnce (the
+  /// single-threaded embedding and the admission-control tests use this).
+  unsigned num_workers = 2;
+  /// Bound of the MPMC request queue; a Submit against a full queue is
+  /// rejected with ResourceExhausted instead of growing the backlog.
+  size_t queue_capacity = 256;
+  /// Deadline applied to requests that do not carry their own; zero means
+  /// "no deadline".
+  std::chrono::milliseconds default_deadline{0};
+  /// Result-cache sizing; capacity 0 disables caching entirely.
+  ResultCacheOptions cache;
+};
+
+/// One relaxation request. Either a surface `term` (resolved through the
+/// current snapshot's mapper, Algorithm 2 line 1) or an already-resolved
+/// `concept_id` (which takes precedence when valid).
+struct RelaxRequest {
+  std::string term;
+  ConceptId concept_id = kInvalidConcept;
+  ContextId context = kNoContext;
+  /// 0 = the snapshot's configured top_k.
+  size_t top_k = 0;
+  /// Per-request deadline budget; zero falls back to
+  /// ServiceOptions::default_deadline.
+  std::chrono::steady_clock::duration timeout{0};
+};
+
+/// A served answer plus serving metadata.
+struct RelaxResponse {
+  /// Shared with the result cache: never mutated after creation, remains
+  /// valid after eviction and snapshot swaps.
+  std::shared_ptr<const RelaxationOutcome> outcome;
+  /// Generation of the snapshot that answered.
+  uint64_t generation = 0;
+  bool cache_hit = false;
+  /// Submit-to-answer wall time.
+  uint64_t latency_ns = 0;
+};
+
+/// The serving layer over QueryRelaxer: owns request lifetimes so the
+/// library's requests-per-second surface has explicit backpressure.
+///
+///   * Bounded MPMC queue + worker pool: Submit never blocks; a full queue
+///     fails fast with ResourceExhausted (admission control), and requests
+///     whose deadline passed while queued fail with DeadlineExceeded
+///     before any relaxation work is spent on them.
+///   * Result caching: answers are cached per (concept, context, k,
+///     options fingerprint, snapshot generation); repeated near-identical
+///     queries — the dominant relaxation workload shape — cost one lookup.
+///   * Hot snapshot swap: PublishSnapshot atomically replaces the serving
+///     bundle; in-flight queries finish on the snapshot they started with,
+///     and the generation-scoped cache keys make stale entries
+///     unreachable without any explicit invalidation pass.
+///
+/// Thread-safe: Submit / RunOnce / PublishSnapshot / Stats may be called
+/// concurrently from any thread.
+class RelaxationService {
+ public:
+  /// Starts the worker pool against `initial` (published as generation 1).
+  RelaxationService(std::shared_ptr<Snapshot> initial,
+                    const ServiceOptions& options);
+  /// Stops intake, fails queued requests with FailedPrecondition, joins.
+  ~RelaxationService();
+
+  RelaxationService(const RelaxationService&) = delete;
+  RelaxationService& operator=(const RelaxationService&) = delete;
+
+  /// Enqueues a request. The future resolves to the answer, or to a typed
+  /// error: ResourceExhausted (queue full), DeadlineExceeded (expired
+  /// before service), NotFound (term maps to no concept), InvalidArgument
+  /// (unknown context / bad request), FailedPrecondition (shutdown).
+  [[nodiscard]] std::future<Result<RelaxResponse>> Submit(
+      RelaxRequest request);
+
+  /// Submit + wait. With no background workers the caller's thread pumps
+  /// the queue, so this works in single-threaded embeddings too.
+  [[nodiscard]] Result<RelaxResponse> Relax(RelaxRequest request);
+
+  /// Dequeues and serves one request on the calling thread; false when the
+  /// queue is empty. The pump primitive behind num_workers = 0.
+  bool RunOnce();
+
+  /// Atomically publishes `snapshot` as the new serving state and returns
+  /// its generation. Never blocks queries: readers that already hold the
+  /// old snapshot finish against it.
+  uint64_t PublishSnapshot(std::shared_ptr<Snapshot> snapshot);
+
+  /// The snapshot new requests are currently served from.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
+    return registry_.Current();
+  }
+
+  [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
+  [[nodiscard]] size_t queue_depth() const;
+
+  /// Stops intake (further Submits fail with FailedPrecondition), drains
+  /// already-admitted requests, and joins the workers. Idempotent; called
+  /// by the destructor.
+  void Shutdown();
+
+ private:
+  struct PendingRequest {
+    RelaxRequest request;
+    std::chrono::steady_clock::time_point enqueued_at;
+    /// time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Result<RelaxResponse>> promise;
+  };
+
+  void WorkerLoop();
+  /// Serves one dequeued request end-to-end (deadline check, term
+  /// resolution, cache, relaxation) and fulfills its promise.
+  void Serve(PendingRequest pending);
+
+  ServiceOptions options_;
+  SnapshotRegistry registry_;
+  ResultCache cache_;
+  ServiceStats stats_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_SERVE_RELAXATION_SERVICE_H_

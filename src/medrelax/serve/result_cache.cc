@@ -1,0 +1,116 @@
+#include "medrelax/serve/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace medrelax {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, stable across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixIn(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ Mix64(value));
+}
+
+}  // namespace
+
+uint64_t HashCacheKey(const CacheKey& key) {
+  uint64_t h = Mix64(key.generation);
+  h = MixIn(h, key.options_fingerprint);
+  h = MixIn(h, (static_cast<uint64_t>(key.concept_id) << 32) |
+                   static_cast<uint64_t>(key.context));
+  h = MixIn(h, key.top_k);
+  return h;
+}
+
+uint64_t FingerprintOptions(const RelaxationOptions& relaxation,
+                            const SimilarityOptions& similarity) {
+  uint64_t h = Mix64(0x6d656472656c6178ULL);  // "medrelax"
+  h = MixIn(h, relaxation.radius);
+  h = MixIn(h, relaxation.dynamic_radius ? 1 : 0);
+  h = MixIn(h, relaxation.max_radius);
+  h = MixIn(h, relaxation.top_k);
+  h = MixIn(h, std::bit_cast<uint64_t>(similarity.generalization_weight));
+  h = MixIn(h, std::bit_cast<uint64_t>(similarity.specialization_weight));
+  h = MixIn(h, (similarity.use_path_penalty ? 1U : 0U) |
+                   (similarity.use_context ? 2U : 0U) |
+                   (similarity.memoize_geometry ? 4U : 0U));
+  return h;
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : shards_(std::bit_ceil(std::max<size_t>(options.num_shards, 1))) {
+  shard_mask_ = shards_.size() - 1;
+  // Distribute the budget; a nonzero total capacity keeps every shard
+  // usable (at least one entry each).
+  shard_capacity_ = options.capacity == 0
+                        ? 0
+                        : std::max<size_t>(
+                              1, (options.capacity + shards_.size() - 1) /
+                                     shards_.size());
+}
+
+std::shared_ptr<const RelaxationOutcome> ResultCache::Lookup(
+    const CacheKey& key) {
+  if (shard_capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->outcome;
+}
+
+void ResultCache::Insert(const CacheKey& key,
+                         std::shared_ptr<const RelaxationOutcome> outcome) {
+  if (shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->outcome = std::move(outcome);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(outcome)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace medrelax

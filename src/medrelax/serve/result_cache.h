@@ -1,0 +1,130 @@
+#ifndef MEDRELAX_SERVE_RESULT_CACHE_H_
+#define MEDRELAX_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+
+/// Identity of one cacheable relaxation answer. Repeated [query term,
+/// context] traffic is the dominant workload shape, so the key is the
+/// *resolved* concept (term mapping is deterministic per snapshot) plus
+/// everything that can change the answer:
+///   - k (the paper's top-k is part of the result shape, not a suffix);
+///   - an options fingerprint (similarity + relaxation knobs), so two
+///     differently configured snapshots never share entries;
+///   - the snapshot generation, so a snapshot swap implicitly invalidates
+///     every older entry — stale keys simply stop being looked up and age
+///     out of the LRU.
+struct CacheKey {
+  ConceptId concept_id = kInvalidConcept;
+  ContextId context = kNoContext;
+  uint64_t top_k = 0;
+  uint64_t options_fingerprint = 0;
+  uint64_t generation = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// 64-bit mix of a cache key (splitmix64 over the fields); also selects
+/// the shard.
+[[nodiscard]] uint64_t HashCacheKey(const CacheKey& key);
+
+/// Order-insensitive fingerprint of the knobs that shape an answer.
+[[nodiscard]] uint64_t FingerprintOptions(const RelaxationOptions& relaxation,
+                                          const SimilarityOptions& similarity);
+
+/// Knobs of the serving result cache.
+struct ResultCacheOptions {
+  /// Total entries across all shards; 0 disables caching (every Lookup
+  /// misses, Insert is a no-op).
+  size_t capacity = 4096;
+  /// Lock shards (rounded up to a power of two) so concurrent workers
+  /// rarely contend on one mutex.
+  size_t num_shards = 8;
+};
+
+/// A sharded LRU cache of finished relaxation outcomes. Values are
+/// shared_ptr-to-const, so a hit hands back the cached outcome without
+/// copying and eviction never invalidates a response a client still holds.
+///
+/// Thread-safe: each shard holds its own mutex; the hit/miss/eviction
+/// counters are atomics.
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached outcome for `key`, promoting it to most-recently-used;
+  /// nullptr on a miss.
+  [[nodiscard]] std::shared_ptr<const RelaxationOutcome> Lookup(
+      const CacheKey& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least-recently-used
+  /// entry when the shard is at capacity.
+  void Insert(const CacheKey& key,
+              std::shared_ptr<const RelaxationOutcome> outcome);
+
+  /// Drops every entry (the counters survive).
+  void Clear();
+
+  /// Current number of cached entries across all shards.
+  [[nodiscard]] size_t size() const;
+
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Entries one shard may hold (capacity distributed over the shards).
+  [[nodiscard]] size_t shard_capacity() const { return shard_capacity_; }
+  [[nodiscard]] size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const {
+      return static_cast<size_t>(HashCacheKey(key));
+    }
+  };
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const RelaxationOutcome> outcome;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used; back = eviction candidate.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const CacheKey& key) {
+    // The low hash bits pick the bucket inside the shard's map; use the
+    // high bits for shard selection so the two stay independent.
+    return shards_[(HashCacheKey(key) >> 48) & shard_mask_];
+  }
+
+  size_t shard_capacity_;
+  uint64_t shard_mask_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_SERVE_RESULT_CACHE_H_

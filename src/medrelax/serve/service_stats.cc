@@ -1,0 +1,122 @@
+#include "medrelax/serve/service_stats.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+namespace {
+
+size_t LatencyBucket(uint64_t latency_ns) {
+  const uint64_t us = latency_ns / 1000;
+  if (us == 0) return 0;
+  return std::min<size_t>(std::bit_width(us),
+                          ServiceStatsSnapshot::kLatencyBuckets - 1);
+}
+
+}  // namespace
+
+void ServiceStats::RecordAdmitted(size_t queue_depth) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t depth = static_cast<uint64_t>(queue_depth);
+  uint64_t seen = queue_depth_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_depth_high_water_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void ServiceStats::RecordRejectedQueueFull() {
+  rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordRejectedDeadline() {
+  rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordRejectedShutdown() {
+  rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordCompleted(bool cache_hit, uint64_t latency_ns) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  (cache_hit ? cache_hits_ : cache_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  latency_buckets_[LatencyBucket(latency_ns)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordRelaxStats(const RelaxStats& stats) {
+  std::lock_guard<std::mutex> lock(relax_mu_);
+  relax_totals_.Accumulate(stats);
+}
+
+void ServiceStats::RecordFailed() {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordSnapshotSwap() {
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  ServiceStatsSnapshot snap;
+  snap.requests = requests_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  snap.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  snap.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.queue_depth_high_water =
+      queue_depth_high_water_.load(std::memory_order_relaxed);
+  snap.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < snap.latency_buckets.size(); ++i) {
+    snap.latency_buckets[i] = latency_buckets_[i].load(
+        std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(relax_mu_);
+    snap.relax = relax_totals_;
+  }
+  return snap;
+}
+
+std::string ServiceStatsSnapshot::ToString(bool deterministic_only) const {
+  std::string out;
+  out += StrFormat("requests=%zu\n", static_cast<size_t>(requests));
+  out += StrFormat("completed=%zu\n", static_cast<size_t>(completed));
+  out += StrFormat("cache_hits=%zu\n", static_cast<size_t>(cache_hits));
+  out += StrFormat("cache_misses=%zu\n", static_cast<size_t>(cache_misses));
+  out += StrFormat("rejected_queue_full=%zu\n",
+                   static_cast<size_t>(rejected_queue_full));
+  out += StrFormat("rejected_deadline=%zu\n",
+                   static_cast<size_t>(rejected_deadline));
+  out += StrFormat("rejected_shutdown=%zu\n",
+                   static_cast<size_t>(rejected_shutdown));
+  out += StrFormat("failed=%zu\n", static_cast<size_t>(failed));
+  out += StrFormat("snapshot_swaps=%zu\n",
+                   static_cast<size_t>(snapshot_swaps));
+  if (deterministic_only) return out;
+  out += StrFormat("queue_depth_high_water=%zu\n",
+                   static_cast<size_t>(queue_depth_high_water));
+  out += StrFormat("relax_candidates_scanned=%zu\n",
+                   relax.candidates_scanned);
+  out += StrFormat("relax_neighbors_visited=%zu\n", relax.neighbors_visited);
+  out += StrFormat("relax_geometry_cache_hits=%zu\n",
+                   relax.geometry_cache_hits);
+  out += StrFormat("relax_geometry_cache_misses=%zu\n",
+                   relax.geometry_cache_misses);
+  out += "latency_us_log2=";
+  for (size_t i = 0; i < latency_buckets.size(); ++i) {
+    out += StrFormat(i == 0 ? "%zu" : ",%zu",
+                     static_cast<size_t>(latency_buckets[i]));
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,87 @@
+#ifndef MEDRELAX_SERVE_SERVICE_STATS_H_
+#define MEDRELAX_SERVE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "medrelax/relax/relax_stats.h"
+
+namespace medrelax {
+
+/// A coherent copy of the service counters at one instant, safe to read,
+/// print, and diff without synchronization.
+struct ServiceStatsSnapshot {
+  /// log2-microsecond end-to-end latency histogram: bucket i counts
+  /// requests with latency < 2^i microseconds (the last bucket is
+  /// unbounded). Covers 1 us .. ~32 s.
+  static constexpr size_t kLatencyBuckets = 16;
+
+  uint64_t requests = 0;          ///< admitted into the queue
+  uint64_t completed = 0;         ///< answered (hit or computed)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;      ///< answered by running the relaxer
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_deadline = 0; ///< expired before a worker got to them
+  uint64_t rejected_shutdown = 0;
+  uint64_t failed = 0;            ///< mapping/validation errors
+  uint64_t queue_depth_high_water = 0;
+  uint64_t snapshot_swaps = 0;
+  std::array<uint64_t, kLatencyBuckets> latency_buckets{};
+  /// Relaxer-level instrumentation accumulated over every cache miss
+  /// (the PR 2 RelaxStats plumbing, aggregated service-wide).
+  RelaxStats relax;
+
+  /// Multi-line human-readable block (one `key=value` per line, stable
+  /// order), used by the medrelax_server STATS verb. Latency buckets and
+  /// RelaxStats timings are wall-clock-dependent, so `deterministic_only`
+  /// omits them for golden-file diffs.
+  [[nodiscard]] std::string ToString(bool deterministic_only = false) const;
+};
+
+/// Lock-free counter block every service entry point reports into.
+/// Counters are relaxed atomics: totals are exact once the writers are
+/// quiescent, and monotone (never torn) while they run. The RelaxStats
+/// aggregate is mutex-guarded (it is a plain struct of many fields).
+class ServiceStats {
+ public:
+  ServiceStats() = default;
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
+
+  /// A request entered the queue, which now holds `queue_depth` entries.
+  void RecordAdmitted(size_t queue_depth);
+  void RecordRejectedQueueFull();
+  void RecordRejectedDeadline();
+  void RecordRejectedShutdown();
+  /// A request was answered; `latency_ns` is submit-to-answer wall time.
+  void RecordCompleted(bool cache_hit, uint64_t latency_ns);
+  /// Relaxer instrumentation of one computed (cache-miss) answer.
+  void RecordRelaxStats(const RelaxStats& stats);
+  void RecordFailed();
+  void RecordSnapshotSwap();
+
+  [[nodiscard]] ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_deadline_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> queue_depth_high_water_{0};
+  std::atomic<uint64_t> snapshot_swaps_{0};
+  std::array<std::atomic<uint64_t>, ServiceStatsSnapshot::kLatencyBuckets>
+      latency_buckets_{};
+  mutable std::mutex relax_mu_;
+  RelaxStats relax_totals_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_SERVE_SERVICE_STATS_H_

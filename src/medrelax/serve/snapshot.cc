@@ -1,0 +1,58 @@
+#include "medrelax/serve/snapshot.h"
+
+#include <mutex>
+#include <utility>
+
+#include "medrelax/matching/edit_matcher.h"
+#include "medrelax/matching/exact_matcher.h"
+#include "medrelax/serve/result_cache.h"
+
+namespace medrelax {
+
+Snapshot::Snapshot(BuildTag, ConceptDag dag, KnowledgeBase kb)
+    : dag_(std::move(dag)), kb_(std::move(kb)) {}
+
+Result<std::shared_ptr<Snapshot>> Snapshot::Build(
+    ConceptDag dag, KnowledgeBase kb, const Corpus* corpus,
+    const SnapshotOptions& options) {
+  // Move the inputs in first so the index/mapper/relaxer borrow pointers
+  // with the snapshot's own lifetime, not the caller's.
+  auto snap = std::make_shared<Snapshot>(BuildTag{}, std::move(dag),
+                                         std::move(kb));
+  snap->index_ = std::make_unique<NameIndex>(&snap->dag_);
+  if (options.use_exact_mapper) {
+    snap->mapper_ = std::make_unique<ExactMatcher>(snap->index_.get());
+  } else {
+    snap->mapper_ = std::make_unique<EditDistanceMatcher>(
+        snap->index_.get(), EditMatcherOptions{});
+  }
+  Result<IngestionResult> ingestion = RunIngestion(
+      snap->kb_, &snap->dag_, *snap->mapper_, corpus, options.ingestion);
+  if (!ingestion.ok()) return ingestion.status();
+  snap->ingestion_ = std::move(*ingestion);
+  snap->relaxer_ = std::make_unique<QueryRelaxer>(
+      &snap->dag_, &snap->ingestion_, snap->mapper_.get(), options.similarity,
+      options.relaxation);
+  snap->options_fingerprint_ =
+      FingerprintOptions(options.relaxation, options.similarity);
+  if (options.precompute_similarities) {
+    snap->relaxer_->PrecomputeSimilarities();
+  }
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::Current() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::Publish(std::shared_ptr<Snapshot> snapshot) {
+  const uint64_t generation =
+      generations_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  snapshot->generation_ = generation;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  current_ = std::move(snapshot);
+  return generation;
+}
+
+}  // namespace medrelax

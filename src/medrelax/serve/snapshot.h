@@ -1,0 +1,129 @@
+#ifndef MEDRELAX_SERVE_SNAPSHOT_H_
+#define MEDRELAX_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+
+#include "medrelax/common/result.h"
+#include "medrelax/corpus/document.h"
+#include "medrelax/graph/concept_dag.h"
+#include "medrelax/kb/kb_query.h"
+#include "medrelax/matching/matcher.h"
+#include "medrelax/matching/name_index.h"
+#include "medrelax/relax/ingestion.h"
+#include "medrelax/relax/query_relaxer.h"
+
+namespace medrelax {
+
+/// Knobs of a serving snapshot build: everything the offline phase needs to
+/// turn a raw (EKS, KB) pair into a query-ready bundle.
+struct SnapshotOptions {
+  IngestionOptions ingestion;
+  SimilarityOptions similarity;
+  RelaxationOptions relaxation;
+  /// Term mapper bound to the snapshot's own DAG: exact match only, or the
+  /// edit-distance matcher (tau = 2) the paper's EDIT configuration uses.
+  bool use_exact_mapper = false;
+  /// Warm the pair-geometry memoization before the snapshot is published,
+  /// so its first queries run at steady-state latency.
+  bool precompute_similarities = false;
+};
+
+/// One immutable, query-ready bundle of serving state: the customized
+/// external DAG, the KB it was customized against, the ingestion artifacts
+/// (Algorithm 1's C/F/M/FEC), a term mapper bound to that DAG, and a
+/// configured QueryRelaxer borrowing all of the above.
+///
+/// Snapshots are built offline and published through a SnapshotRegistry;
+/// readers hold them via std::shared_ptr, so a publish never invalidates
+/// state an in-flight query is reading — the old snapshot dies when its
+/// last reader drops it (RCU by shared_ptr refcount).
+///
+/// Thread-safe after construction: every accessor is const and the
+/// underlying QueryRelaxer is safe for concurrent queries.
+class Snapshot {
+ public:
+  /// Runs the offline phase end-to-end: moves `dag` and `kb` in, builds a
+  /// name index + mapper over the snapshot's own DAG, runs Algorithm 1
+  /// (customizing the DAG with shortcut edges), and configures the relaxer.
+  /// `corpus` may be null (the QR-no-corpus configuration) and is only read
+  /// during the build. Fails when ingestion fails (e.g. a multi-rooted DAG).
+  [[nodiscard]] static Result<std::shared_ptr<Snapshot>> Build(
+      ConceptDag dag, KnowledgeBase kb, const Corpus* corpus,
+      const SnapshotOptions& options);
+
+  /// The publish generation stamped by SnapshotRegistry::Publish;
+  /// 0 until published. Result-cache keys include this, so entries of a
+  /// replaced snapshot can never answer queries against the new one.
+  [[nodiscard]] uint64_t generation() const { return generation_; }
+
+  /// Fingerprint of the options the relaxer answers under (similarity +
+  /// relaxation knobs). Two snapshots built with different knobs never
+  /// share cached results even within one generation.
+  [[nodiscard]] uint64_t options_fingerprint() const {
+    return options_fingerprint_;
+  }
+
+  [[nodiscard]] const ConceptDag& dag() const { return dag_; }
+  [[nodiscard]] const KnowledgeBase& kb() const { return kb_; }
+  [[nodiscard]] const IngestionResult& ingestion() const { return ingestion_; }
+  [[nodiscard]] const MappingFunction& mapper() const { return *mapper_; }
+  [[nodiscard]] const QueryRelaxer& relaxer() const { return *relaxer_; }
+
+  /// Tag type gating the public constructor to Build (make_shared needs a
+  /// public constructor; the tag keeps outside callers on the factory).
+  struct BuildTag {
+    explicit BuildTag() = default;
+  };
+  Snapshot(BuildTag, ConceptDag dag, KnowledgeBase kb);
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+ private:
+  friend class SnapshotRegistry;
+
+  ConceptDag dag_;
+  KnowledgeBase kb_;
+  IngestionResult ingestion_;
+  std::unique_ptr<NameIndex> index_;
+  std::unique_ptr<MappingFunction> mapper_;
+  std::unique_ptr<QueryRelaxer> relaxer_;
+  uint64_t options_fingerprint_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// The RCU-style publication point: readers take the current snapshot with
+/// one shared-lock shared_ptr copy; a writer atomically swaps in a
+/// replacement. In-flight queries keep relaxing against the snapshot they
+/// grabbed; new queries see the new one.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// The currently published snapshot; nullptr before the first Publish.
+  [[nodiscard]] std::shared_ptr<const Snapshot> Current() const;
+
+  /// Stamps `snapshot` with the next generation number and makes it the
+  /// current snapshot. Returns the stamped generation (1, 2, ...). The
+  /// previous snapshot stays alive until its last reader releases it.
+  uint64_t Publish(std::shared_ptr<Snapshot> snapshot);
+
+  /// Generation of the latest Publish; 0 when nothing is published yet.
+  [[nodiscard]] uint64_t generation() const {
+    return generations_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const Snapshot> current_;
+  std::atomic<uint64_t> generations_{0};
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_SERVE_SNAPSHOT_H_

@@ -39,6 +39,22 @@ TEST(Status, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
                "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(Status, ServingCodesHaveFactoriesAndPredicates) {
+  Status full = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(full.IsResourceExhausted());
+  EXPECT_FALSE(full.IsDeadlineExceeded());
+  EXPECT_EQ(full.ToString(), "ResourceExhausted: queue full");
+
+  Status late = Status::DeadlineExceeded("expired in queue");
+  EXPECT_TRUE(late.IsDeadlineExceeded());
+  EXPECT_FALSE(late.IsResourceExhausted());
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: expired in queue");
 }
 
 TEST(Status, ReturnNotOkMacroPropagates) {

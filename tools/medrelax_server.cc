@@ -1,0 +1,302 @@
+// medrelax_server: the long-lived serving front end over medrelax/serve.
+//
+//   medrelax_server serve <dir> [--workers N] [--queue N] [--cache N]
+//                         [--deadline-ms D] [--exact]
+//       Loads <dir>/eks.tsv + <dir>/kb.tsv (as written by
+//       `medrelax_tool generate`), runs the offline ingestion into a
+//       serving snapshot, and answers a newline-delimited text protocol on
+//       stdin/stdout (grammar in docs/SERVING.md):
+//
+//         RELAX [k=N] [ctx=LABEL] <term...>   relax a [term, context] pair
+//         CONTEXTS                            list context labels
+//         GEN                                 current snapshot generation
+//         RELOAD                              re-ingest <dir>, hot-swap
+//         STATS                               deterministic counter block
+//         QUIT                                exit (EOF also exits)
+//
+//       Lines starting with '#' and blank lines are ignored, so a scripted
+//       session file can be commented (the CI smoke test pipes one in and
+//       diffs the output against a golden file).
+//
+//   medrelax_server load <dir> [--requests N] [--workers N] [--queue N]
+//                        [--cache N] [--deadline-ms D] [--distinct N]
+//       Closed-loop load driver: submits N requests (rotating over
+//       --distinct flagged concepts, so the cache hit rate is tunable) as
+//       fast as the admission queue accepts them, then reports throughput
+//       and the full stats block. Timing figures go to stderr; stdout
+//       stays machine-diffable.
+//
+// No sockets on purpose: stdin/stdout keeps the service exercisable
+// end-to-end with zero dependencies; a TCP frontend is a ROADMAP item.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "medrelax/io/dag_io.h"
+#include "medrelax/io/kb_io.h"
+#include "medrelax/serve/relaxation_service.h"
+
+using namespace medrelax;  // NOLINT — tool brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  medrelax_server serve <dir> [--workers N] [--queue N]"
+               " [--cache N] [--deadline-ms D] [--exact]\n"
+               "  medrelax_server load <dir> [--requests N] [--workers N]"
+               " [--queue N] [--cache N] [--deadline-ms D] [--distinct N]\n");
+  return 2;
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+size_t SizeFlag(int argc, char** argv, const char* flag, size_t fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  return v != nullptr ? std::strtoul(v, nullptr, 10) : fallback;
+}
+
+/// Loads <dir>/{eks,kb}.tsv fresh and runs the offline phase into a new
+/// snapshot. Used at startup and by RELOAD: re-reading from disk means an
+/// operator can regenerate or hand-edit the world files and hot-swap the
+/// result without restarting the server.
+Result<std::shared_ptr<Snapshot>> BuildSnapshotFromDir(
+    const std::string& dir, const SnapshotOptions& options) {
+  Result<ConceptDag> dag = LoadDagFromFile(dir + "/eks.tsv");
+  if (!dag.ok()) return dag.status();
+  Result<KnowledgeBase> kb = LoadKbFromFile(dir + "/kb.tsv");
+  if (!kb.ok()) return kb.status();
+  return Snapshot::Build(std::move(*dag), std::move(*kb), nullptr, options);
+}
+
+void PrintOutcome(const Snapshot& snap, const RelaxResponse& response,
+                  const std::string& term) {
+  const RelaxationOutcome& outcome = *response.outcome;
+  std::printf("ok relax term='%s' gen=%llu hit=%d radius=%u concepts=%zu"
+              " instances=%zu\n",
+              term.c_str(),
+              static_cast<unsigned long long>(response.generation),
+              response.cache_hit ? 1 : 0, outcome.effective_radius,
+              outcome.concepts.size(), outcome.instances.size());
+  for (const ScoredConcept& sc : outcome.concepts) {
+    std::printf("concept %s sim=%.3f\n", snap.dag().name(sc.concept_id).c_str(),
+                sc.similarity);
+    for (InstanceId i : sc.instances) {
+      std::printf("  instance %s\n",
+                  snap.kb().instances.instance(i).name.c_str());
+    }
+  }
+  std::printf("end\n");
+}
+
+/// RELAX [k=N] [ctx=LABEL] <term...> — options first, the rest is the term.
+int HandleRelax(RelaxationService& service, std::istringstream& in) {
+  RelaxRequest request;
+  std::string token;
+  std::string term;
+  while (in >> token) {
+    if (term.empty() && token.rfind("k=", 0) == 0) {
+      request.top_k = std::strtoul(token.c_str() + 2, nullptr, 10);
+      continue;
+    }
+    if (term.empty() && token.rfind("ctx=", 0) == 0) {
+      std::shared_ptr<const Snapshot> snap = service.snapshot();
+      const std::string label = token.substr(4);
+      request.context = snap->ingestion().contexts.FindByLabel(label);
+      if (request.context == kNoContext) {
+        std::printf("err InvalidArgument: unknown context '%s'\n",
+                    label.c_str());
+        return 0;
+      }
+      continue;
+    }
+    if (!term.empty()) term += ' ';
+    term += token;
+  }
+  if (term.empty()) {
+    std::printf("err InvalidArgument: RELAX needs a term\n");
+    return 0;
+  }
+  request.term = term;
+  Result<RelaxResponse> response = service.Relax(std::move(request));
+  if (!response.ok()) {
+    std::printf("err %s\n", response.status().ToString().c_str());
+    return 0;
+  }
+  // The response pins no snapshot; re-grab the one that answered. The
+  // generation check protects the names against a racing RELOAD.
+  std::shared_ptr<const Snapshot> snap = service.snapshot();
+  if (snap->generation() != response->generation) {
+    std::printf("err FailedPrecondition: snapshot swapped mid-print\n");
+    return 0;
+  }
+  PrintOutcome(*snap, *response, term);
+  return 0;
+}
+
+int RunServe(int argc, char** argv) {
+  const std::string dir = argv[2];
+  SnapshotOptions snapshot_options;
+  snapshot_options.use_exact_mapper = HasFlag(argc, argv, "--exact");
+  ServiceOptions service_options;
+  service_options.num_workers =
+      static_cast<unsigned>(SizeFlag(argc, argv, "--workers", 1));
+  service_options.queue_capacity = SizeFlag(argc, argv, "--queue", 64);
+  service_options.cache.capacity = SizeFlag(argc, argv, "--cache", 1024);
+  service_options.default_deadline =
+      std::chrono::milliseconds(SizeFlag(argc, argv, "--deadline-ms", 0));
+
+  Result<std::shared_ptr<Snapshot>> snapshot =
+      BuildSnapshotFromDir(dir, snapshot_options);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  RelaxationService service(std::move(*snapshot), service_options);
+  std::printf("ok serving gen=%llu workers=%u queue=%zu cache=%zu\n",
+              static_cast<unsigned long long>(service.snapshot()->generation()),
+              service_options.num_workers, service_options.queue_capacity,
+              service_options.cache.capacity);
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb == "QUIT") {
+      std::printf("ok bye\n");
+      break;
+    } else if (verb == "RELAX") {
+      HandleRelax(service, in);
+    } else if (verb == "CONTEXTS") {
+      std::shared_ptr<const Snapshot> snap = service.snapshot();
+      const ContextRegistry& contexts = snap->ingestion().contexts;
+      std::printf("ok contexts n=%zu\n", contexts.size());
+      for (const Context& c : contexts.contexts()) {
+        std::printf("context %s\n", c.Label().c_str());
+      }
+      std::printf("end\n");
+    } else if (verb == "GEN") {
+      std::printf("ok gen=%llu\n", static_cast<unsigned long long>(
+                                       service.snapshot()->generation()));
+    } else if (verb == "RELOAD") {
+      Result<std::shared_ptr<Snapshot>> reloaded =
+          BuildSnapshotFromDir(dir, snapshot_options);
+      if (!reloaded.ok()) {
+        std::printf("err %s\n", reloaded.status().ToString().c_str());
+      } else {
+        uint64_t generation = service.PublishSnapshot(std::move(*reloaded));
+        std::printf("ok reload gen=%llu\n",
+                    static_cast<unsigned long long>(generation));
+      }
+    } else if (verb == "STATS") {
+      std::printf("ok stats\n%send\n",
+                  service.Stats().ToString(/*deterministic_only=*/true)
+                      .c_str());
+    } else {
+      std::printf("err InvalidArgument: unknown verb '%s'\n", verb.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int RunLoad(int argc, char** argv) {
+  const std::string dir = argv[2];
+  SnapshotOptions snapshot_options;
+  ServiceOptions service_options;
+  service_options.num_workers =
+      static_cast<unsigned>(SizeFlag(argc, argv, "--workers", 2));
+  service_options.queue_capacity = SizeFlag(argc, argv, "--queue", 64);
+  service_options.cache.capacity = SizeFlag(argc, argv, "--cache", 1024);
+  service_options.default_deadline =
+      std::chrono::milliseconds(SizeFlag(argc, argv, "--deadline-ms", 0));
+  const size_t num_requests = SizeFlag(argc, argv, "--requests", 2000);
+  const size_t distinct = SizeFlag(argc, argv, "--distinct", 32);
+
+  Result<std::shared_ptr<Snapshot>> snapshot =
+      BuildSnapshotFromDir(dir, snapshot_options);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  // The query pool: flagged concepts, i.e. exactly the concepts real
+  // traffic resolves to.
+  std::vector<ConceptId> pool;
+  {
+    const std::vector<bool>& flagged = (*snapshot)->ingestion().flagged;
+    for (ConceptId id = 0; id < flagged.size() && pool.size() < distinct;
+         ++id) {
+      if (flagged[id]) pool.push_back(id);
+    }
+  }
+  if (pool.empty()) {
+    std::fprintf(stderr, "no flagged concepts to query\n");
+    return 1;
+  }
+
+  RelaxationService service(std::move(*snapshot), service_options);
+  std::vector<std::future<Result<RelaxResponse>>> futures;
+  futures.reserve(num_requests);
+  const auto t_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < num_requests; ++i) {
+    RelaxRequest request;
+    request.concept_id = pool[i % pool.size()];
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  size_t ok = 0, queue_full = 0, deadline = 0, other = 0;
+  for (auto& future : futures) {
+    Result<RelaxResponse> response = future.get();
+    if (response.ok()) {
+      ++ok;
+    } else if (response.status().IsResourceExhausted()) {
+      ++queue_full;
+    } else if (response.status().IsDeadlineExceeded()) {
+      ++deadline;
+    } else {
+      ++other;
+    }
+  }
+  const auto t_end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(t_end - t_start).count();
+  std::printf("ok load requests=%zu answered=%zu rejected_queue_full=%zu"
+              " rejected_deadline=%zu failed=%zu\n",
+              num_requests, ok, queue_full, deadline, other);
+  std::printf("%s", service.Stats().ToString().c_str());
+  std::fprintf(stderr, "wall=%.3fs throughput=%.0f req/s\n", seconds,
+               seconds > 0 ? static_cast<double>(num_requests) / seconds : 0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  if (std::strcmp(argv[1], "serve") == 0) return RunServe(argc, argv);
+  if (std::strcmp(argv[1], "load") == 0) return RunLoad(argc, argv);
+  return Usage();
+}
