@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files against committed baselines.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--max-ratio N]
+
+The committed baselines (BENCH_scaling.json / BENCH_serving.json at the
+repo root) pin the *shape* of the bench suite and catch order-of-magnitude
+regressions, not small ones: CI runners and the baseline machine differ
+wildly, so the default tolerance is a generous factor either way. The
+check fails when:
+
+  * a benchmark named in the baseline is missing from the current run
+    (a renamed or silently dropped bench is a coverage regression), or
+  * real_time or a user counter moved by more than --max-ratio in either
+    direction.
+
+New benchmarks in the current run are reported but never fail the diff;
+refresh the baseline by re-running the bench with the CI filter set and
+committing the JSON.
+"""
+
+import argparse
+import json
+import sys
+
+# Structural fields in each benchmark entry; everything else numeric is a
+# timing or a user counter and gets ratio-checked.
+NON_METRIC_FIELDS = {
+    "iterations", "repetitions", "threads", "repetition_index",
+    "family_index", "per_family_index",
+}
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def metrics(bench):
+    unit_ns = TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+    out = {}
+    for key, value in bench.items():
+        if key in NON_METRIC_FIELDS or not isinstance(value, (int, float)):
+            continue
+        if isinstance(value, bool):
+            continue
+        if key in ("real_time", "cpu_time"):
+            value *= unit_ns
+        out[key] = float(value)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-ratio", type=float, default=16.0,
+        help="allowed factor between baseline and current per metric "
+             "(default %(default)s: machines differ, only order-of-magnitude "
+             "moves fail)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"bench_diff: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"missing benchmark: {name}")
+            continue
+        cur = metrics(current[name])
+        for key, base_value in sorted(metrics(base).items()):
+            if key not in cur:
+                failures.append(f"{name}: metric {key} disappeared")
+                continue
+            cur_value = cur[key]
+            if base_value <= 0.0 or cur_value <= 0.0:
+                # Zero-valued counters (e.g. a miss count of 0) carry no
+                # ratio information; only flag appearing-from-zero jumps.
+                continue
+            ratio = cur_value / base_value
+            if ratio > args.max_ratio or ratio < 1.0 / args.max_ratio:
+                failures.append(
+                    f"{name}: {key} moved {ratio:.2f}x "
+                    f"(baseline {base_value:.4g}, current {cur_value:.4g}, "
+                    f"allowed factor {args.max_ratio:g})")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"bench_diff: note: new benchmark not in baseline: {name}")
+
+    if failures:
+        print(f"bench_diff: FAIL ({args.baseline} vs {args.current})")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"bench_diff: OK — {len(baseline)} benchmark(s) within "
+          f"{args.max_ratio:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

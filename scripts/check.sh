@@ -22,8 +22,11 @@ note() { printf '== %s\n' "$*"; }
 fail() { printf 'FAIL: %s\n' "$*" >&2; failures=$((failures + 1)); }
 skip() { printf 'SKIP: %s\n' "$*" >&2; }
 
+# tests/lint_selftest holds lint fixtures with deliberate violations and
+# deliberately unformatted code; only the lint self-test reads them.
 mapfile -t CXX_FILES < <(find src tests bench examples tools \
-  \( -name '*.cc' -o -name '*.h' \) -type f | sort)
+  \( -name '*.cc' -o -name '*.h' \) -type f \
+  -not -path '*/lint_selftest/*' | sort)
 
 # 1. clang-format ------------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
@@ -59,6 +62,10 @@ fi
 # 3. project-invariant lints -------------------------------------------------
 note "invariant lints (scripts/lint/check_invariants.py)"
 python3 scripts/lint/check_invariants.py || fail "invariant lints"
+
+# 4. lint self-test -----------------------------------------------------------
+note "lint self-test (tests/lint_selftest)"
+python3 tests/lint_selftest/run_lint_selftest.py || fail "lint self-test"
 
 if [[ ${failures} -gt 0 ]]; then
   printf '\ncheck.sh: %d stage(s) failed\n' "${failures}" >&2

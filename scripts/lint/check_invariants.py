@@ -18,17 +18,41 @@ this project wants them enforced:
                      repo-relative path (MEDRELAX_IO_DAG_IO_H_ style for
                      src/, <DIR>_<NAME>_H_ for bench/), never #pragma once,
                      so guards stay unique and greppable.
+  raw-mutex          std::mutex / std::shared_mutex / std::condition_variable
+                     outside src/medrelax/common/. Locks go through the
+                     annotated medrelax::Mutex / SharedMutex / CondVar
+                     wrappers (common/mutex.h) so -Wthread-safety and the
+                     lock-order deadlock detector see every acquisition.
+  guarded-by         A class owning a medrelax::Mutex/SharedMutex must say,
+                     member by member, what that lock protects: each mutable
+                     data member carries MEDRELAX_GUARDED_BY(...) (or is
+                     atomic, const, or explicitly waived).
 
-Exit status is the number of violation kinds found (0 = clean). Waivers:
-append `// lint:allow(<rule>) <reason>` to the offending line.
+Exit status is 1 when any violation is found (0 = clean). Waivers: append
+`// lint:allow(<rule>) <reason>` to the offending line.
+
+Self-testing: `--scan DIR ...` restricts the scan to the given directories
+(relative to the repo root). tests/lint_selftest/ keeps fixture files with
+known violations and diffs the rules' findings against them in ctest; the
+fixture tree is excluded from normal runs.
 """
 
+import argparse
 import os
 import re
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+# Fixture files under here contain violations on purpose; only --scan
+# (the lint self-test) looks at them.
+EXCLUDED_DIR_NAMES = {"lint_selftest"}
+# The annotated lock wrappers themselves live here and legitimately wrap
+# the standard primitives; raw-mutex and guarded-by skip it.
+COMMON_DIR_PREFIX = "src/medrelax/common/"
+
+# Set by --scan: replaces SOURCE_DIRS (and lifts the fixture exclusion).
+SCAN_DIRS = []
 
 WAIVER_RE = re.compile(r"//\s*lint:allow\((?P<rules>[a-z\-, ]+)\)\s*\S")
 
@@ -42,14 +66,30 @@ CONSUMING_RE = re.compile(
 )
 
 
-def strip_comments_and_strings(line):
-    """Removes // comments and the contents of string/char literals."""
+def strip_comments_and_strings(line, in_block=False):
+    """Removes comments and the contents of string/char literals.
+
+    Handles `//` line comments and `/* ... */` block comments; block
+    state spans lines, so the caller threads `in_block` through
+    consecutive lines (see stripped_lines). Returns (stripped, in_block).
+    """
     out = []
     i, n = 0, len(line)
     while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
         c = line[i]
         if c == "/" and i + 1 < n and line[i + 1] == "/":
             break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            i += 2
+            continue
         if c in "\"'":
             quote = c
             out.append(quote)
@@ -63,15 +103,31 @@ def strip_comments_and_strings(line):
             continue
         out.append(c)
         i += 1
-    return "".join(out)
+    return "".join(out), in_block
+
+
+def stripped_lines(raw_lines):
+    """strip_comments_and_strings over a whole file, carrying block state."""
+    out = []
+    in_block = False
+    for raw in raw_lines:
+        line, in_block = strip_comments_and_strings(raw, in_block)
+        out.append(line)
+    return out
 
 
 def iter_source_files(exts):
-    for d in SOURCE_DIRS:
+    roots = SCAN_DIRS if SCAN_DIRS else SOURCE_DIRS
+    for d in roots:
         root = os.path.join(REPO, d)
         if not os.path.isdir(root):
             continue
-        for dirpath, _, names in os.walk(root):
+        for dirpath, dirnames, names in os.walk(root):
+            if not SCAN_DIRS:
+                dirnames[:] = [
+                    n for n in dirnames if n not in EXCLUDED_DIR_NAMES
+                ]
+            dirnames.sort()
             for name in sorted(names):
                 if os.path.splitext(name)[1] in exts:
                     yield os.path.relpath(os.path.join(dirpath, name), REPO)
@@ -100,7 +156,7 @@ def collect_status_functions():
     """Names of functions declared in headers to return Status/Result<T>."""
     names = set()
     for relpath in iter_source_files({".h"}):
-        for line in read_lines(relpath):
+        for line in stripped_lines(read_lines(relpath)):
             m = STATUS_DECL_RE.match(line)
             if m:
                 names.add(m.group("name"))
@@ -125,10 +181,10 @@ def check_ignored_status(violations):
     )
     for relpath in iter_source_files({".cc", ".h"}):
         raw_lines = read_lines(relpath)
+        lines = stripped_lines(raw_lines)
         depth = 0  # paren depth at the start of the current line
         prev_terminated = True  # did the previous code line end a statement?
-        for lineno, raw in enumerate(raw_lines, 1):
-            line = strip_comments_and_strings(raw)
+        for lineno, (raw, line) in enumerate(zip(raw_lines, lines), 1):
             at_statement_start = depth == 0 and prev_terminated
             depth += line.count("(") - line.count(")")
             depth = max(depth, 0)
@@ -178,10 +234,11 @@ DELETED_FN_RE = re.compile(r"=\s*delete")
 
 def check_raw_new_delete(violations):
     for relpath in iter_source_files({".cc", ".h"}):
-        for lineno, raw in enumerate(read_lines(relpath), 1):
+        raw_lines = read_lines(relpath)
+        for lineno, (raw, line) in enumerate(
+                zip(raw_lines, stripped_lines(raw_lines)), 1):
             if waived(raw, "raw-new-delete"):
                 continue
-            line = strip_comments_and_strings(raw)
             if NEW_RE.search(line) and not SMART_OK_RE.search(line):
                 violations.append(
                     ("raw-new-delete", relpath, lineno,
@@ -195,14 +252,19 @@ def check_raw_new_delete(violations):
 # --- rule: include-cc ------------------------------------------------------
 
 INCLUDE_CC_RE = re.compile(r"#\s*include\s*[\"<][^\">]+\.cc[\">]")
+INCLUDE_DIRECTIVE_RE = re.compile(r"#\s*include\b")
 
 
 def check_include_cc(violations):
     for relpath in iter_source_files({".cc", ".h"}):
-        for lineno, raw in enumerate(read_lines(relpath), 1):
+        raw_lines = read_lines(relpath)
+        for lineno, (raw, line) in enumerate(
+                zip(raw_lines, stripped_lines(raw_lines)), 1):
             if waived(raw, "include-cc"):
                 continue
-            if INCLUDE_CC_RE.search(strip_comments_and_strings(raw)):
+            # The stripped line gates out commented directives; the path
+            # itself is a string literal, so match it on the raw line.
+            if INCLUDE_DIRECTIVE_RE.search(line) and INCLUDE_CC_RE.search(raw):
                 violations.append(
                     ("include-cc", relpath, lineno,
                      "#include of a .cc file; include the header instead"))
@@ -249,14 +311,174 @@ def check_header_guards(violations):
                  f"#ifndef {guard} has no matching #define"))
 
 
+# --- rule: raw-mutex -------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|std::shared_(?:timed_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b")
+
+
+def check_raw_mutex(violations):
+    for relpath in iter_source_files({".cc", ".h"}):
+        if relpath.startswith(COMMON_DIR_PREFIX):
+            continue
+        raw_lines = read_lines(relpath)
+        for lineno, (raw, line) in enumerate(
+                zip(raw_lines, stripped_lines(raw_lines)), 1):
+            if not RAW_MUTEX_RE.search(line):
+                continue
+            if waived(raw, "raw-mutex"):
+                continue
+            violations.append(
+                ("raw-mutex", relpath, lineno,
+                 "raw standard-library lock primitive; use medrelax::Mutex/"
+                 "SharedMutex/CondVar from common/mutex.h so -Wthread-safety"
+                 " and the deadlock detector see the acquisition"))
+
+
+# --- rule: guarded-by ------------------------------------------------------
+
+# A member declaring an (annotatable) project lock; 'MutexLock lock(...)'
+# never matches because the type name needs a word boundary before the
+# following space.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:medrelax::)?(?:Mutex|SharedMutex)\s+\w+")
+GUARDED_OK_RE = re.compile(r"MEDRELAX_(?:PT_)?GUARDED_BY\s*\(")
+# The lock members themselves (and condition variables) carry no guard.
+LOCK_TYPE_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:medrelax::)?(?:Mutex|SharedMutex|CondVar)\b")
+MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:friend|using|typedef|static|template|enum|class|struct|#)\b")
+CONST_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?const\b")
+ATOMIC_RE = re.compile(r"std::atomic\b")
+CLASS_HEAD_RE = re.compile(r"\b(?:class|struct)\s")
+ENUM_HEAD_RE = re.compile(r"\benum\b")
+NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\b")
+ACCESS_LABELS = {"public", "private", "protected"}
+
+
+def parse_class_members(raw_lines, lines):
+    """Collects top-level member statements of every class/struct body.
+
+    A small brace-tracking scanner over comment/string-stripped lines:
+    statements ending in `;` at a class body's top level are members;
+    nested function bodies and brace-initializers are tracked (the latter
+    folded into their statement) but their contents never leak into the
+    class's member list. Returns [(class_name, [(start, end, text)])].
+    """
+    results = []
+    scopes = []  # (kind, name, members)
+    stmt = []  # accumulated statement text of the innermost scope
+    stmt_start = None
+    swallow = 0  # brace depth of an in-statement brace-initializer
+
+    def stmt_text():
+        return "".join(stmt).strip()
+
+    def reset_stmt():
+        del stmt[:]
+        nonlocal stmt_start
+        stmt_start = None
+
+    for lineno, line in enumerate(lines, 1):
+        for c in line:
+            if swallow:
+                stmt.append(c)
+                if c == "{":
+                    swallow += 1
+                elif c == "}":
+                    swallow -= 1
+                continue
+            if c == "{":
+                header = stmt_text()
+                if (CLASS_HEAD_RE.search(header)
+                        and not ENUM_HEAD_RE.search(header)):
+                    clean = re.sub(r"MEDRELAX_\w+\s*\([^)]*\)", "", header)
+                    names = re.findall(r"\b(?:class|struct)\s+([\w:]+)", clean)
+                    scopes.append(("class", names[-1] if names else "?", []))
+                    reset_stmt()
+                elif ("(" in header or NAMESPACE_HEAD_RE.search(header)
+                      or ENUM_HEAD_RE.search(header) or not header):
+                    # Function body, namespace, enum, or control-flow block.
+                    scopes.append(("other", "", []))
+                    reset_stmt()
+                else:
+                    # Brace-initializer of a member: part of the statement.
+                    stmt.append(c)
+                    swallow = 1
+            elif c == "}":
+                reset_stmt()
+                if scopes:
+                    kind, name, members = scopes.pop()
+                    if kind == "class":
+                        results.append((name, members))
+            elif c == ";":
+                if scopes and scopes[-1][0] == "class" and stmt_text():
+                    scopes[-1][2].append((stmt_start, lineno, stmt_text()))
+                reset_stmt()
+            elif c == ":" and stmt_text() in ACCESS_LABELS:
+                reset_stmt()
+            else:
+                if stmt_start is None and not c.isspace():
+                    stmt_start = lineno
+                stmt.append(c)
+        if stmt:
+            stmt.append(" ")  # line break inside a statement
+    return results
+
+
+def check_guarded_by(violations):
+    for relpath in iter_source_files({".cc", ".h"}):
+        if relpath.startswith(COMMON_DIR_PREFIX):
+            continue
+        raw_lines = read_lines(relpath)
+        lines = stripped_lines(raw_lines)
+        for class_name, members in parse_class_members(raw_lines, lines):
+            if not any(MUTEX_MEMBER_RE.search(text) for _, _, text in members):
+                continue
+            for start, end, text in members:
+                if any(waived(raw_lines[i - 1], "guarded-by")
+                       for i in range(start, end + 1)):
+                    continue
+                if GUARDED_OK_RE.search(text):
+                    continue
+                if LOCK_TYPE_RE.match(text):
+                    continue
+                if MEMBER_SKIP_RE.match(text):
+                    continue
+                if CONST_MEMBER_RE.match(text):
+                    continue
+                if "(" in text:  # method / constructor / operator
+                    continue
+                if ATOMIC_RE.search(text):
+                    continue
+                violations.append(
+                    ("guarded-by", relpath, start,
+                     f"member of lock-owning class {class_name} lacks "
+                     "MEDRELAX_GUARDED_BY(...); annotate it, make it "
+                     "const/atomic, or waive with a reason"))
+
+
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scan", action="append", default=[], metavar="DIR",
+        help="restrict the scan to DIR (repo-relative); used by the lint "
+             "self-test to point the rules at fixture trees")
+    args = parser.parse_args()
+    SCAN_DIRS.extend(args.scan)
+
     violations = []
     check_ignored_status(violations)
     check_raw_new_delete(violations)
     check_include_cc(violations)
     check_header_guards(violations)
+    check_raw_mutex(violations)
+    check_guarded_by(violations)
 
     if violations:
+        violations.sort(key=lambda v: (v[1], v[2], v[0]))
         for rule, path, lineno, msg in violations:
             print(f"{path}:{lineno}: [{rule}] {msg}")
         kinds = sorted({v[0] for v in violations})

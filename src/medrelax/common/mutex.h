@@ -1,0 +1,203 @@
+#ifndef MEDRELAX_COMMON_MUTEX_H_
+#define MEDRELAX_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "medrelax/common/thread_annotations.h"
+
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+#include "medrelax/common/deadlock_detector.h"
+#endif
+
+namespace medrelax {
+
+/// The project's lock vocabulary. Outside common/ these wrappers replace
+/// std::mutex / std::shared_mutex / std::condition_variable entirely (the
+/// raw-mutex lint enforces it), buying two things the standard types lack:
+///
+///   * Capability annotations: under `clang++ -Wthread-safety` every
+///     acquisition and every access to a MEDRELAX_GUARDED_BY member is
+///     machine-checked at compile time (thread_annotations.h).
+///   * Lock-order deadlock detection: under MEDRELAX_DEADLOCK_DEBUG (ON in
+///     the asan/tsan presets) every Mutex registers its construction name
+///     as an acquisition *site* in a global order graph, and a would-be
+///     lock-order cycle aborts deterministically at the second ordering's
+///     first observation — no unlucky interleaving required
+///     (deadlock_detector.h).
+///
+/// Name every mutex after its owner ("Class::member"); instances sharing a
+/// name share a detector site (e.g. one name for all cache shards).
+/// docs/CONCURRENCY.md holds the global lock inventory and its total
+/// order.
+class MEDRELAX_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex([[maybe_unused]] const char* name = "medrelax::Mutex")
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+      : site_(DeadlockDetector::Instance().RegisterSite(name))
+#endif
+  {
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MEDRELAX_ACQUIRE() {
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    // Record (and cycle-check) before blocking: a would-be deadlock must
+    // abort with a report, not hang.
+    DeadlockDetector::Instance().OnAcquire(site_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() MEDRELAX_RELEASE() {
+    mu_.unlock();
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    DeadlockDetector::Instance().OnRelease(site_);
+#endif
+  }
+
+  [[nodiscard]] bool TryLock() MEDRELAX_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    // A failed try_lock blocks nothing, so it constrains no order.
+    if (acquired) DeadlockDetector::Instance().OnAcquire(site_);
+#endif
+    return acquired;
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+  int site_;
+#endif
+};
+
+/// Reader/writer lock with the same annotation + detector contract as
+/// Mutex. Shared acquisitions feed the detector exactly like exclusive
+/// ones: ordering cycles through reader sections still deadlock once a
+/// writer joins, so the conservative direction is to order them all.
+class MEDRELAX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(
+      [[maybe_unused]] const char* name = "medrelax::SharedMutex")
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+      : site_(DeadlockDetector::Instance().RegisterSite(name))
+#endif
+  {
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MEDRELAX_ACQUIRE() {
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    DeadlockDetector::Instance().OnAcquire(site_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() MEDRELAX_RELEASE() {
+    mu_.unlock();
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    DeadlockDetector::Instance().OnRelease(site_);
+#endif
+  }
+
+  void LockShared() MEDRELAX_ACQUIRE_SHARED() {
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    DeadlockDetector::Instance().OnAcquire(site_);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() MEDRELAX_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+    DeadlockDetector::Instance().OnRelease(site_);
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+  int site_;
+#endif
+};
+
+/// RAII exclusive lock over a Mutex.
+class MEDRELAX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MEDRELAX_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() MEDRELAX_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class MEDRELAX_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MEDRELAX_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() MEDRELAX_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class MEDRELAX_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MEDRELAX_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() MEDRELAX_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to medrelax::Mutex. Wait takes the Mutex the
+/// caller already holds (annotated MEDRELAX_REQUIRES); write wait loops as
+/// explicit `while (!predicate) cv.Wait(mu);` — a predicate lambda would
+/// be analyzed outside the lock's scope and defeat -Wthread-safety.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires
+  /// `mu` before returning. The detector keeps treating the site as held
+  /// across the wait: the blocked thread acquires nothing meanwhile, so
+  /// no spurious order edge can form.
+  void Wait(Mutex& mu) MEDRELAX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_COMMON_MUTEX_H_

@@ -1,0 +1,89 @@
+#ifndef MEDRELAX_COMMON_THREAD_ANNOTATIONS_H_
+#define MEDRELAX_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis capability annotations, in the style of
+// absl/base/thread_annotations.h. Under Clang the macros expand to
+// __attribute__((...)) and `clang++ -Wthread-safety` machine-checks every
+// annotated lock acquisition; under any other compiler they expand to
+// nothing, so the annotations double as always-true documentation.
+//
+// The annotated lock types that carry these capabilities live in
+// medrelax/common/mutex.h; docs/CONCURRENCY.md is the cookbook.
+
+#if defined(__clang__)
+#define MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+// Declares a class to be a capability (a lock). The string names the
+// capability kind in diagnostics ("mutex", "shared_mutex", ...).
+#define MEDRELAX_CAPABILITY(x) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+// Declares an RAII class whose constructor acquires and destructor
+// releases a capability (MutexLock / ReaderLock / WriterLock).
+#define MEDRELAX_SCOPED_CAPABILITY \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// On a data member: reads/writes require holding the named capability
+// (shared access suffices for reads, exclusive for writes).
+#define MEDRELAX_GUARDED_BY(x) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+// On a pointer member: the pointed-to data (not the pointer itself) is
+// protected by the named capability.
+#define MEDRELAX_PT_GUARDED_BY(x) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Documents a required acquisition order between two locks.
+#define MEDRELAX_ACQUIRED_BEFORE(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define MEDRELAX_ACQUIRED_AFTER(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// On a function: the caller must hold the capability (exclusively /
+// shared) when calling, and still holds it on return.
+#define MEDRELAX_REQUIRES(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define MEDRELAX_REQUIRES_SHARED(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: it acquires the capability (held on return, not on
+// entry). No argument means `this`.
+#define MEDRELAX_ACQUIRE(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define MEDRELAX_ACQUIRE_SHARED(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+// On a function: it releases the capability (held on entry, not on
+// return). The generic form releases exclusive or shared alike.
+#define MEDRELAX_RELEASE(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define MEDRELAX_RELEASE_SHARED(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the capability iff the return
+// value equals the first argument.
+#define MEDRELAX_TRY_ACQUIRE(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the capability (the function
+// acquires it itself, or calling with it held would self-deadlock).
+#define MEDRELAX_EXCLUDES(...) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (no acquire/release).
+#define MEDRELAX_ASSERT_CAPABILITY(x) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+// On a function returning a reference to a capability.
+#define MEDRELAX_RETURN_CAPABILITY(x) \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch: turns the analysis off for one function. Every use needs
+// a comment saying why; serve/ must stay escape-free (CI greps).
+#define MEDRELAX_NO_THREAD_SAFETY_ANALYSIS \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // MEDRELAX_COMMON_THREAD_ANNOTATIONS_H_

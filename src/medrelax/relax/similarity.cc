@@ -1,7 +1,6 @@
 #include "medrelax/relax/similarity.h"
 
 #include <cmath>
-#include <mutex>
 #include <utility>
 
 namespace medrelax {
@@ -53,7 +52,7 @@ PairGeometry SimilarityModel::Geometry(ConceptId from, ConceptId to) const {
 std::optional<PairGeometry> SimilarityModel::CachedGeometry(
     ConceptId from, ConceptId to) const {
   if (!options_.memoize_geometry) return std::nullopt;
-  std::shared_lock<std::shared_mutex> lock(geometry_mu_);
+  ReaderLock lock(geometry_mu_);
   auto it = geometry_cache_.find(PairKey(from, to));
   if (it == geometry_cache_.end()) return std::nullopt;
   return it->second;
@@ -62,12 +61,12 @@ std::optional<PairGeometry> SimilarityModel::CachedGeometry(
 void SimilarityModel::StoreGeometry(ConceptId from, ConceptId to,
                                     const PairGeometry& g) const {
   if (!options_.memoize_geometry) return;
-  std::unique_lock<std::shared_mutex> lock(geometry_mu_);
+  WriterLock lock(geometry_mu_);
   geometry_cache_.emplace(PairKey(from, to), g);
 }
 
 size_t SimilarityModel::cached_pairs() const {
-  std::shared_lock<std::shared_mutex> lock(geometry_mu_);
+  ReaderLock lock(geometry_mu_);
   return geometry_cache_.size();
 }
 

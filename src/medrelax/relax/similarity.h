@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "medrelax/common/mutex.h"
 #include "medrelax/graph/concept_dag.h"
 #include "medrelax/graph/geometry.h"
 #include "medrelax/graph/lcs.h"
@@ -91,15 +91,16 @@ class SimilarityModel {
 
   /// Cache lookup only: nullopt on a miss or when memoization is off.
   [[nodiscard]] std::optional<PairGeometry> CachedGeometry(ConceptId from,
-                                                           ConceptId to) const;
+                                                           ConceptId to) const
+      MEDRELAX_EXCLUDES(geometry_mu_);
 
   /// Inserts a geometry into the memoization cache (no-op when
   /// memoization is off; first writer wins on a race).
-  void StoreGeometry(ConceptId from, ConceptId to,
-                     const PairGeometry& g) const;
+  void StoreGeometry(ConceptId from, ConceptId to, const PairGeometry& g) const
+      MEDRELAX_EXCLUDES(geometry_mu_);
 
   /// Number of memoized pairs (0 when memoization is off).
-  [[nodiscard]] size_t cached_pairs() const;
+  [[nodiscard]] size_t cached_pairs() const MEDRELAX_EXCLUDES(geometry_mu_);
 
  private:
   [[nodiscard]] ContextId EffectiveContext(ContextId ctx) const;
@@ -111,9 +112,10 @@ class SimilarityModel {
 
   const ConceptDag* dag_;
   const FrequencyModel* freq_;
-  SimilarityOptions options_;
-  mutable std::shared_mutex geometry_mu_;
-  mutable std::unordered_map<uint64_t, PairGeometry> geometry_cache_;
+  const SimilarityOptions options_;
+  mutable SharedMutex geometry_mu_{"SimilarityModel::geometry_mu"};
+  mutable std::unordered_map<uint64_t, PairGeometry> geometry_cache_
+      MEDRELAX_GUARDED_BY(geometry_mu_);
 };
 
 }  // namespace medrelax

@@ -44,7 +44,7 @@ std::future<Result<RelaxResponse>> RelaxationService::Submit(
   std::promise<Result<RelaxResponse>> promise;
   std::future<Result<RelaxResponse>> future = promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopped_) {
       stats_.RecordRejectedShutdown();
       promise.set_value(
@@ -61,7 +61,7 @@ std::future<Result<RelaxResponse>> RelaxationService::Submit(
                                     std::move(promise)});
     stats_.RecordAdmitted(queue_.size());
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return future;
 }
 
@@ -81,7 +81,7 @@ Result<RelaxResponse> RelaxationService::Relax(RelaxRequest request) {
 bool RelaxationService::RunOnce() {
   PendingRequest pending;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (queue_.empty()) return false;
     pending = std::move(queue_.front());
     queue_.pop_front();
@@ -94,8 +94,10 @@ void RelaxationService::WorkerLoop() {
   for (;;) {
     PendingRequest pending;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this]() { return stopped_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      // Explicit wait loop: a predicate lambda would read the guarded
+      // members outside -Wthread-safety's view of the held lock.
+      while (!stopped_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // stopped_ and drained
       pending = std::move(queue_.front());
       queue_.pop_front();
@@ -180,14 +182,14 @@ uint64_t RelaxationService::PublishSnapshot(
 }
 
 size_t RelaxationService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return queue_.size();
 }
 
 void RelaxationService::Shutdown() {
   std::deque<PendingRequest> orphaned;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopped_ && workers_.empty() && queue_.empty()) return;
     stopped_ = true;
     if (workers_.empty()) {
@@ -196,7 +198,7 @@ void RelaxationService::Shutdown() {
       orphaned.swap(queue_);
     }
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (PendingRequest& pending : orphaned) {
     stats_.RecordRejectedShutdown();
     pending.promise.set_value(

@@ -2,16 +2,15 @@
 #define MEDRELAX_SERVE_RELAXATION_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "medrelax/common/mutex.h"
 #include "medrelax/common/result.h"
 #include "medrelax/serve/result_cache.h"
 #include "medrelax/serve/service_stats.h"
@@ -93,8 +92,8 @@ class RelaxationService {
   /// error: ResourceExhausted (queue full), DeadlineExceeded (expired
   /// before service), NotFound (term maps to no concept), InvalidArgument
   /// (unknown context / bad request), FailedPrecondition (shutdown).
-  [[nodiscard]] std::future<Result<RelaxResponse>> Submit(
-      RelaxRequest request);
+  [[nodiscard]] std::future<Result<RelaxResponse>> Submit(RelaxRequest request)
+      MEDRELAX_EXCLUDES(queue_mu_);
 
   /// Submit + wait. With no background workers the caller's thread pumps
   /// the queue, so this works in single-threaded embeddings too.
@@ -102,7 +101,7 @@ class RelaxationService {
 
   /// Dequeues and serves one request on the calling thread; false when the
   /// queue is empty. The pump primitive behind num_workers = 0.
-  bool RunOnce();
+  bool RunOnce() MEDRELAX_EXCLUDES(queue_mu_);
 
   /// Atomically publishes `snapshot` as the new serving state and returns
   /// its generation. Never blocks queries: readers that already hold the
@@ -116,12 +115,12 @@ class RelaxationService {
 
   [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
   [[nodiscard]] const ResultCache& cache() const { return cache_; }
-  [[nodiscard]] size_t queue_depth() const;
+  [[nodiscard]] size_t queue_depth() const MEDRELAX_EXCLUDES(queue_mu_);
 
   /// Stops intake (further Submits fail with FailedPrecondition), drains
   /// already-admitted requests, and joins the workers. Idempotent; called
   /// by the destructor.
-  void Shutdown();
+  void Shutdown() MEDRELAX_EXCLUDES(queue_mu_);
 
  private:
   struct PendingRequest {
@@ -132,21 +131,27 @@ class RelaxationService {
     std::promise<Result<RelaxResponse>> promise;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() MEDRELAX_EXCLUDES(queue_mu_);
   /// Serves one dequeued request end-to-end (deadline check, term
-  /// resolution, cache, relaxation) and fulfills its promise.
-  void Serve(PendingRequest pending);
+  /// resolution, cache, relaxation) and fulfills its promise. Runs
+  /// lock-free: the serve path never holds queue_mu_ while it touches the
+  /// registry, the cache, or the relaxer (docs/CONCURRENCY.md).
+  void Serve(PendingRequest pending) MEDRELAX_EXCLUDES(queue_mu_);
 
-  ServiceOptions options_;
-  SnapshotRegistry registry_;
-  ResultCache cache_;
-  ServiceStats stats_;
+  const ServiceOptions options_;
+  // Each of these synchronizes internally; no member of this class is read
+  // or written under two locks at once.
+  SnapshotRegistry registry_;  // lint:allow(guarded-by) internally locked
+  ResultCache cache_;          // lint:allow(guarded-by) internally locked
+  ServiceStats stats_;         // lint:allow(guarded-by) internally locked
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingRequest> queue_;
-  bool stopped_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex queue_mu_{"RelaxationService::queue_mu"};
+  CondVar queue_cv_;
+  std::deque<PendingRequest> queue_ MEDRELAX_GUARDED_BY(queue_mu_);
+  bool stopped_ MEDRELAX_GUARDED_BY(queue_mu_) = false;
+  /// Touched only before the workers start (constructor) and after they
+  /// stop (Shutdown's join), both on the owning thread.
+  std::vector<std::thread> workers_;  // lint:allow(guarded-by) ctor/join only
 };
 
 }  // namespace medrelax

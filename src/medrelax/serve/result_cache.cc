@@ -65,7 +65,7 @@ std::shared_ptr<const RelaxationOutcome> ResultCache::Lookup(
     return nullptr;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -80,7 +80,7 @@ void ResultCache::Insert(const CacheKey& key,
                          std::shared_ptr<const RelaxationOutcome> outcome) {
   if (shard_capacity_ == 0) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->outcome = std::move(outcome);
@@ -98,7 +98,7 @@ void ResultCache::Insert(const CacheKey& key,
 
 void ResultCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
@@ -107,7 +107,7 @@ void ResultCache::Clear() {
 size_t ResultCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;

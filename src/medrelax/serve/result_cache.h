@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "medrelax/common/mutex.h"
 #include "medrelax/relax/query_relaxer.h"
 
 namespace medrelax {
@@ -105,10 +105,13 @@ class ResultCache {
     std::shared_ptr<const RelaxationOutcome> outcome;
   };
   struct Shard {
-    mutable std::mutex mu;
+    /// One detector site for all shards: shards are never nested, and a
+    /// per-shard order against the rest of the system is what matters.
+    mutable Mutex mu{"ResultCache::Shard::mu"};
     /// Front = most recently used; back = eviction candidate.
-    std::list<Entry> lru;
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    std::list<Entry> lru MEDRELAX_GUARDED_BY(mu);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
+        MEDRELAX_GUARDED_BY(mu);
   };
 
   [[nodiscard]] Shard& ShardFor(const CacheKey& key) {

@@ -48,7 +48,7 @@ void ServiceStats::RecordCompleted(bool cache_hit, uint64_t latency_ns) {
 }
 
 void ServiceStats::RecordRelaxStats(const RelaxStats& stats) {
-  std::lock_guard<std::mutex> lock(relax_mu_);
+  MutexLock lock(relax_mu_);
   relax_totals_.Accumulate(stats);
 }
 
@@ -79,7 +79,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
         std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(relax_mu_);
+    MutexLock lock(relax_mu_);
     snap.relax = relax_totals_;
   }
   return snap;

@@ -4,9 +4,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "medrelax/common/mutex.h"
 #include "medrelax/relax/relax_stats.h"
 
 namespace medrelax {
@@ -59,11 +59,12 @@ class ServiceStats {
   /// A request was answered; `latency_ns` is submit-to-answer wall time.
   void RecordCompleted(bool cache_hit, uint64_t latency_ns);
   /// Relaxer instrumentation of one computed (cache-miss) answer.
-  void RecordRelaxStats(const RelaxStats& stats);
+  void RecordRelaxStats(const RelaxStats& stats) MEDRELAX_EXCLUDES(relax_mu_);
   void RecordFailed();
   void RecordSnapshotSwap();
 
-  [[nodiscard]] ServiceStatsSnapshot Snapshot() const;
+  [[nodiscard]] ServiceStatsSnapshot Snapshot() const
+      MEDRELAX_EXCLUDES(relax_mu_);
 
  private:
   std::atomic<uint64_t> requests_{0};
@@ -78,8 +79,8 @@ class ServiceStats {
   std::atomic<uint64_t> snapshot_swaps_{0};
   std::array<std::atomic<uint64_t>, ServiceStatsSnapshot::kLatencyBuckets>
       latency_buckets_{};
-  mutable std::mutex relax_mu_;
-  RelaxStats relax_totals_;
+  mutable Mutex relax_mu_{"ServiceStats::relax_mu"};
+  RelaxStats relax_totals_ MEDRELAX_GUARDED_BY(relax_mu_);
 };
 
 }  // namespace medrelax

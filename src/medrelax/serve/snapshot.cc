@@ -1,6 +1,5 @@
 #include "medrelax/serve/snapshot.h"
 
-#include <mutex>
 #include <utility>
 
 #include "medrelax/matching/edit_matcher.h"
@@ -42,7 +41,7 @@ Result<std::shared_ptr<Snapshot>> Snapshot::Build(
 }
 
 std::shared_ptr<const Snapshot> SnapshotRegistry::Current() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return current_;
 }
 
@@ -50,7 +49,7 @@ uint64_t SnapshotRegistry::Publish(std::shared_ptr<Snapshot> snapshot) {
   const uint64_t generation =
       generations_.fetch_add(1, std::memory_order_acq_rel) + 1;
   snapshot->generation_ = generation;
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   current_ = std::move(snapshot);
   return generation;
 }

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 
+#include "medrelax/common/mutex.h"
 #include "medrelax/common/result.h"
 #include "medrelax/corpus/document.h"
 #include "medrelax/graph/concept_dag.h"
@@ -106,12 +106,13 @@ class SnapshotRegistry {
   SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
 
   /// The currently published snapshot; nullptr before the first Publish.
-  [[nodiscard]] std::shared_ptr<const Snapshot> Current() const;
+  [[nodiscard]] std::shared_ptr<const Snapshot> Current() const
+      MEDRELAX_EXCLUDES(mu_);
 
   /// Stamps `snapshot` with the next generation number and makes it the
   /// current snapshot. Returns the stamped generation (1, 2, ...). The
   /// previous snapshot stays alive until its last reader releases it.
-  uint64_t Publish(std::shared_ptr<Snapshot> snapshot);
+  uint64_t Publish(std::shared_ptr<Snapshot> snapshot) MEDRELAX_EXCLUDES(mu_);
 
   /// Generation of the latest Publish; 0 when nothing is published yet.
   [[nodiscard]] uint64_t generation() const {
@@ -119,8 +120,8 @@ class SnapshotRegistry {
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::shared_ptr<const Snapshot> current_;
+  mutable SharedMutex mu_{"SnapshotRegistry::mu"};
+  std::shared_ptr<const Snapshot> current_ MEDRELAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> generations_{0};
 };
 

@@ -1,0 +1,13 @@
+// A violation-free file: the self-test asserts check_invariants exits 0
+// (and prints its clean banner) when pointed here.
+
+#include <memory>
+
+namespace medrelax {
+
+int CleanFixture() {
+  auto value = std::make_unique<int>(41);
+  return *value + 1;
+}
+
+}  // namespace medrelax

@@ -1,0 +1,7 @@
+// EXPECT-LINT: header-guard
+#ifndef WRONG_GUARD_FOR_THIS_PATH_H_
+#define WRONG_GUARD_FOR_THIS_PATH_H_
+
+namespace medrelax {}
+
+#endif  // WRONG_GUARD_FOR_THIS_PATH_H_

@@ -1,0 +1,48 @@
+// guarded-by fixtures: a class owning a medrelax lock must annotate its
+// mutable data members.
+#ifndef MEDRELAX_TESTS_LINT_SELFTEST_FIXTURES_GUARDED_BY_H_
+#define MEDRELAX_TESTS_LINT_SELFTEST_FIXTURES_GUARDED_BY_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "medrelax/common/mutex.h"
+#include "medrelax/common/thread_annotations.h"
+
+namespace medrelax {
+
+class LockOwningFixture {
+ public:
+  void Poke();
+  int Peek() const { return guarded_; }
+
+ private:
+  mutable Mutex mu_{"LockOwningFixture::mu"};
+  CondVar cv_;
+  int guarded_ MEDRELAX_GUARDED_BY(mu_) = 0;
+  std::vector<int> also_guarded_ MEDRELAX_GUARDED_BY(mu_);
+  int unguarded_ = 0;  // EXPECT-LINT: guarded-by
+  std::string also_unguarded_;  // EXPECT-LINT: guarded-by
+  std::atomic<int> counter_{0};
+  const int limit_ = 8;
+  static constexpr int kCapacity = 16;
+  int waived_ = 0;  // lint:allow(guarded-by) fixture: owned by the caller
+};
+
+// No lock owned: nothing here needs annotating.
+class LocklessFixture {
+ private:
+  int plain_ = 0;
+  std::string name_;
+};
+
+struct SharedOwningFixture {
+  mutable SharedMutex table_mu{"SharedOwningFixture::table_mu"};
+  std::vector<int> table MEDRELAX_GUARDED_BY(table_mu);
+  int rev = 0;  // EXPECT-LINT: guarded-by
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TESTS_LINT_SELFTEST_FIXTURES_GUARDED_BY_H_

@@ -1,0 +1,33 @@
+// ignored-status fixtures: bare calls and uncommented (void)-discards of
+// Status-returning functions must fire; consumed, explained, or waived
+// calls must not.
+
+#include "tests/lint_selftest/fixtures/status_api.h"
+
+namespace medrelax {
+
+void IgnoredStatusCases() {
+  FlushFixture();  // EXPECT-LINT: ignored-status
+
+  (void)PersistFixture();
+  // EXPECT-LINT-PREV: ignored-status
+
+  // Fixture: the flush error is ignorable here, so the comment
+  // legitimizes the discard.
+  (void)FlushFixture();
+
+  FlushFixture();  // lint:allow(ignored-status) fixture waiver
+
+  if (&FlushFixture != nullptr) {
+    PersistFixture();  // EXPECT-LINT: ignored-status
+  }
+
+  /* A block comment mentioning FlushFixture(); must not fire. */
+
+  /*
+    FlushFixture();
+    PersistFixture();
+  */
+}
+
+}  // namespace medrelax

@@ -1,0 +1,9 @@
+// include-cc fixtures.
+
+#include "medrelax/common/status.cc"  // EXPECT-LINT: include-cc
+
+#include "medrelax/common/status.cc"  // lint:allow(include-cc) fixture waiver
+
+// #include "medrelax/common/logging.cc" in a comment must not fire.
+
+namespace medrelax {}

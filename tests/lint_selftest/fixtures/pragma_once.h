@@ -1,0 +1,4 @@
+// EXPECT-LINT: header-guard
+#pragma once
+
+namespace medrelax {}

@@ -1,0 +1,27 @@
+// raw-mutex fixtures: standard-library lock primitives outside
+// src/medrelax/common/ must fire unless waived.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace medrelax {
+
+std::mutex fixture_mu;               // EXPECT-LINT: raw-mutex
+std::shared_mutex fixture_shared;    // EXPECT-LINT: raw-mutex
+std::condition_variable fixture_cv;  // EXPECT-LINT: raw-mutex
+
+void RawMutexCases() {
+  std::lock_guard<std::mutex> lock(fixture_mu);
+  // EXPECT-LINT-PREV: raw-mutex
+}
+
+std::mutex waived_mu;  // lint:allow(raw-mutex) fixture waiver
+
+/* std::mutex in a block comment must not fire */
+
+/*
+  std::condition_variable commented_cv;
+*/
+
+}  // namespace medrelax

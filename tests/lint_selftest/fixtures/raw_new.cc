@@ -1,0 +1,27 @@
+// raw-new-delete fixtures. The block-comment cases are the regression
+// test for strip_comments_and_strings carrying /* ... */ state across
+// lines: none of the commented-out allocations may fire.
+
+namespace medrelax {
+
+void RawNewCases() {
+  int* p = new int[4];  // EXPECT-LINT: raw-new-delete
+  delete[] p;           // EXPECT-LINT: raw-new-delete
+
+  int* q = new int;  // lint:allow(raw-new-delete) fixture waiver
+  delete q;          // lint:allow(raw-new-delete) fixture waiver
+
+  /* new int[8] inside a one-line block comment must not fire */
+
+  /*
+    A multi-line block comment: the old line-at-a-time stripper lost the
+    open-comment state here and reported these as violations.
+    int* stale = new int[16];
+    delete[] stale;
+  */
+
+  const char* s = "new int[32] inside a string literal must not fire";
+  (void)s;  // fixture: value intentionally unused
+}
+
+}  // namespace medrelax

@@ -1,0 +1,15 @@
+// Fixture API surface: declares Status-returning functions so the
+// ignored-status rule has names to track. No violations in this file.
+#ifndef MEDRELAX_TESTS_LINT_SELFTEST_FIXTURES_STATUS_API_H_
+#define MEDRELAX_TESTS_LINT_SELFTEST_FIXTURES_STATUS_API_H_
+
+namespace medrelax {
+
+class Status;
+
+Status FlushFixture();
+Status PersistFixture();
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TESTS_LINT_SELFTEST_FIXTURES_STATUS_API_H_

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint/check_invariants.py.
+
+Fixture files under tests/lint_selftest/fixtures/ carry known violations,
+each marked in-line:
+
+    int* p = new int[4];  // EXPECT-LINT: raw-new-delete
+    (void)Persist();
+    // EXPECT-LINT-PREV: ignored-status      (marks the *previous* line)
+
+The -PREV form exists for rules where a same-line comment would change the
+rule's behaviour (a commented `(void)` discard is legal, so the positive
+case must stay comment-free). The runner scans the fixtures with
+`check_invariants.py --scan`, parses its report, and demands set-equality
+between marked and reported (path, line, rule) triples — a rule that stops
+firing, fires on the wrong line, or starts over-firing fails tier-1 ctest.
+A second scan over tests/lint_selftest/clean/ asserts the zero-violation
+exit path still works.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINT = os.path.join(REPO, "scripts", "lint", "check_invariants.py")
+FIXTURES_DIR = "tests/lint_selftest/fixtures"
+CLEAN_DIR = "tests/lint_selftest/clean"
+
+MARKER_RE = re.compile(r"EXPECT-LINT(?P<prev>-PREV)?:\s*(?P<rule>[a-z\-]+)")
+REPORT_RE = re.compile(r"^(?P<path>[^:\s]+):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\]")
+
+
+def collect_expected():
+    expected = set()
+    root = os.path.join(REPO, FIXTURES_DIR)
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            path = os.path.join(dirpath, name)
+            relpath = os.path.relpath(path, REPO)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f.read().splitlines(), 1):
+                    m = MARKER_RE.search(line)
+                    if m:
+                        target = lineno - 1 if m.group("prev") else lineno
+                        expected.add((relpath, target, m.group("rule")))
+    return expected
+
+
+def run_lint(scan_dir):
+    return subprocess.run(
+        [sys.executable, LINT, "--scan", scan_dir],
+        capture_output=True, text=True, cwd=REPO)
+
+
+def main():
+    failures = []
+
+    expected = collect_expected()
+    if not expected:
+        failures.append("no EXPECT-LINT markers found under " + FIXTURES_DIR)
+
+    proc = run_lint(FIXTURES_DIR)
+    if proc.returncode != 1:
+        failures.append(
+            f"fixture scan: expected exit 1, got {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    actual = set()
+    for line in proc.stdout.splitlines():
+        m = REPORT_RE.match(line)
+        if m:
+            actual.add((m.group("path"), int(m.group("line")), m.group("rule")))
+
+    for item in sorted(expected - actual):
+        failures.append("marked but not reported: %s:%d [%s]" % item)
+    for item in sorted(actual - expected):
+        failures.append("reported but not marked: %s:%d [%s]" % item)
+
+    clean = run_lint(CLEAN_DIR)
+    if clean.returncode != 0:
+        failures.append(
+            f"clean scan: expected exit 0, got {clean.returncode}\n"
+            f"stdout:\n{clean.stdout}")
+    elif "check_invariants: clean" not in clean.stdout:
+        failures.append("clean scan did not print the clean banner")
+
+    if failures:
+        print("lint_selftest: FAIL")
+        for f in failures:
+            print("  " + f)
+        return 1
+    rules = sorted({rule for _, _, rule in expected})
+    print(f"lint_selftest: PASS ({len(expected)} marked violations matched "
+          f"across rules: {', '.join(rules)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "medrelax/common/deadlock_detector.h"
 #include "medrelax/datasets/kb_generator.h"
 #include "medrelax/serve/relaxation_service.h"
 
@@ -194,6 +195,102 @@ TEST(ServeConcurrency, SharedCacheUnderContentionStaysConsistent) {
   EXPECT_GT(stats.cache_hits, 0u);
   EXPECT_GT(service.cache().evictions(), 0u)
       << "the test must actually exercise concurrent eviction";
+}
+
+TEST(ServeConcurrency, PublishStormKeepsLockOrderAcyclic) {
+  // Every lock in the serving layer under fire at once: submitters hit
+  // the request queue and cache shards, a publisher swaps the registry,
+  // and pollers read stats, cache size, and queue depth. With the
+  // deadlock detector compiled in (default/asan/tsan presets), any
+  // inconsistent acquisition order between the service, registry, shard,
+  // and stats locks aborts the test; afterwards we assert the recorded
+  // order graph itself is cycle-free.
+  std::shared_ptr<Snapshot> initial = BuildSnapshot(7);
+  std::vector<ConceptId> queries = FlaggedConcepts(*initial, 8);
+  ASSERT_FALSE(queries.empty());
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 512;
+  options.cache.capacity = 16;
+  options.cache.num_shards = 2;
+  RelaxationService service(initial, options);
+
+  constexpr int kSubmitters = 2;
+  constexpr int kRequestsPerThread = 80;
+  constexpr int kPublishes = 8;
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> storming{true};
+  std::atomic<uint64_t> resolved{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        RelaxRequest request;
+        request.concept_id = queries[(t * 17 + i) % queries.size()];
+        Result<RelaxResponse> response =
+            service.Submit(std::move(request)).get();
+        if (!response.ok()) {
+          EXPECT_TRUE(response.status().IsResourceExhausted())
+              << response.status();
+        }
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  std::thread publisher([&] {
+    while (!start.load()) std::this_thread::yield();
+    for (int i = 0; i < kPublishes; ++i) {
+      service.PublishSnapshot(BuildSnapshot(7));
+    }
+  });
+  std::thread poller([&] {
+    while (!start.load()) std::this_thread::yield();
+    while (storming.load()) {
+      ServiceStatsSnapshot stats = service.Stats();
+      EXPECT_LE(stats.cache_hits, stats.completed);
+      (void)service.cache().size();   // shard locks, all of them
+      (void)service.queue_depth();    // queue lock
+      (void)service.snapshot();       // registry lock
+      std::this_thread::yield();
+    }
+  });
+
+  start.store(true);
+  for (std::thread& thread : submitters) thread.join();
+  publisher.join();
+  storming.store(false);
+  poller.join();
+
+  EXPECT_EQ(resolved.load(),
+            static_cast<uint64_t>(kSubmitters) * kRequestsPerThread);
+  EXPECT_EQ(service.snapshot()->generation(), 1u + kPublishes);
+
+#ifdef MEDRELAX_DEADLOCK_DEBUG
+  // The storm above fed the detector's acquisition-order graph through
+  // the Mutex hooks; the documented total order (docs/CONCURRENCY.md)
+  // must hold pairwise — no two serving-layer sites may each be ordered
+  // before the other.
+  DeadlockDetector& detector = DeadlockDetector::Instance();
+  const std::vector<int> sites = {
+      detector.RegisterSite("RelaxationService::queue_mu"),
+      detector.RegisterSite("SnapshotRegistry::mu"),
+      detector.RegisterSite("ResultCache::Shard::mu"),
+      detector.RegisterSite("ServiceStats::relax_mu"),
+  };
+  for (int a : sites) {
+    for (int b : sites) {
+      if (a == b) continue;
+      EXPECT_FALSE(detector.PathExists(a, b) && detector.PathExists(b, a))
+          << "lock-order cycle between " << detector.SiteName(a) << " and "
+          << detector.SiteName(b);
+    }
+  }
+#endif  // MEDRELAX_DEADLOCK_DEBUG
 }
 
 TEST(ServeConcurrency, ShutdownRacesSubmitters) {
