@@ -1,0 +1,128 @@
+// Microbenches for the net/ frontend, socketpair-driven so they measure
+// our framing and wakeup machinery rather than the TCP stack:
+//
+//   * BM_LineFraming/<line_bytes> — bytes through Connection's read
+//     path: the client end writes batches of '\n'-framed lines, the
+//     loop is pumped until every line was delivered. Reassembly, lazy
+//     buffer compaction, and handler dispatch are the costs under test.
+//   * BM_EventLoopPostWakeup — cross-thread Post() round trip: a worker
+//     thread posts, the loop thread (this thread, via RunOnce) drains.
+//     This is the path every completed RELAX reply takes back to its
+//     connection, so its latency bounds reply latency under load.
+//
+// Pre-1.8 google-benchmark binary — plain-double --benchmark_min_time.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <benchmark/benchmark.h>
+
+#include "medrelax/net/connection.h"
+#include "medrelax/net/event_loop.h"
+
+using namespace medrelax;  // NOLINT — bench brevity
+
+namespace {
+
+class CountingHandler : public net::Connection::Handler {
+ public:
+  void OnLine(net::Connection&, std::string) override { ++lines; }
+  void OnClose(net::Connection&, const Status&) override { closed = true; }
+  size_t lines = 0;
+  bool closed = false;
+};
+
+void BM_LineFraming(benchmark::State& state) {
+  const size_t line_bytes = static_cast<size_t>(state.range(0));
+  net::EventLoop loop;
+  CountingHandler handler;
+  int fds[2] = {-1, -1};
+  if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0,
+                 fds) != 0) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  net::ConnectionLimits limits;
+  limits.max_line_bytes = line_bytes + 16;
+  net::Connection conn(loop, fds[1], /*id=*/1, limits, &handler);
+  if (!conn.Start().ok()) {
+    state.SkipWithError("Connection::Start failed");
+    close(fds[0]);
+    return;
+  }
+
+  // One batch per iteration, sized to fit the socketpair buffer so the
+  // writer never blocks (nonblocking send would short-write otherwise).
+  constexpr size_t kLinesPerBatch = 32;
+  std::string batch;
+  for (size_t i = 0; i < kLinesPerBatch; ++i) {
+    batch += std::string(line_bytes, 'q');
+    batch += '\n';
+  }
+
+  size_t expected = 0;
+  for (auto _ : state) {
+    size_t off = 0;
+    expected += kLinesPerBatch;
+    while (off < batch.size()) {
+      const ssize_t n =
+          send(fds[0], batch.data() + off, batch.size() - off, MSG_NOSIGNAL);
+      if (n > 0) off += static_cast<size_t>(n);
+      // Socket full: let the connection drain it before writing more.
+      while (handler.lines < expected && loop.RunOnce(0) > 0) {
+      }
+    }
+    while (handler.lines < expected) loop.RunOnce(/*timeout_ms=*/-1);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(
+      state.iterations() * batch.size()));
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(expected), benchmark::Counter::kIsRate);
+  close(fds[0]);
+}
+BENCHMARK(BM_LineFraming)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_EventLoopPostWakeup(benchmark::State& state) {
+  net::EventLoop loop;
+  std::atomic<size_t> posted{0};
+  std::atomic<size_t> drained{0};
+  std::atomic<bool> done{false};
+
+  // The worker plays RelaxationService: it completes "requests" by
+  // posting tasks at the loop. Keeping a small window in flight mimics
+  // the closed-loop server (replies never pile up unboundedly).
+  std::thread worker([&] {
+    constexpr size_t kWindow = 64;
+    while (!done.load(std::memory_order_acquire)) {
+      if (posted.load(std::memory_order_relaxed) -
+              drained.load(std::memory_order_acquire) < kWindow) {
+        loop.Post([&drained] {
+          drained.fetch_add(1, std::memory_order_release);
+        });
+        posted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (auto _ : state) {
+    loop.RunOnce(/*timeout_ms=*/1);
+  }
+  done.store(true, std::memory_order_release);
+  worker.join();
+  while (loop.RunOnce(0) > 0) {
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(drained.load()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventLoopPostWakeup)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -172,12 +172,14 @@ def check_ignored_status(violations):
     if not names:
         return
     names_alt = "|".join(sorted(re.escape(n) for n in names))
-    call_re = re.compile(
-        r"^\s*(?:[\w\.\->:\[\]\(\)]+(?:\.|->|::))?(?:%s)\s*\(" % names_alt
-    )
+    # The receiver prefix admits `obj.`, `ptr->`, `ns::`, `arr[i].`,
+    # `foo().` — but never a lone `(`: in `Consume(Status::Internal(...))`
+    # the inner call is an *argument*, consumed by the outer call, not a
+    # discarded statement.
+    prefix = r"(?:(?:[\w\.\[\]]|->|::|\(\))+(?:\.|->|::))?"
+    call_re = re.compile(r"^\s*%s(?:%s)\s*\(" % (prefix, names_alt))
     void_cast_re = re.compile(
-        r"^\s*\(void\)\s*(?:[\w\.\->:\[\]\(\)]+(?:\.|->|::))?(?:%s)\s*\("
-        % names_alt
+        r"^\s*\(void\)\s*%s(?:%s)\s*\(" % (prefix, names_alt)
     )
     for relpath in iter_source_files({".cc", ".h"}):
         raw_lines = read_lines(relpath)

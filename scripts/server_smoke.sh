@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the serving stack: generate the seeded smoke
-# world, pipe the scripted session (tests/golden/server_session.txt)
-# through `medrelax_server serve`, and diff stdout against the golden
-# transcript. Then run a short `load` burst to exercise the concurrent
-# path (only the deterministic first line is checked — throughput is
+# End-to-end smoke test of the serving stack, one transcript over two
+# transports: generate the seeded smoke world, replay the scripted
+# session (tests/golden/server_session.txt) through `medrelax_server
+# serve` on stdin AND through `medrelax_client session` against a
+# `--listen` server on loopback, and diff both against the same golden
+# transcript — the TCP frontend must be byte-identical to the stdin
+# path. Then run short closed-loop load bursts on both transports (only
+# the deterministic first line is checked — throughput is
 # machine-dependent and goes to stderr anyway).
 #
 # Usage: scripts/server_smoke.sh   (MEDRELAX_BUILD_DIR overrides ./build)
@@ -12,34 +15,96 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${MEDRELAX_BUILD_DIR:-build}
 TOOL="${BUILD_DIR}/examples/medrelax_tool"
 SERVER="${BUILD_DIR}/tools/medrelax_server"
-for bin in "${TOOL}" "${SERVER}"; do
+CLIENT="${BUILD_DIR}/tools/medrelax_client"
+for bin in "${TOOL}" "${SERVER}" "${CLIENT}"; do
   if [[ ! -x "${bin}" ]]; then
-    echo "server_smoke: missing ${bin} (build the medrelax_tool and" \
-         "medrelax_server targets first)" >&2
+    echo "server_smoke: missing ${bin} (build the medrelax_tool," \
+         "medrelax_server and medrelax_client targets first)" >&2
     exit 1
   fi
 done
 
+# Install the cleanup trap BEFORE mktemp: a failure between the two
+# would otherwise leak the workdir (and, later, the background server).
+WORK=""
+SERVER_PID=""
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]]; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+  fi
+  if [[ -n "${WORK}" ]]; then
+    rm -rf "${WORK}"
+  fi
+}
+trap cleanup EXIT
+
 WORK=$(mktemp -d)
-trap 'rm -rf "${WORK}"' EXIT
+# The world gets its own subdirectory so scratch output (transcripts,
+# server logs) can never collide with the files RELOAD re-reads.
+WORLD="${WORK}/world"
+mkdir -p "${WORLD}"
 
 # The world every transcript line depends on: keep these parameters in
 # lockstep with tests/golden/server_session.golden.
-"${TOOL}" generate "${WORK}" --concepts 800 --findings 60 --seed 7 \
+"${TOOL}" generate "${WORLD}" --concepts 800 --findings 60 --seed 7 \
   >/dev/null
 
+# --- Transport 1: stdin/stdout ---------------------------------------
 # --exact: deterministic term resolution (no fuzzy rescue of the
 # deliberate NotFound probe in the session script).
-"${SERVER}" serve "${WORK}" --exact --workers 1 \
+"${SERVER}" serve "${WORLD}" --exact --workers 1 \
   < tests/golden/server_session.txt > "${WORK}/session.out"
 if ! diff -u tests/golden/server_session.golden "${WORK}/session.out"; then
-  echo "server_smoke: session transcript drifted from the golden file" >&2
+  echo "server_smoke: stdin transcript drifted from the golden file" >&2
   echo "(regenerate with: ${SERVER} serve <world> --exact --workers 1" \
        "< tests/golden/server_session.txt)" >&2
   exit 1
 fi
 
-"${SERVER}" load "${WORK}" --requests 500 --workers 2 --queue 32 \
+# --- Transport 2: TCP on loopback ------------------------------------
+# Same session file, same golden: the epoll frontend must not be
+# distinguishable from the stdin loop in what it says back.
+"${SERVER}" serve "${WORLD}" --exact --workers 1 --listen 0 \
+  > "${WORK}/server.stdout" 2> "${WORK}/server.stderr" &
+SERVER_PID=$!
+
+# Ephemeral port: poll the server's stdout for the announcement.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^ok listening port=\([0-9][0-9]*\)$/\1/p' \
+         "${WORK}/server.stdout")
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server_smoke: TCP server exited before listening" >&2
+    cat "${WORK}/server.stderr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "server_smoke: TCP server never announced its port" >&2
+  exit 1
+fi
+
+"${CLIENT}" session "${PORT}" < tests/golden/server_session.txt \
+  > "${WORK}/tcp_session.out"
+if ! diff -u tests/golden/server_session.golden "${WORK}/tcp_session.out"; then
+  echo "server_smoke: TCP transcript drifted from the golden file" \
+       "(stdin transport matched — the frontend broke parity)" >&2
+  exit 1
+fi
+
+# Concurrent closed-loop load over the same live server.
+"${CLIENT}" load "${PORT}" --requests 200 --connections 4 \
+  > "${WORK}/tcp_load.out" 2>/dev/null
+grep -q '^ok load requests=200 answered=200 errors=0$' "${WORK}/tcp_load.out"
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+# --- In-process load burst (no sockets) -------------------------------
+"${SERVER}" load "${WORLD}" --requests 500 --workers 2 --queue 32 \
   --distinct 8 > "${WORK}/load.out" 2>/dev/null
 grep -q '^ok load requests=500 ' "${WORK}/load.out"
 

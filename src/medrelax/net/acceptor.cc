@@ -1,0 +1,78 @@
+#include "medrelax/net/acceptor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+namespace net {
+
+Result<Acceptor> Acceptor::ListenLoopback(uint16_t port, int backlog) {
+  const int fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int enable = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(
+        StrFormat("bind(127.0.0.1:%u): %s", port, std::strerror(errno)));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, backlog) != 0) {
+    const Status status =
+        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+    close(fd);
+    return status;
+  }
+  // Read the port back: with port 0 the kernel just picked one.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status status =
+        Status::Internal(StrFormat("getsockname: %s", std::strerror(errno)));
+    close(fd);
+    return status;
+  }
+  return Acceptor(fd, ntohs(bound.sin_port));
+}
+
+Acceptor::~Acceptor() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Acceptor::Acceptor(Acceptor&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, static_cast<uint16_t>(0))) {}
+
+Acceptor& Acceptor::operator=(Acceptor&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, static_cast<uint16_t>(0));
+  }
+  return *this;
+}
+
+int Acceptor::AcceptOne() const {
+  const int conn =
+      accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  return conn >= 0 ? conn : -1;
+}
+
+}  // namespace net
+}  // namespace medrelax

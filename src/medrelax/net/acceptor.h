@@ -1,0 +1,49 @@
+#ifndef MEDRELAX_NET_ACCEPTOR_H_
+#define MEDRELAX_NET_ACCEPTOR_H_
+
+#include <cstdint>
+
+#include "medrelax/common/result.h"
+
+namespace medrelax {
+namespace net {
+
+/// A non-blocking TCP listener bound to 127.0.0.1. Loopback-only on
+/// purpose: medrelax_server has no authentication layer, so the TCP
+/// transport serves co-located clients (tests, load drivers, sidecars)
+/// and nothing routable (docs/SERVING.md).
+class Acceptor {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back from port()). SO_REUSEADDR is set so smoke-test
+  /// restarts do not trip over TIME_WAIT.
+  [[nodiscard]] static Result<Acceptor> ListenLoopback(uint16_t port,
+                                                       int backlog = 128);
+
+  ~Acceptor();
+  Acceptor(Acceptor&& other) noexcept;
+  Acceptor& operator=(Acceptor&& other) noexcept;
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// The listening socket, non-blocking, for EventLoop registration.
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The bound port (the kernel's pick when constructed with port 0).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection as a non-blocking CLOEXEC socket.
+  /// Returns -1 when the accept queue is empty (or on a transient
+  /// error); call again on the next EPOLLIN.
+  [[nodiscard]] int AcceptOne() const;
+
+ private:
+  Acceptor(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NET_ACCEPTOR_H_

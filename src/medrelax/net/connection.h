@@ -1,0 +1,149 @@
+#ifndef MEDRELAX_NET_CONNECTION_H_
+#define MEDRELAX_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "medrelax/common/status.h"
+#include "medrelax/net/event_loop.h"
+
+namespace medrelax {
+namespace net {
+
+/// Resource bounds of one connection. Both limits map to the service's
+/// admission-control vocabulary: exceeding either rejects with
+/// ResourceExhausted, mirroring what a full request queue does.
+struct ConnectionLimits {
+  /// A line (command) longer than this is rejected and the connection
+  /// closed — an unframed client would otherwise grow the read buffer
+  /// without bound.
+  size_t max_line_bytes = 16 * 1024;
+  /// Write-buffer high-water mark. A reader this far behind is cut off:
+  /// the buffer is the transport's admission queue, and admission
+  /// control means failing fast, not buffering forever.
+  size_t max_write_buffer_bytes = 8 * 1024 * 1024;
+};
+
+/// Counters one connection accumulates over its lifetime; read them in
+/// OnClose for the per-connection accounting line.
+struct ConnectionStats {
+  uint64_t lines_in = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  /// Sends that could not complete inline and armed EPOLLOUT.
+  uint64_t writes_deferred = 0;
+  /// Oversized-line rejections (at most one: the connection closes).
+  uint64_t oversize_rejects = 0;
+};
+
+/// One accepted socket: reads into a buffer, reassembles '\n'-framed
+/// lines (a trailing '\r' is stripped for telnet/netcat friendliness),
+/// and hands complete lines to the handler in arrival order. Writes go
+/// through an output buffer flushed opportunistically; when the socket
+/// backs up, EPOLLOUT is armed and the remainder drains as the peer
+/// catches up (and is de-armed once empty, so an idle connection costs
+/// no wakeups).
+///
+/// Single-threaded: every method must be called on the EventLoop thread.
+/// Cross-thread completions reach a connection by Post()ing to the loop.
+///
+/// Lifetime: after OnClose fires the connection delivers nothing more,
+/// but the object stays valid until its owner destroys it — owners that
+/// destroy from inside OnClose must defer with EventLoop::Post, because
+/// the socket callback that triggered the close is still on the stack
+/// (LineServer does exactly this).
+class Connection {
+ public:
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    /// One complete inbound line, framing stripped.
+    virtual void OnLine(Connection& conn, std::string line) = 0;
+    /// The connection is torn down (fd closed, deregistered): orderly
+    /// EOF/CloseAfterFlush is OK(); limit violations and socket errors
+    /// carry the typed reason. Fires at most once.
+    virtual void OnClose(Connection& conn, const Status& reason) = 0;
+  };
+
+  /// Takes ownership of `fd` (non-blocking). Call Start() to begin.
+  Connection(EventLoop& loop, int fd, uint64_t id,
+             const ConnectionLimits& limits, Handler* handler);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the loop for reads.
+  [[nodiscard]] Status Start();
+
+  /// Buffers `data` and flushes as much as the socket accepts now; the
+  /// rest drains via EPOLLOUT. No-op after close.
+  void Send(std::string_view data);
+
+  /// Stops reading and line delivery; an async request is in flight and
+  /// the reply must precede any later command (pipelined input stays
+  /// buffered in the kernel — that is the backpressure).
+  void Pause();
+
+  /// Resumes reading and delivers lines buffered while paused.
+  void Resume();
+
+  /// Orderly shutdown: no further lines are delivered, buffered output
+  /// drains, then the socket closes and OnClose(OK) fires.
+  void CloseAfterFlush();
+
+  /// Immediate teardown with `reason` (also the path limits take).
+  void Close(const Status& reason);
+
+  [[nodiscard]] uint64_t id() const { return id_; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool paused() const { return paused_; }
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] size_t pending_out_bytes() const { return out_.size(); }
+  [[nodiscard]] const ConnectionStats& stats() const { return stats_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  /// Reads until EAGAIN/EOF; delivers lines; enforces max_line_bytes.
+  void HandleReadable();
+  /// Flushes the write buffer; de-arms EPOLLOUT when drained.
+  void HandleWritable();
+  /// Extracts and delivers complete lines until paused/closing/starved.
+  void DeliverLines();
+  /// True if in_ holds at least one complete ('\n'-terminated) line.
+  [[nodiscard]] bool HasCompleteLine() const;
+  /// Flushes out_ to the socket; closes (slow-reader/error) on failure.
+  void TryFlush();
+  /// Recomputes and applies the epoll interest mask.
+  void UpdateInterest();
+  /// Closes once teardown conditions hold (flushed + nothing pending).
+  void MaybeFinish();
+  void DoClose(const Status& reason);
+
+  EventLoop& loop_;
+  int fd_;
+  const uint64_t id_;
+  const ConnectionLimits limits_;
+  Handler* const handler_;
+
+  std::string in_;        // unconsumed inbound bytes
+  size_t in_pos_ = 0;     // consumed prefix of in_ (compacted lazily)
+  std::string out_;       // unflushed outbound bytes
+  size_t out_pos_ = 0;
+
+  bool want_write_ = false;  // EPOLLOUT currently armed
+  bool paused_ = false;
+  bool peer_eof_ = false;    // read side saw EOF
+  bool close_requested_ = false;
+  bool closed_ = false;
+  Status close_reason_;
+
+  ConnectionStats stats_;
+};
+
+}  // namespace net
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NET_CONNECTION_H_

@@ -1,0 +1,99 @@
+#ifndef MEDRELAX_NET_EVENT_LOOP_H_
+#define MEDRELAX_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "medrelax/common/mutex.h"
+#include "medrelax/common/status.h"
+
+namespace medrelax {
+namespace net {
+
+/// Single-threaded epoll reactor: the one thread that calls Run() (or
+/// RunOnce()) owns every registered fd and every Connection hanging off
+/// it. All state except the cross-thread wakeup queue is therefore
+/// unsynchronized by design — the loop thread is the synchronization
+/// domain, exactly like the snapshot swap makes the serving bundle one.
+///
+/// The only way other threads talk to the loop is Post(): a task queue
+/// guarded by an annotated Mutex plus an eventfd that wakes the epoll
+/// wait. RelaxationService workers complete requests by Post()ing the
+/// formatted reply back to the owning connection; they never touch a
+/// socket (docs/SERVING.md, "TCP transport").
+///
+/// Registrations carry a generation token in the epoll user data, so an
+/// event for an fd that was closed (and possibly reused) earlier in the
+/// same epoll_wait batch is recognized as stale and dropped instead of
+/// being delivered to the new owner.
+class EventLoop {
+ public:
+  /// Invoked on the loop thread with the ready EPOLL* event mask.
+  using IoHandler = std::function<void(uint32_t epoll_events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd creation failed at construction; every
+  /// other method is a safe no-op (or error) in that state.
+  [[nodiscard]] bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` for the level-triggered `events` mask. Loop thread
+  /// only (as are Modify and Remove).
+  [[nodiscard]] Status Watch(int fd, uint32_t events, IoHandler handler);
+  /// Changes the interest mask of a registered fd (0 parks it).
+  [[nodiscard]] Status Modify(int fd, uint32_t events);
+  /// Deregisters `fd`; pending events already fetched for it are dropped.
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop.
+  /// Thread-safe; the only EventLoop entry point that is.
+  void Post(Task task);
+
+  /// Runs until Stop(). Blocks the calling thread, which becomes *the*
+  /// loop thread.
+  void Run();
+
+  /// One epoll_wait pass: dispatches ready events and drained Post()ed
+  /// tasks, returns how many of either it handled. `timeout_ms` < 0
+  /// blocks until something is ready; 0 polls. The unit-test driver.
+  int RunOnce(int timeout_ms);
+
+  /// Makes Run() return soon. Thread-safe and idempotent.
+  void Stop();
+
+  [[nodiscard]] bool stopped() const {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Registration {
+    IoHandler handler;
+    uint32_t token = 0;
+  };
+
+  void DrainWakeupFd();
+  int RunTasks();
+
+  int epoll_fd_ = -1;           // lint:allow(guarded-by) set once in ctor
+  int wake_fd_ = -1;            // lint:allow(guarded-by) set once in ctor
+  uint32_t next_token_ = 1;     // lint:allow(guarded-by) loop thread only
+  std::atomic<bool> stopped_{false};
+  // fd -> registration; loop-thread-only like everything but the queue.
+  std::unordered_map<int, Registration> handlers_;  // lint:allow(guarded-by) loop thread only
+
+  Mutex wakeup_mu_{"EventLoop::wakeup_mu"};
+  std::deque<Task> tasks_ MEDRELAX_GUARDED_BY(wakeup_mu_);
+};
+
+}  // namespace net
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NET_EVENT_LOOP_H_

@@ -1,0 +1,81 @@
+#include "medrelax/net/line_server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+namespace net {
+
+Status LineServer::Start(const LineServerOptions& options,
+                         Callbacks callbacks) {
+  options_ = options;
+  callbacks_ = std::move(callbacks);
+  Result<Acceptor> acceptor = Acceptor::ListenLoopback(options_.port);
+  if (!acceptor.ok()) return acceptor.status();
+  acceptor_.emplace(std::move(*acceptor));
+  return loop_.Watch(acceptor_->fd(), EPOLLIN,
+                     [this](uint32_t) { OnAcceptable(); });
+}
+
+Connection* LineServer::Find(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end() || it->second->closed()) return nullptr;
+  return it->second.get();
+}
+
+void LineServer::OnAcceptable() {
+  // Level-triggered accept burst: drain the backlog so one wakeup does
+  // not serve exactly one connection.
+  for (;;) {
+    const int fd = acceptor_->AcceptOne();
+    if (fd < 0) return;
+    if (connections_.size() >= options_.max_connections) {
+      // Same vocabulary as the request queue: reject, don't buffer. One
+      // best-effort error line, then hang up — a client that cannot even
+      // get a socket slot must learn why.
+      const Status reject = Status::ResourceExhausted(
+          StrFormat("connection limit reached (%zu active)",
+                    options_.max_connections));
+      const std::string reply = "err " + reject.ToString() + "\n";
+      (void)send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      close(fd);
+      ++stats_.rejected_capacity;
+      if (callbacks_.on_reject) callbacks_.on_reject();
+      continue;
+    }
+    const uint64_t id = next_id_++;
+    auto conn = std::make_unique<Connection>(loop_, fd, id, options_.limits,
+                                             static_cast<Handler*>(this));
+    if (Status started = conn->Start(); !started.ok()) {
+      continue;  // conn's destructor closes the fd
+    }
+    ++stats_.accepted;
+    Connection& ref = *conn;
+    connections_.emplace(id, std::move(conn));
+    if (!options_.greeting.empty()) ref.Send(options_.greeting);
+    if (callbacks_.on_accept && !ref.closed()) callbacks_.on_accept(ref);
+  }
+}
+
+void LineServer::OnLine(Connection& conn, std::string line) {
+  if (callbacks_.on_line) callbacks_.on_line(conn, std::move(line));
+}
+
+void LineServer::OnClose(Connection& conn, const Status& reason) {
+  ++stats_.closed;
+  if (callbacks_.on_disconnect) callbacks_.on_disconnect(conn, reason);
+  // The close fired from inside the connection's own socket callback, so
+  // destruction is deferred one loop turn. The LineServer must outlive
+  // pending loop tasks (it does: the tool runs the loop to completion,
+  // and tests drain with RunOnce before teardown).
+  const uint64_t id = conn.id();
+  loop_.Post([this, id] { connections_.erase(id); });
+}
+
+}  // namespace net
+}  // namespace medrelax

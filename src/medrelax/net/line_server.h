@@ -1,0 +1,106 @@
+#ifndef MEDRELAX_NET_LINE_SERVER_H_
+#define MEDRELAX_NET_LINE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "medrelax/common/status.h"
+#include "medrelax/net/acceptor.h"
+#include "medrelax/net/connection.h"
+#include "medrelax/net/event_loop.h"
+
+namespace medrelax {
+namespace net {
+
+struct LineServerOptions {
+  /// 0 = ephemeral; read the kernel's choice back from port().
+  uint16_t port = 0;
+  /// Admission cap on concurrent sessions: an accept beyond it is
+  /// answered with one ResourceExhausted error line and closed,
+  /// mirroring what a full request queue does to a Submit.
+  size_t max_connections = 64;
+  ConnectionLimits limits;
+  /// Sent verbatim to every accepted connection (the serving banner, so
+  /// a TCP transcript matches the stdin transcript line for line).
+  std::string greeting;
+};
+
+/// Aggregate acceptance counters (loop-thread reads only).
+struct LineServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_capacity = 0;
+  uint64_t closed = 0;
+};
+
+/// The transport tying Acceptor + Connections to one EventLoop: accepts
+/// sessions, frames their lines, enforces the connection cap, and routes
+/// per-line callbacks to the protocol layer (tools/medrelax_server.cc).
+///
+/// Loop-thread-only, like everything in net/ except EventLoop::Post.
+/// Worker threads answer a connection by Post()ing a task that calls
+/// Find(conn_id) — the id survives the connection, a dangling pointer
+/// would not.
+class LineServer : private Connection::Handler {
+ public:
+  using LineCallback = std::function<void(Connection&, std::string line)>;
+  /// Observes an accepted session, after the greeting was queued.
+  using AcceptCallback = std::function<void(Connection&)>;
+  /// Observes teardown; the connection object is already closed (but
+  /// still alive — destruction is deferred past the callback).
+  using DisconnectCallback =
+      std::function<void(const Connection&, const Status& reason)>;
+  /// Observes an accept rejected at the connection cap.
+  using RejectCallback = std::function<void()>;
+
+  /// Protocol-layer hooks; only on_line is required.
+  struct Callbacks {
+    LineCallback on_line;
+    AcceptCallback on_accept;
+    DisconnectCallback on_disconnect;
+    RejectCallback on_reject;
+  };
+
+  explicit LineServer(EventLoop& loop) : loop_(loop) {}
+  ~LineServer() override = default;
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds 127.0.0.1:options.port and starts accepting.
+  [[nodiscard]] Status Start(const LineServerOptions& options,
+                             Callbacks callbacks);
+
+  /// The bound port (after Start).
+  [[nodiscard]] uint16_t port() const {
+    return acceptor_ ? acceptor_->port() : 0;
+  }
+
+  /// The live connection with this id, or nullptr if it is gone. Loop
+  /// thread only; never cache the pointer across a Post boundary.
+  [[nodiscard]] Connection* Find(uint64_t conn_id);
+
+  [[nodiscard]] size_t num_connections() const { return connections_.size(); }
+  [[nodiscard]] const LineServerStats& stats() const { return stats_; }
+
+ private:
+  void OnAcceptable();
+  void OnLine(Connection& conn, std::string line) override;
+  void OnClose(Connection& conn, const Status& reason) override;
+
+  EventLoop& loop_;
+  LineServerOptions options_;
+  Callbacks callbacks_;
+  std::optional<Acceptor> acceptor_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  LineServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace medrelax
+
+#endif  // MEDRELAX_NET_LINE_SERVER_H_

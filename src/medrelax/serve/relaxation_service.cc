@@ -33,6 +33,18 @@ RelaxationService::~RelaxationService() { Shutdown(); }
 
 std::future<Result<RelaxResponse>> RelaxationService::Submit(
     RelaxRequest request) {
+  // shared_ptr because std::function requires copyable callables and
+  // std::promise is move-only; the callback fires exactly once.
+  auto promise = std::make_shared<std::promise<Result<RelaxResponse>>>();
+  std::future<Result<RelaxResponse>> future = promise->get_future();
+  SubmitAsync(std::move(request),
+              [promise](Result<RelaxResponse> response) {
+                promise->set_value(std::move(response));
+              });
+  return future;
+}
+
+void RelaxationService::SubmitAsync(RelaxRequest request, RelaxCallback done) {
   const Clock::time_point now = Clock::now();
   Clock::time_point deadline = Clock::time_point::max();
   if (request.timeout > Clock::duration::zero()) {
@@ -41,28 +53,28 @@ std::future<Result<RelaxResponse>> RelaxationService::Submit(
     deadline = now + options_.default_deadline;
   }
 
-  std::promise<Result<RelaxResponse>> promise;
-  std::future<Result<RelaxResponse>> future = promise.get_future();
+  Status rejection = Status::OK();
   {
     MutexLock lock(queue_mu_);
     if (stopped_) {
       stats_.RecordRejectedShutdown();
-      promise.set_value(
-          Status::FailedPrecondition("service is shut down"));
-      return future;
-    }
-    if (queue_.size() >= options_.queue_capacity) {
+      rejection = Status::FailedPrecondition("service is shut down");
+    } else if (queue_.size() >= options_.queue_capacity) {
       stats_.RecordRejectedQueueFull();
-      promise.set_value(Status::ResourceExhausted(StrFormat(
-          "admission queue full (%zu queued)", queue_.size())));
-      return future;
+      rejection = Status::ResourceExhausted(StrFormat(
+          "admission queue full (%zu queued)", queue_.size()));
+    } else {
+      queue_.push_back(PendingRequest{std::move(request), now, deadline,
+                                      std::move(done)});
+      stats_.RecordAdmitted(queue_.size());
     }
-    queue_.push_back(PendingRequest{std::move(request), now, deadline,
-                                    std::move(promise)});
-    stats_.RecordAdmitted(queue_.size());
+  }
+  if (!rejection.ok()) {
+    // Outside queue_mu_: the callback may re-enter the service.
+    done(std::move(rejection));
+    return;
   }
   queue_cv_.NotifyOne();
-  return future;
 }
 
 Result<RelaxResponse> RelaxationService::Relax(RelaxRequest request) {
@@ -112,7 +124,7 @@ void RelaxationService::Serve(PendingRequest pending) {
   // and the client learns immediately instead of receiving a late answer.
   if (start > pending.deadline) {
     stats_.RecordRejectedDeadline();
-    pending.promise.set_value(Status::DeadlineExceeded(StrFormat(
+    pending.done(Status::DeadlineExceeded(StrFormat(
         "deadline passed %zu us before service",
         static_cast<size_t>(ElapsedNs(pending.deadline, start) / 1000))));
     return;
@@ -128,7 +140,7 @@ void RelaxationService::Serve(PendingRequest pending) {
         snap->mapper().Map(pending.request.term);
     if (!match.has_value()) {
       stats_.RecordFailed();
-      pending.promise.set_value(Status::NotFound(StrFormat(
+      pending.done(Status::NotFound(StrFormat(
           "query term '%s' has no corresponding external concept",
           pending.request.term.c_str())));
       return;
@@ -137,14 +149,14 @@ void RelaxationService::Serve(PendingRequest pending) {
   }
   if (concept_id >= snap->dag().num_concepts()) {
     stats_.RecordFailed();
-    pending.promise.set_value(Status::InvalidArgument(StrFormat(
+    pending.done(Status::InvalidArgument(StrFormat(
         "concept id %zu out of range", static_cast<size_t>(concept_id))));
     return;
   }
   if (pending.request.context != kNoContext &&
       pending.request.context >= snap->ingestion().contexts.size()) {
     stats_.RecordFailed();
-    pending.promise.set_value(Status::InvalidArgument(StrFormat(
+    pending.done(Status::InvalidArgument(StrFormat(
         "context id %zu out of range",
         static_cast<size_t>(pending.request.context))));
     return;
@@ -171,7 +183,7 @@ void RelaxationService::Serve(PendingRequest pending) {
   }
   response.latency_ns = ElapsedNs(pending.enqueued_at, Clock::now());
   stats_.RecordCompleted(response.cache_hit, response.latency_ns);
-  pending.promise.set_value(std::move(response));
+  pending.done(std::move(response));
 }
 
 uint64_t RelaxationService::PublishSnapshot(
@@ -201,7 +213,7 @@ void RelaxationService::Shutdown() {
   queue_cv_.NotifyAll();
   for (PendingRequest& pending : orphaned) {
     stats_.RecordRejectedShutdown();
-    pending.promise.set_value(
+    pending.done(
         Status::FailedPrecondition("service shut down before service"));
   }
   for (std::thread& worker : workers_) worker.join();

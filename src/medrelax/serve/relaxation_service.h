@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -60,6 +61,15 @@ struct RelaxResponse {
   uint64_t latency_ns = 0;
 };
 
+/// Completion callback of an async submit: invoked exactly once with the
+/// answer or a typed rejection. Admission rejections (queue full,
+/// shutdown) run it inline on the submitting thread, after every service
+/// lock is released; everything else runs it on the worker (or
+/// RunOnce-pumping) thread that served the request. Callbacks must not
+/// block: the TCP frontend hands the formatted reply to its event loop
+/// via EventLoop::Post and returns (docs/SERVING.md).
+using RelaxCallback = std::function<void(Result<RelaxResponse>)>;
+
 /// The serving layer over QueryRelaxer: owns request lifetimes so the
 /// library's requests-per-second surface has explicit backpressure.
 ///
@@ -95,6 +105,13 @@ class RelaxationService {
   [[nodiscard]] std::future<Result<RelaxResponse>> Submit(RelaxRequest request)
       MEDRELAX_EXCLUDES(queue_mu_);
 
+  /// Callback form of Submit, for callers that must not block a thread
+  /// per in-flight request (the epoll frontend): `done` fires exactly
+  /// once per the RelaxCallback contract above. Submit is a thin wrapper
+  /// over this.
+  void SubmitAsync(RelaxRequest request, RelaxCallback done)
+      MEDRELAX_EXCLUDES(queue_mu_);
+
   /// Submit + wait. With no background workers the caller's thread pumps
   /// the queue, so this works in single-threaded embeddings too.
   [[nodiscard]] Result<RelaxResponse> Relax(RelaxRequest request);
@@ -114,6 +131,12 @@ class RelaxationService {
   }
 
   [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+
+  /// Mutable counter sink for the transport layer: the TCP frontend
+  /// records connection lifecycle events (opened/closed/rejected,
+  /// oversized lines) into the same block the STATS verb prints.
+  /// ServiceStats is internally atomic, so this is thread-safe.
+  [[nodiscard]] ServiceStats& TransportStats() { return stats_; }
   [[nodiscard]] const ResultCache& cache() const { return cache_; }
   [[nodiscard]] size_t queue_depth() const MEDRELAX_EXCLUDES(queue_mu_);
 
@@ -128,7 +151,8 @@ class RelaxationService {
     std::chrono::steady_clock::time_point enqueued_at;
     /// time_point::max() = no deadline.
     std::chrono::steady_clock::time_point deadline;
-    std::promise<Result<RelaxResponse>> promise;
+    /// Resolves the request (answer or typed error); fires exactly once.
+    RelaxCallback done;
   };
 
   void WorkerLoop() MEDRELAX_EXCLUDES(queue_mu_);

@@ -60,6 +60,22 @@ void ServiceStats::RecordSnapshotSwap() {
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceStats::RecordConnectionOpened() {
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordConnectionClosed() {
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordConnectionRejected() {
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordLineRejected() {
+  lines_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
   ServiceStatsSnapshot snap;
   snap.requests = requests_.load(std::memory_order_relaxed);
@@ -74,6 +90,13 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   snap.queue_depth_high_water =
       queue_depth_high_water_.load(std::memory_order_relaxed);
   snap.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  snap.connections_opened =
+      connections_opened_.load(std::memory_order_relaxed);
+  snap.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  snap.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  snap.lines_rejected = lines_rejected_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < snap.latency_buckets.size(); ++i) {
     snap.latency_buckets[i] = latency_buckets_[i].load(
         std::memory_order_relaxed);
@@ -103,6 +126,16 @@ std::string ServiceStatsSnapshot::ToString(bool deterministic_only) const {
   if (deterministic_only) return out;
   out += StrFormat("queue_depth_high_water=%zu\n",
                    static_cast<size_t>(queue_depth_high_water));
+  // Transport counters stay out of the deterministic subset: stdin and
+  // TCP replays of one session must print identical STATS blocks.
+  out += StrFormat("connections_opened=%zu\n",
+                   static_cast<size_t>(connections_opened));
+  out += StrFormat("connections_closed=%zu\n",
+                   static_cast<size_t>(connections_closed));
+  out += StrFormat("connections_rejected=%zu\n",
+                   static_cast<size_t>(connections_rejected));
+  out += StrFormat("lines_rejected=%zu\n",
+                   static_cast<size_t>(lines_rejected));
   out += StrFormat("relax_candidates_scanned=%zu\n",
                    relax.candidates_scanned);
   out += StrFormat("relax_neighbors_visited=%zu\n", relax.neighbors_visited);

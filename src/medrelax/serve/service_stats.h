@@ -29,6 +29,13 @@ struct ServiceStatsSnapshot {
   uint64_t failed = 0;            ///< mapping/validation errors
   uint64_t queue_depth_high_water = 0;
   uint64_t snapshot_swaps = 0;
+  /// Transport (TCP frontend) counters. Deliberately outside the
+  /// deterministic ToString subset: the same scripted session must
+  /// produce one transcript over stdin (0 connections) and TCP (1).
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_rejected = 0;  ///< over the connection cap
+  uint64_t lines_rejected = 0;        ///< oversized-line disconnects
   std::array<uint64_t, kLatencyBuckets> latency_buckets{};
   /// Relaxer-level instrumentation accumulated over every cache miss
   /// (the PR 2 RelaxStats plumbing, aggregated service-wide).
@@ -62,6 +69,13 @@ class ServiceStats {
   void RecordRelaxStats(const RelaxStats& stats) MEDRELAX_EXCLUDES(relax_mu_);
   void RecordFailed();
   void RecordSnapshotSwap();
+  /// Transport accounting, reported by the TCP frontend: sessions that
+  /// reached the protocol layer, sessions torn down, accepts rejected at
+  /// the connection cap, and lines dropped for exceeding the size limit.
+  void RecordConnectionOpened();
+  void RecordConnectionClosed();
+  void RecordConnectionRejected();
+  void RecordLineRejected();
 
   [[nodiscard]] ServiceStatsSnapshot Snapshot() const
       MEDRELAX_EXCLUDES(relax_mu_);
@@ -77,6 +91,10 @@ class ServiceStats {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> queue_depth_high_water_{0};
   std::atomic<uint64_t> snapshot_swaps_{0};
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> lines_rejected_{0};
   std::array<std::atomic<uint64_t>, ServiceStatsSnapshot::kLatencyBuckets>
       latency_buckets_{};
   mutable Mutex relax_mu_{"ServiceStats::relax_mu"};

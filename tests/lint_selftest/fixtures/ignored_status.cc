@@ -22,6 +22,10 @@ void IgnoredStatusCases() {
     PersistFixture();  // EXPECT-LINT: ignored-status
   }
 
+  // A fallible call consumed as another call's argument is not a
+  // discard — the outer call owns the value.
+  ConsumeFixture(FlushFixture());
+
   /* A block comment mentioning FlushFixture(); must not fire. */
 
   /*

@@ -9,6 +9,7 @@ class Status;
 
 Status FlushFixture();
 Status PersistFixture();
+void ConsumeFixture(Status status);
 
 }  // namespace medrelax
 

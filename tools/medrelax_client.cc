@@ -1,0 +1,269 @@
+// medrelax_client: the counterpart to `medrelax_server --listen` — a
+// scripted session pipe and a closed-loop load driver over the TCP
+// transport, both loopback-only like the server.
+//
+//   medrelax_client session <port>
+//       Streams stdin to 127.0.0.1:<port> and everything the server
+//       sends back to stdout, until both sides are done (stdin EOF
+//       half-closes the socket; a server "ok bye" close ends the read
+//       side). Piping the golden session file through this must produce
+//       the same transcript as piping it into the stdin transport —
+//       scripts/server_smoke.sh diffs exactly that.
+//
+//   medrelax_client load <port> [--requests N] [--connections C]
+//                        [--line 'RELAX ...']
+//       C concurrent sessions issue N requests total, each waiting for
+//       its full reply frame before sending the next (closed loop).
+//       Prints "ok load requests=N answered=A errors=E" on stdout;
+//       timing goes to stderr so stdout stays machine-diffable.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  medrelax_client session <port>\n"
+               "  medrelax_client load <port> [--requests N]"
+               " [--connections C] [--line 'RELAX ...']\n");
+  return 2;
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+size_t SizeFlag(int argc, char** argv, const char* flag, size_t fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  return v != nullptr ? std::strtoul(v, nullptr, 10) : fallback;
+}
+
+/// Blocking connect to 127.0.0.1:port. Returns the fd, or -1 with the
+/// reason on stderr.
+int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "connect 127.0.0.1:%u: %s\n",
+                 static_cast<unsigned>(port), std::strerror(errno));
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Writes all of `data`, looping over partial sends. False on error.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reassembles '\n'-framed lines from a blocking socket; mirrors the
+/// server's framing (trailing '\r' stripped, EOF flushes a final
+/// unterminated line).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False only when the stream is exhausted (EOF or error) and no
+  /// buffered line remains.
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      if (eof_) {
+        if (buf_.empty()) return false;
+        *line = std::move(buf_);
+        buf_.clear();
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      eof_ = true;  // orderly EOF and hard errors end the stream alike
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+int RunSession(uint16_t port) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return 1;
+
+  // Writer: stdin → socket; half-close on input EOF so a session file
+  // without QUIT still terminates (the server treats EOF like QUIT).
+  std::thread writer([fd] {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      line += '\n';
+      if (!SendAll(fd, line)) break;
+    }
+    shutdown(fd, SHUT_WR);
+  });
+
+  // Reader: socket → stdout until the server closes.
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::fwrite(buf, 1, static_cast<size_t>(n), stdout);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  std::fflush(stdout);
+  writer.join();
+  close(fd);
+  return 0;
+}
+
+/// One load session: greet, then `requests` closed-loop command/reply
+/// rounds. Replies are framed like the server formats them: "err ..." is
+/// one line, multi-line "ok" frames end with "end", other "ok" replies
+/// are one line.
+void LoadWorker(uint16_t port, size_t requests, const std::string& command,
+                std::atomic<uint64_t>* answered, std::atomic<uint64_t>* errors) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) {
+    errors->fetch_add(requests, std::memory_order_relaxed);
+    return;
+  }
+  LineReader reader(fd);
+  std::string line;
+  if (!reader.ReadLine(&line) || line.rfind("ok serving", 0) != 0) {
+    // No greeting: likely rejected at the connection cap.
+    errors->fetch_add(requests, std::memory_order_relaxed);
+    close(fd);
+    return;
+  }
+  const std::string framed = command + "\n";
+  const bool multi_line = command.rfind("RELAX", 0) == 0 ||
+                          command.rfind("CONTEXTS", 0) == 0 ||
+                          command.rfind("STATS", 0) == 0;
+  for (size_t i = 0; i < requests; ++i) {
+    if (!SendAll(fd, framed) || !reader.ReadLine(&line)) {
+      errors->fetch_add(requests - i, std::memory_order_relaxed);
+      close(fd);
+      return;
+    }
+    if (line.rfind("err", 0) == 0) {
+      errors->fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (multi_line) {
+      bool closed = false;
+      while (line != "end") {
+        if (!reader.ReadLine(&line)) {
+          closed = true;
+          break;
+        }
+      }
+      if (closed) {
+        errors->fetch_add(requests - i, std::memory_order_relaxed);
+        close(fd);
+        return;
+      }
+    }
+    answered->fetch_add(1, std::memory_order_relaxed);
+  }
+  SendAll(fd, "QUIT\n");
+  while (reader.ReadLine(&line)) {
+  }
+  close(fd);
+}
+
+int RunLoad(int argc, char** argv, uint16_t port) {
+  const size_t requests = SizeFlag(argc, argv, "--requests", 100);
+  const size_t connections = SizeFlag(argc, argv, "--connections", 1);
+  const char* line_flag = FlagValue(argc, argv, "--line");
+  const std::string command = line_flag != nullptr ? line_flag : "GEN";
+  if (connections == 0 || requests == 0) return Usage();
+
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> errors{0};
+  const auto t_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    // Spread the total across sessions; the first takes the remainder.
+    size_t share = requests / connections;
+    if (c == 0) share += requests % connections;
+    threads.emplace_back(LoadWorker, port, share, command, &answered, &errors);
+  }
+  for (std::thread& t : threads) t.join();
+  const auto t_end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(t_end - t_start).count();
+
+  std::printf("ok load requests=%zu answered=%llu errors=%llu\n", requests,
+              static_cast<unsigned long long>(
+                  answered.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  errors.load(std::memory_order_relaxed)));
+  std::fprintf(stderr, "connections=%zu wall=%.3fs throughput=%.0f req/s\n",
+               connections, seconds,
+               seconds > 0 ? static_cast<double>(requests) / seconds : 0);
+  return errors.load(std::memory_order_relaxed) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(argv[2], nullptr, 10));
+  if (port == 0) return Usage();
+  if (std::strcmp(argv[1], "session") == 0) return RunSession(port);
+  if (std::strcmp(argv[1], "load") == 0) return RunLoad(argc, argv, port);
+  return Usage();
+}

@@ -2,21 +2,32 @@
 //
 //   medrelax_server serve <dir> [--workers N] [--queue N] [--cache N]
 //                         [--deadline-ms D] [--exact]
+//                         [--listen PORT] [--max-conns N] [--max-line N]
 //       Loads <dir>/eks.tsv + <dir>/kb.tsv (as written by
 //       `medrelax_tool generate`), runs the offline ingestion into a
-//       serving snapshot, and answers a newline-delimited text protocol on
-//       stdin/stdout (grammar in docs/SERVING.md):
+//       serving snapshot, and answers a newline-delimited text protocol
+//       (grammar in docs/SERVING.md):
 //
 //         RELAX [k=N] [ctx=LABEL] <term...>   relax a [term, context] pair
 //         CONTEXTS                            list context labels
 //         GEN                                 current snapshot generation
 //         RELOAD                              re-ingest <dir>, hot-swap
 //         STATS                               deterministic counter block
-//         QUIT                                exit (EOF also exits)
+//         QUIT                                end the session (EOF too)
 //
-//       Lines starting with '#' and blank lines are ignored, so a scripted
-//       session file can be commented (the CI smoke test pipes one in and
-//       diffs the output against a golden file).
+//       Without --listen the session is stdin/stdout: one client, zero
+//       dependencies, the CI smoke surface. With --listen PORT the same
+//       protocol is served to many concurrent sessions over TCP on
+//       127.0.0.1:PORT (PORT 0 = ephemeral; the chosen port is printed
+//       as "ok listening port=N" on stdout). One epoll thread owns all
+//       sockets; RELAX answers are computed by the service workers and
+//       delivered back to the owning connection through the loop's
+//       wakeup queue, so the same scripted session yields byte-identical
+//       transcripts over both transports (scripts/server_smoke.sh diffs
+//       exactly that).
+//
+//       Lines starting with '#' and blank lines are ignored, so a
+//       scripted session file can be commented.
 //
 //   medrelax_server load <dir> [--requests N] [--workers N] [--queue N]
 //                        [--cache N] [--deadline-ms D] [--distinct N]
@@ -24,10 +35,7 @@
 //       --distinct flagged concepts, so the cache hit rate is tunable) as
 //       fast as the admission queue accepts them, then reports throughput
 //       and the full stats block. Timing figures go to stderr; stdout
-//       stays machine-diffable.
-//
-// No sockets on purpose: stdin/stdout keeps the service exercisable
-// end-to-end with zero dependencies; a TCP frontend is a ROADMAP item.
+//       stays machine-diffable. (For load over TCP, see medrelax_client.)
 
 #include <chrono>
 #include <cstdio>
@@ -36,10 +44,14 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "medrelax/common/string_util.h"
 #include "medrelax/io/dag_io.h"
 #include "medrelax/io/kb_io.h"
+#include "medrelax/net/event_loop.h"
+#include "medrelax/net/line_server.h"
 #include "medrelax/serve/relaxation_service.h"
 
 using namespace medrelax;  // NOLINT — tool brevity
@@ -47,12 +59,15 @@ using namespace medrelax;  // NOLINT — tool brevity
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  medrelax_server serve <dir> [--workers N] [--queue N]"
-               " [--cache N] [--deadline-ms D] [--exact]\n"
-               "  medrelax_server load <dir> [--requests N] [--workers N]"
-               " [--queue N] [--cache N] [--deadline-ms D] [--distinct N]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  medrelax_server serve <dir> [--workers N] [--queue N]"
+      " [--cache N] [--deadline-ms D] [--exact]\n"
+      "                       [--listen PORT] [--max-conns N]"
+      " [--max-line BYTES]\n"
+      "  medrelax_server load <dir> [--requests N] [--workers N]"
+      " [--queue N] [--cache N] [--deadline-ms D] [--distinct N]\n");
   return 2;
 }
 
@@ -88,68 +103,266 @@ Result<std::shared_ptr<Snapshot>> BuildSnapshotFromDir(
   return Snapshot::Build(std::move(*dag), std::move(*kb), nullptr, options);
 }
 
-void PrintOutcome(const Snapshot& snap, const RelaxResponse& response,
-                  const std::string& term) {
+/// Everything a session (stdin or one TCP connection) needs to answer
+/// protocol verbs. One per server process.
+struct ServerState {
+  RelaxationService& service;
+  std::string dir;
+  SnapshotOptions snapshot_options;
+};
+
+std::string FormatOutcome(const Snapshot& snap, const RelaxResponse& response,
+                          const std::string& term) {
   const RelaxationOutcome& outcome = *response.outcome;
-  std::printf("ok relax term='%s' gen=%llu hit=%d radius=%u concepts=%zu"
-              " instances=%zu\n",
-              term.c_str(),
-              static_cast<unsigned long long>(response.generation),
-              response.cache_hit ? 1 : 0, outcome.effective_radius,
-              outcome.concepts.size(), outcome.instances.size());
+  std::string out = StrFormat(
+      "ok relax term='%s' gen=%llu hit=%d radius=%u concepts=%zu"
+      " instances=%zu\n",
+      term.c_str(), static_cast<unsigned long long>(response.generation),
+      response.cache_hit ? 1 : 0, outcome.effective_radius,
+      outcome.concepts.size(), outcome.instances.size());
   for (const ScoredConcept& sc : outcome.concepts) {
-    std::printf("concept %s sim=%.3f\n", snap.dag().name(sc.concept_id).c_str(),
-                sc.similarity);
+    out += StrFormat("concept %s sim=%.3f\n",
+                     snap.dag().name(sc.concept_id).c_str(), sc.similarity);
     for (InstanceId i : sc.instances) {
-      std::printf("  instance %s\n",
-                  snap.kb().instances.instance(i).name.c_str());
+      out += StrFormat("  instance %s\n",
+                       snap.kb().instances.instance(i).name.c_str());
     }
   }
-  std::printf("end\n");
+  out += "end\n";
+  return out;
 }
 
-/// RELAX [k=N] [ctx=LABEL] <term...> — options first, the rest is the term.
-int HandleRelax(RelaxationService& service, std::istringstream& in) {
-  RelaxRequest request;
-  std::string token;
-  std::string term;
-  while (in >> token) {
-    if (term.empty() && token.rfind("k=", 0) == 0) {
-      request.top_k = std::strtoul(token.c_str() + 2, nullptr, 10);
-      continue;
-    }
-    if (term.empty() && token.rfind("ctx=", 0) == 0) {
-      std::shared_ptr<const Snapshot> snap = service.snapshot();
-      const std::string label = token.substr(4);
-      request.context = snap->ingestion().contexts.FindByLabel(label);
-      if (request.context == kNoContext) {
-        std::printf("err InvalidArgument: unknown context '%s'\n",
-                    label.c_str());
-        return 0;
-      }
-      continue;
-    }
-    if (!term.empty()) term += ' ';
-    term += token;
-  }
-  if (term.empty()) {
-    std::printf("err InvalidArgument: RELAX needs a term\n");
-    return 0;
-  }
-  request.term = term;
-  Result<RelaxResponse> response = service.Relax(std::move(request));
+/// Renders a RELAX answer (or typed error) exactly like the stdin
+/// transport always did; called on whichever thread completed the
+/// request.
+std::string FormatRelaxReply(RelaxationService& service,
+                             const std::string& term,
+                             const Result<RelaxResponse>& response) {
   if (!response.ok()) {
-    std::printf("err %s\n", response.status().ToString().c_str());
-    return 0;
+    return StrFormat("err %s\n", response.status().ToString().c_str());
   }
   // The response pins no snapshot; re-grab the one that answered. The
   // generation check protects the names against a racing RELOAD.
   std::shared_ptr<const Snapshot> snap = service.snapshot();
   if (snap->generation() != response->generation) {
-    std::printf("err FailedPrecondition: snapshot swapped mid-print\n");
-    return 0;
+    return "err FailedPrecondition: snapshot swapped mid-print\n";
   }
-  PrintOutcome(*snap, *response, term);
+  return FormatOutcome(*snap, *response, term);
+}
+
+/// RELAX [k=N] [ctx=LABEL] <term...> — options first, the rest is the
+/// term. Returns an "err ...\n" reply on parse failure, "" on success
+/// (with *request/*term filled in).
+std::string ParseRelaxLine(RelaxationService& service, std::istringstream& in,
+                           RelaxRequest* request, std::string* term) {
+  std::string token;
+  while (in >> token) {
+    if (term->empty() && token.rfind("k=", 0) == 0) {
+      request->top_k = std::strtoul(token.c_str() + 2, nullptr, 10);
+      continue;
+    }
+    if (term->empty() && token.rfind("ctx=", 0) == 0) {
+      std::shared_ptr<const Snapshot> snap = service.snapshot();
+      const std::string label = token.substr(4);
+      request->context = snap->ingestion().contexts.FindByLabel(label);
+      if (request->context == kNoContext) {
+        return StrFormat("err InvalidArgument: unknown context '%s'\n",
+                         label.c_str());
+      }
+      continue;
+    }
+    if (!term->empty()) *term += ' ';
+    *term += token;
+  }
+  if (term->empty()) return "err InvalidArgument: RELAX needs a term\n";
+  request->term = *term;
+  return "";
+}
+
+/// Answers every verb except RELAX and QUIT (whose handling is
+/// transport-specific). Shared verbatim between the stdin and TCP
+/// transports so their transcripts cannot drift apart.
+std::string HandleControlVerb(ServerState& state, const std::string& verb,
+                              std::istringstream& in) {
+  (void)in;  // no control verb takes arguments today
+  if (verb == "CONTEXTS") {
+    std::shared_ptr<const Snapshot> snap = state.service.snapshot();
+    const ContextRegistry& contexts = snap->ingestion().contexts;
+    std::string out = StrFormat("ok contexts n=%zu\n", contexts.size());
+    for (const Context& c : contexts.contexts()) {
+      out += StrFormat("context %s\n", c.Label().c_str());
+    }
+    out += "end\n";
+    return out;
+  }
+  if (verb == "GEN") {
+    return StrFormat("ok gen=%llu\n",
+                     static_cast<unsigned long long>(
+                         state.service.snapshot()->generation()));
+  }
+  if (verb == "RELOAD") {
+    Result<std::shared_ptr<Snapshot>> reloaded =
+        BuildSnapshotFromDir(state.dir, state.snapshot_options);
+    if (!reloaded.ok()) {
+      return StrFormat("err %s\n", reloaded.status().ToString().c_str());
+    }
+    const uint64_t generation =
+        state.service.PublishSnapshot(std::move(*reloaded));
+    return StrFormat("ok reload gen=%llu\n",
+                     static_cast<unsigned long long>(generation));
+  }
+  if (verb == "STATS") {
+    return StrFormat("ok stats\n%send\n",
+                     state.service.Stats()
+                         .ToString(/*deterministic_only=*/true)
+                         .c_str());
+  }
+  return StrFormat("err InvalidArgument: unknown verb '%s'\n", verb.c_str());
+}
+
+std::string ServingBanner(const RelaxationService& service,
+                          const ServiceOptions& options) {
+  return StrFormat(
+      "ok serving gen=%llu workers=%u queue=%zu cache=%zu\n",
+      static_cast<unsigned long long>(service.snapshot()->generation()),
+      options.num_workers, options.queue_capacity, options.cache.capacity);
+}
+
+/// The stdin/stdout transport: one synchronous session on this thread.
+int RunStdioSession(ServerState& state) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb == "QUIT") {
+      std::printf("ok bye\n");
+      break;
+    }
+    if (verb == "RELAX") {
+      RelaxRequest request;
+      std::string term;
+      std::string parse_error = ParseRelaxLine(state.service, in, &request,
+                                               &term);
+      if (!parse_error.empty()) {
+        std::fputs(parse_error.c_str(), stdout);
+      } else {
+        Result<RelaxResponse> response =
+            state.service.Relax(std::move(request));
+        std::fputs(FormatRelaxReply(state.service, term, response).c_str(),
+                   stdout);
+      }
+    } else {
+      std::fputs(HandleControlVerb(state, verb, in).c_str(), stdout);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// The TCP transport: one epoll thread owns every socket; service
+/// workers complete RELAX requests and Post() the formatted reply back
+/// to the loop, which routes it to the owning connection by id (the
+/// connection may be gone — ids, unlike pointers, fail safely).
+///
+/// Per-session command order is preserved by pausing the connection
+/// while a RELAX is in flight: later pipelined commands wait in the
+/// buffers until the answer is on the wire. Different sessions proceed
+/// concurrently — that is the point of the frontend.
+int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
+                 uint16_t port, size_t max_conns, size_t max_line) {
+  net::EventLoop loop;
+  if (!loop.ok()) {
+    std::fprintf(stderr, "event loop init failed (epoll/eventfd)\n");
+    return 1;
+  }
+  net::LineServer server(loop);
+
+  net::LineServerOptions options;
+  options.port = port;
+  options.max_connections = max_conns;
+  if (max_line != 0) options.limits.max_line_bytes = max_line;
+  options.greeting = ServingBanner(state.service, service_options);
+
+  auto on_line = [&state, &loop, &server](net::Connection& conn,
+                                          std::string line) {
+    if (line.empty() || line[0] == '#') return;
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb == "QUIT") {
+      conn.Send("ok bye\n");
+      conn.CloseAfterFlush();
+      return;
+    }
+    if (verb != "RELAX") {
+      conn.Send(HandleControlVerb(state, verb, in));
+      return;
+    }
+    RelaxRequest request;
+    std::string term;
+    std::string parse_error =
+        ParseRelaxLine(state.service, in, &request, &term);
+    if (!parse_error.empty()) {
+      conn.Send(parse_error);
+      return;
+    }
+    // Hold this session's later commands until the answer is out, then
+    // hand the request to the workers. The completion runs on a worker
+    // thread: it formats the reply (strings, no sockets) and posts it to
+    // the loop, keyed by connection id in case the client vanished.
+    conn.Pause();
+    const uint64_t conn_id = conn.id();
+    state.service.SubmitAsync(
+        std::move(request),
+        [&state, &loop, &server, conn_id,
+         term](Result<RelaxResponse> response) {
+          std::string reply = FormatRelaxReply(state.service, term, response);
+          loop.Post([&server, conn_id, reply = std::move(reply)]() {
+            net::Connection* target = server.Find(conn_id);
+            if (target == nullptr) return;  // client disconnected mid-flight
+            target->Send(reply);
+            target->Resume();
+          });
+        });
+  };
+
+  net::LineServer::Callbacks callbacks;
+  callbacks.on_line = on_line;
+  callbacks.on_accept = [&state](net::Connection&) {
+    state.service.TransportStats().RecordConnectionOpened();
+  };
+  callbacks.on_reject = [&state]() {
+    state.service.TransportStats().RecordConnectionRejected();
+  };
+  callbacks.on_disconnect = [&state](const net::Connection& conn,
+                                     const Status& reason) {
+    const net::ConnectionStats& stats = conn.stats();
+    state.service.TransportStats().RecordConnectionClosed();
+    if (stats.oversize_rejects > 0) {
+      state.service.TransportStats().RecordLineRejected();
+    }
+    std::fprintf(stderr,
+                 "conn %llu closed (%s): lines_in=%llu bytes_in=%llu"
+                 " bytes_out=%llu writes_deferred=%llu\n",
+                 static_cast<unsigned long long>(conn.id()),
+                 reason.ok() ? "ok" : reason.ToString().c_str(),
+                 static_cast<unsigned long long>(stats.lines_in),
+                 static_cast<unsigned long long>(stats.bytes_in),
+                 static_cast<unsigned long long>(stats.bytes_out),
+                 static_cast<unsigned long long>(stats.writes_deferred));
+  };
+
+  Status started = server.Start(options, std::move(callbacks));
+  if (!started.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("ok listening port=%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  loop.Run();
   return 0;
 }
 
@@ -173,54 +386,19 @@ int RunServe(int argc, char** argv) {
     return 1;
   }
   RelaxationService service(std::move(*snapshot), service_options);
-  std::printf("ok serving gen=%llu workers=%u queue=%zu cache=%zu\n",
-              static_cast<unsigned long long>(service.snapshot()->generation()),
-              service_options.num_workers, service_options.queue_capacity,
-              service_options.cache.capacity);
-  std::fflush(stdout);
+  ServerState state{service, dir, snapshot_options};
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream in(line);
-    std::string verb;
-    in >> verb;
-    if (verb == "QUIT") {
-      std::printf("ok bye\n");
-      break;
-    } else if (verb == "RELAX") {
-      HandleRelax(service, in);
-    } else if (verb == "CONTEXTS") {
-      std::shared_ptr<const Snapshot> snap = service.snapshot();
-      const ContextRegistry& contexts = snap->ingestion().contexts;
-      std::printf("ok contexts n=%zu\n", contexts.size());
-      for (const Context& c : contexts.contexts()) {
-        std::printf("context %s\n", c.Label().c_str());
-      }
-      std::printf("end\n");
-    } else if (verb == "GEN") {
-      std::printf("ok gen=%llu\n", static_cast<unsigned long long>(
-                                       service.snapshot()->generation()));
-    } else if (verb == "RELOAD") {
-      Result<std::shared_ptr<Snapshot>> reloaded =
-          BuildSnapshotFromDir(dir, snapshot_options);
-      if (!reloaded.ok()) {
-        std::printf("err %s\n", reloaded.status().ToString().c_str());
-      } else {
-        uint64_t generation = service.PublishSnapshot(std::move(*reloaded));
-        std::printf("ok reload gen=%llu\n",
-                    static_cast<unsigned long long>(generation));
-      }
-    } else if (verb == "STATS") {
-      std::printf("ok stats\n%send\n",
-                  service.Stats().ToString(/*deterministic_only=*/true)
-                      .c_str());
-    } else {
-      std::printf("err InvalidArgument: unknown verb '%s'\n", verb.c_str());
-    }
-    std::fflush(stdout);
+  if (FlagValue(argc, argv, "--listen") != nullptr) {
+    const uint16_t port =
+        static_cast<uint16_t>(SizeFlag(argc, argv, "--listen", 0));
+    const size_t max_conns = SizeFlag(argc, argv, "--max-conns", 64);
+    const size_t max_line = SizeFlag(argc, argv, "--max-line", 0);
+    return RunTcpServer(state, service_options, port, max_conns, max_line);
   }
-  return 0;
+
+  std::fputs(ServingBanner(service, service_options).c_str(), stdout);
+  std::fflush(stdout);
+  return RunStdioSession(state);
 }
 
 int RunLoad(int argc, char** argv) {
