@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Lint suite for medrelax: format check, clang-tidy, project-invariant lints.
+# Lint suite for medrelax: format check, clang-tidy, project-invariant
+# lints, the semantic (annotation-driven) lint, and both lint self-tests.
 #
 # Usage:
 #   scripts/check.sh            # run everything available on this machine
@@ -63,9 +64,34 @@ fi
 note "invariant lints (scripts/lint/check_invariants.py)"
 python3 scripts/lint/check_invariants.py || fail "invariant lints"
 
-# 4. lint self-test -----------------------------------------------------------
+# 4. semantic lint -----------------------------------------------------------
+# Annotation-driven thread-affinity / blocking / callback-scope /
+# ignored-status / lifetime rules (docs/TOOLING.md). The textual frontend
+# needs nothing beyond python3; when clang.cindex is importable AND the
+# build dir exports a compile db, a second precise pass runs via libclang.
+note "semantic lint (scripts/lint/run_semantic_lint.py, textual frontend)"
+python3 scripts/lint/run_semantic_lint.py || fail "semantic lint (textual)"
+
+if python3 -c 'import clang.cindex' >/dev/null 2>&1; then
+  if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    note "semantic lint (clang frontend, compile db: ${BUILD_DIR})"
+    python3 scripts/lint/run_semantic_lint.py --frontend clang \
+      --compile-db "${BUILD_DIR}/compile_commands.json" \
+      || fail "semantic lint (clang)"
+  else
+    skip "semantic lint (clang): no ${BUILD_DIR}/compile_commands.json"
+  fi
+else
+  skip "semantic lint (clang): python clang.cindex not installed (textual pass above still ran)"
+fi
+
+# 5. lint self-tests ---------------------------------------------------------
 note "lint self-test (tests/lint_selftest)"
 python3 tests/lint_selftest/run_lint_selftest.py || fail "lint self-test"
+
+note "semantic lint self-test (tests/lint_selftest/semantic)"
+python3 tests/lint_selftest/semantic/run_semantic_selftest.py \
+  || fail "semantic lint self-test"
 
 if [[ ${failures} -gt 0 ]]; then
   printf '\ncheck.sh: %d stage(s) failed\n' "${failures}" >&2

@@ -4,11 +4,6 @@
 Source-level checks that neither the compiler nor clang-tidy enforce the way
 this project wants them enforced:
 
-  ignored-status     A statement-expression calls a function declared to
-                     return Status or Result<T> and drops the value. The
-                     compiler catches most of these via [[nodiscard]], but
-                     this lint also fires on `(void)` casts that lack a
-                     justifying comment, and it works without a build.
   raw-new-delete     `new` / `delete` outside of smart-pointer factories.
                      Ownership in this codebase is std::unique_ptr or value
                      semantics; raw allocation needs an explicit waiver.
@@ -25,8 +20,10 @@ this project wants them enforced:
                      lock-order deadlock detector see every acquisition.
   guarded-by         A class owning a medrelax::Mutex/SharedMutex must say,
                      member by member, what that lock protects: each mutable
-                     data member carries MEDRELAX_GUARDED_BY(...) (or is
-                     atomic, const, or explicitly waived).
+                     data member carries MEDRELAX_GUARDED_BY(...) or
+                     MEDRELAX_LOOP_THREAD_ONLY (checked by the semantic
+                     affinity pass instead of a lock), or is atomic, const,
+                     or explicitly waived.
 
 Exit status is 1 when any violation is found (0 = clean). Waivers: append
 `// lint:allow(<rule>) <reason>` to the offending line.
@@ -55,15 +52,6 @@ COMMON_DIR_PREFIX = "src/medrelax/common/"
 SCAN_DIRS = []
 
 WAIVER_RE = re.compile(r"//\s*lint:allow\((?P<rules>[a-z\-, ]+)\)\s*\S")
-
-# Function-name heuristics the ignored-status lint treats as consuming the
-# value: control flow, assignment, macro wrapping, or an explicit (void) cast
-# carrying a comment.
-CONSUMING_RE = re.compile(
-    r"(=|\breturn\b|\bif\b|\bwhile\b|\bfor\b|\bswitch\b|\bco_return\b|"
-    r"MEDRELAX_RETURN_NOT_OK|MEDRELAX_ASSIGN_OR_RETURN|MEDRELAX_CHECK_OK|"
-    r"EXPECT_|ASSERT_|CHECK\(|\.ok\(\)|\.status\(\)|\.value|\bstatic_cast<)"
-)
 
 
 def strip_comments_and_strings(line, in_block=False):
@@ -143,88 +131,10 @@ def waived(line, rule):
     return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
 
 
-# --- rule: ignored-status --------------------------------------------------
-
-STATUS_DECL_RE = re.compile(
-    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)?"
-    r"(?:::)?(?:medrelax::)?(?:Status|Result<.+>)\s+"
-    r"(?P<name>\w+)\s*\("
-)
-
-
-def collect_status_functions():
-    """Names of functions declared in headers to return Status/Result<T>."""
-    names = set()
-    for relpath in iter_source_files({".h"}):
-        for line in stripped_lines(read_lines(relpath)):
-            m = STATUS_DECL_RE.match(line)
-            if m:
-                names.add(m.group("name"))
-    # Accessors named like values, not operations, are excluded: calling
-    # kb.status() to *read* a status is not an ignored error.
-    names.discard("status")
-    names.discard("OK")
-    return names
-
-
-def check_ignored_status(violations):
-    names = collect_status_functions()
-    if not names:
-        return
-    names_alt = "|".join(sorted(re.escape(n) for n in names))
-    # The receiver prefix admits `obj.`, `ptr->`, `ns::`, `arr[i].`,
-    # `foo().` — but never a lone `(`: in `Consume(Status::Internal(...))`
-    # the inner call is an *argument*, consumed by the outer call, not a
-    # discarded statement.
-    prefix = r"(?:(?:[\w\.\[\]]|->|::|\(\))+(?:\.|->|::))?"
-    call_re = re.compile(r"^\s*%s(?:%s)\s*\(" % (prefix, names_alt))
-    void_cast_re = re.compile(
-        r"^\s*\(void\)\s*%s(?:%s)\s*\(" % (prefix, names_alt)
-    )
-    for relpath in iter_source_files({".cc", ".h"}):
-        raw_lines = read_lines(relpath)
-        lines = stripped_lines(raw_lines)
-        depth = 0  # paren depth at the start of the current line
-        prev_terminated = True  # did the previous code line end a statement?
-        for lineno, (raw, line) in enumerate(zip(raw_lines, lines), 1):
-            at_statement_start = depth == 0 and prev_terminated
-            depth += line.count("(") - line.count(")")
-            depth = max(depth, 0)
-            stripped = line.strip()
-            if stripped:
-                prev_terminated = (
-                    stripped.endswith((";", "{", "}", ":", ">"))
-                    or stripped.startswith("#"))
-            if not at_statement_start:
-                # Continuation of a multi-line expression; the consuming
-                # construct (macro, assignment, EXPECT_..., `... =`) was on
-                # an earlier line.
-                continue
-            if waived(raw, "ignored-status"):
-                continue
-            if void_cast_re.match(line):
-                # (void)-discards of a fallible call are allowed only with
-                # an explanation on the same or the preceding line.
-                prev = raw_lines[lineno - 2] if lineno >= 2 else ""
-                if not (re.search(r"//\s*\S", raw)
-                        or re.search(r"^\s*//\s*\S", prev)):
-                    violations.append(
-                        ("ignored-status", relpath, lineno,
-                         "(void)-discard of a Status/Result needs a comment "
-                         "explaining why the error is ignorable"))
-                continue
-            if not call_re.match(line):
-                continue
-            if CONSUMING_RE.search(line):
-                continue
-            # Bare call statement: `Foo(...);` or `obj.Foo(...);` with the
-            # return value unused on this line. Multi-line consumers start
-            # the expression on the consuming token, so this stays precise.
-            if line.rstrip().endswith(";"):
-                violations.append(
-                    ("ignored-status", relpath, lineno,
-                     "call discards a Status/Result return value"))
-
+# The ignored-status rule moved to the semantic pass
+# (scripts/lint/run_semantic_lint.py): the AST-accurate version tracks
+# whole statements, so multiline calls and receiver-typed member calls
+# resolve correctly where the old line-regex could not.
 
 # --- rule: raw-new-delete --------------------------------------------------
 
@@ -346,7 +256,12 @@ def check_raw_mutex(violations):
 # following space.
 MUTEX_MEMBER_RE = re.compile(
     r"\b(?:mutable\s+)?(?:medrelax::)?(?:Mutex|SharedMutex)\s+\w+")
-GUARDED_OK_RE = re.compile(r"MEDRELAX_(?:PT_)?GUARDED_BY\s*\(")
+# A member is accounted for when a capability guards it — or when it is
+# confined to the event-loop thread (MEDRELAX_LOOP_THREAD_ONLY), in which
+# case the semantic affinity pass (scripts/lint/semantic/), not a lock,
+# is what machine-checks the serialization.
+GUARDED_OK_RE = re.compile(
+    r"MEDRELAX_(?:PT_)?GUARDED_BY\s*\(|MEDRELAX_LOOP_THREAD_ONLY\b")
 # The lock members themselves (and condition variables) carry no guard.
 LOCK_TYPE_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:medrelax::)?(?:Mutex|SharedMutex|CondVar)\b")
@@ -472,7 +387,6 @@ def main():
     SCAN_DIRS.extend(args.scan)
 
     violations = []
-    check_ignored_status(violations)
     check_raw_new_delete(violations)
     check_include_cc(violations)
     check_header_guards(violations)

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""medrelax semantic lint driver.
+
+Runs the five semantic rules (thread affinity, loop blocking, callback
+scope, ignored status, view lifetime) over the tree and reports
+`path:lineno: [rule] message` lines, exiting 1 when anything un-waived is
+found. docs/TOOLING.md documents the vocabulary and the waiver form.
+
+    scripts/lint/run_semantic_lint.py                  # src/ + tools/
+    scripts/lint/run_semantic_lint.py --scan DIR ...   # explicit roots
+    scripts/lint/run_semantic_lint.py --frontend clang \
+        --compile-db build/compile_commands.json       # precise mode (CI)
+
+Frontends (scripts/lint/semantic/__init__.py):
+  textual  dependency-free mini-parser; the default everywhere.
+  clang    libclang over compile_commands.json; used in CI. `auto` picks
+           clang when clang.cindex imports and a compile db exists.
+
+Waivers: `// lint:allow(<rule>) <reason>` on the reported line or the
+line directly above it. Waivers in src/medrelax/net/ and
+src/medrelax/serve/ are rejected outright: those layers define the
+affinity model and must satisfy it without exceptions.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from semantic import model, rules  # noqa: E402
+from semantic import frontend_textual  # noqa: E402
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z0-9_,\- ]+)\)")
+
+# Layers that must hold the affinity model without exceptions: a waiver
+# for a semantic rule in these directories is itself a finding.
+NO_WAIVER_DIRS = ("src/medrelax/net/", "src/medrelax/serve/")
+
+DEFAULT_SCAN = ("src", "tools")
+SOURCE_EXTS = (".h", ".cc")
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def discover_files(root, scan_dirs):
+    files = []
+    for scan in scan_dirs:
+        base = os.path.join(root, scan)
+        if os.path.isfile(base):
+            files.append(base)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(set(files))
+
+
+def load_sources(root, paths):
+    sources = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as err:
+            print(f"semantic-lint: cannot read {path}: {err}", file=sys.stderr)
+            continue
+        sources.append((os.path.relpath(path, root), text))
+    return sources
+
+
+def build_program_textual(sources):
+    return frontend_textual.parse_program(sources)
+
+
+def build_program_clang(sources, compile_db, root):
+    from semantic import frontend_clang
+
+    return frontend_clang.parse_program(sources, compile_db, root)
+
+
+def waived_rules(lines, lineno):
+    """Rules waived at `lineno` (1-based): same line or the line above."""
+    waived = set()
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(lines):
+            m = ALLOW_RE.search(lines[candidate - 1])
+            if m:
+                waived.update(
+                    part.strip() for part in m.group(1).split(","))
+    return waived
+
+
+COMMENT_RE = re.compile(r"//\s*\S")
+
+
+def has_justifying_comment(lines, lineno):
+    """A trailing comment on the line, or a comment line directly above."""
+    if 1 <= lineno <= len(lines) and COMMENT_RE.search(lines[lineno - 1]):
+        return True
+    if lineno >= 2 and re.match(r"^\s*//\s*\S", lines[lineno - 2]):
+        return True
+    return False
+
+
+def apply_waivers(findings, sources_by_path):
+    """Splits findings into (reported, waived, illegal_waivers)."""
+    reported = []
+    waived_count = 0
+    illegal = []
+    line_cache = {}
+    for finding in findings:
+        if finding.file not in line_cache:
+            text = sources_by_path.get(finding.file, "")
+            line_cache[finding.file] = text.splitlines()
+        if finding.comment_waivable \
+                and has_justifying_comment(line_cache[finding.file],
+                                           finding.line):
+            waived_count += 1
+            continue
+        waived = waived_rules(line_cache[finding.file], finding.line)
+        if finding.rule in waived:
+            if finding.file.startswith(NO_WAIVER_DIRS):
+                illegal.append(model.Finding(
+                    finding.file, finding.line, finding.rule,
+                    "waiver is not permitted in net/ or serve/ — these"
+                    " layers define the affinity model; fix the code"))
+            else:
+                waived_count += 1
+            continue
+        reported.append(finding)
+    return reported, waived_count, illegal
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scan", nargs="+", default=list(DEFAULT_SCAN),
+                        metavar="DIR",
+                        help="files or directories relative to the repo"
+                             " root (default: src tools)")
+    parser.add_argument("--root", default=repo_root(),
+                        help="repository root (default: auto)")
+    parser.add_argument("--frontend", choices=("auto", "textual", "clang"),
+                        default="textual",
+                        help="parser frontend (default: textual)")
+    parser.add_argument("--compile-db", default="build/compile_commands.json",
+                        help="compile_commands.json for the clang frontend")
+    parser.add_argument("--rules", default=",".join(rules.ALL_RULES),
+                        help="comma-separated rules to run")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="disable one rule (repeatable;"
+                        " the fixture runner uses this to prove each"
+                        " fixture fails when its rule is off)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in rules.ALL_RULES:
+            print(rule)
+        return 0
+
+    enabled = {r.strip() for r in args.rules.split(",") if r.strip()}
+    enabled -= set(args.disable)
+    unknown = enabled - set(rules.ALL_RULES)
+    if unknown:
+        print(f"semantic-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    paths = discover_files(root, args.scan)
+    if not paths:
+        print("semantic-lint: nothing to scan", file=sys.stderr)
+        return 2
+    sources = load_sources(root, paths)
+
+    frontend = args.frontend
+    if frontend == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+
+            frontend = "clang"
+        except ImportError:
+            frontend = "textual"
+    if frontend == "clang":
+        compile_db = os.path.join(root, args.compile_db) \
+            if not os.path.isabs(args.compile_db) else args.compile_db
+        try:
+            program = build_program_clang(sources, compile_db, root)
+        except Exception as err:  # pragma: no cover - environment-specific
+            print(f"semantic-lint: clang frontend unavailable ({err});"
+                  " falling back to textual", file=sys.stderr)
+            program = build_program_textual(sources)
+            frontend = "textual"
+    else:
+        program = build_program_textual(sources)
+
+    findings = rules.check(program, enabled)
+    sources_by_path = dict(sources)
+    reported, waived_count, illegal = apply_waivers(findings, sources_by_path)
+
+    for finding in reported + illegal:
+        print(finding.render())
+    total = len(reported) + len(illegal)
+    if total:
+        print(f"semantic-lint[{frontend}]: {total} finding(s)"
+              f" ({waived_count} waived)", file=sys.stderr)
+        return 1
+    print(f"semantic-lint[{frontend}]: clean"
+          f" ({len(sources)} files, {len(program.functions)} functions,"
+          f" {waived_count} waived)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

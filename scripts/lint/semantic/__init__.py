@@ -1,0 +1,17 @@
+"""medrelax semantic lint: thread-affinity and resource-flow analysis.
+
+A small whole-program analyzer behind scripts/lint/run_semantic_lint.py.
+Two interchangeable frontends lower C++ sources into one shared IR
+(model.Program):
+
+  * frontend_clang    -- libclang (clang.cindex) over compile_commands.json;
+                         the precise frontend, used in CI where a pinned
+                         libclang is installed.
+  * frontend_textual  -- a dependency-free tokenizer/mini-parser; runs
+                         everywhere (the container toolchain has no
+                         libclang) and is what ctest exercises.
+
+rules.py evaluates the five semantic rules over the IR; both frontends
+must make every selftest fixture pass identically (the fixture runner
+enforces set-equality of reports). docs/TOOLING.md has the rule catalog.
+"""

@@ -1,0 +1,709 @@
+"""libclang frontend for the semantic lint (CI's precise view).
+
+Lowers the scanned sources into the same model.Program the textual
+frontend produces, but with real name resolution: every call site's
+callee comes from the cursor the AST references, so receiver typing,
+overload selection and macro expansion are clang's problem, not ours.
+
+Each scanned file is parsed as its own translation unit. Compile flags
+come from compile_commands.json when the file appears there (the CI
+build exports it); files outside the database — headers, the selftest
+fixtures — fall back to `-std=c++17 -I<root>/src -I<dir-of-file>`,
+which is exactly what the project's include discipline requires.
+
+Only cursors whose location lies inside the scanned file set are
+recorded. That keeps std:: and system declarations out of the name
+tables (where they would poison the refuse-to-guess ambiguity oracle)
+and deduplicates inline header bodies that many TUs re-parse.
+
+Requires the `clang` Python package plus a loadable libclang; the
+driver catches any failure here and falls back to the textual frontend
+with a note on stderr.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from clang import cindex
+from clang.cindex import CursorKind
+
+from . import model
+
+_FUNCTION_KINDS = {
+    CursorKind.FUNCTION_DECL,
+    CursorKind.CXX_METHOD,
+    CursorKind.CONSTRUCTOR,
+    CursorKind.DESTRUCTOR,
+    CursorKind.FUNCTION_TEMPLATE,
+}
+
+_CLASS_KINDS = {
+    CursorKind.CLASS_DECL,
+    CursorKind.STRUCT_DECL,
+    CursorKind.CLASS_TEMPLATE,
+}
+
+_WRAPPER_KINDS = {
+    CursorKind.UNEXPOSED_EXPR,
+    CursorKind.PAREN_EXPR,
+}
+
+
+def _last_component(text: str) -> str:
+    """`std::Status` -> `Status`, `Result<int>` -> `Result`."""
+    text = text.split("<", 1)[0].strip()
+    return text.rsplit("::", 1)[-1].strip(" &*")
+
+
+def _type_name(ctype) -> str:
+    try:
+        return _last_component(ctype.spelling)
+    except Exception:  # pragma: no cover - defensive
+        return ""
+
+
+def _annotations_of(cursor) -> frozenset:
+    flags = set()
+    for child in cursor.get_children():
+        if child.kind == CursorKind.ANNOTATE_ATTR:
+            flag = model.ANNOTATION_SPELLINGS.get(child.spelling)
+            if flag:
+                flags.add(flag)
+    return frozenset(flags)
+
+
+def _returns_status(cursor) -> bool:
+    try:
+        return _type_name(cursor.result_type) in model.STATUS_RETURN_TYPES
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _enclosing_class(cursor) -> str:
+    parent = cursor.semantic_parent
+    while parent is not None:
+        if parent.kind in _CLASS_KINDS:
+            return parent.spelling
+        if parent.kind == CursorKind.TRANSLATION_UNIT:
+            return ""
+        parent = parent.semantic_parent
+    return ""
+
+
+def _is_callback_type(ctype, aliases: Set[str]) -> bool:
+    spelling = ctype.spelling
+    if "function<" in spelling or spelling.endswith("function"):
+        return True
+    return _last_component(spelling) in aliases
+
+
+def _unwrap(cursor):
+    """Skips implicit-cast / paren wrapper nodes down to the real expr."""
+    while cursor is not None and cursor.kind in _WRAPPER_KINDS:
+        children = list(cursor.get_children())
+        if len(children) != 1:
+            return cursor
+        cursor = children[0]
+    return cursor
+
+
+def _tokens(cursor) -> List[str]:
+    try:
+        return [t.spelling for t in cursor.get_tokens()]
+    except Exception:  # pragma: no cover - defensive
+        return []
+
+
+class _TuParser:
+    """Walks one translation unit into the shared Program."""
+
+    def __init__(self, program: model.Program, root: str,
+                 wanted: Set[str], seen_uids: Set[str]) -> None:
+        self.program = program
+        self.root = root
+        self.wanted = wanted  # relpaths the driver asked us to scan
+        self.seen_uids = seen_uids
+
+    # -- location helpers --------------------------------------------------
+
+    def _relpath(self, cursor) -> Optional[str]:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        rel = os.path.relpath(os.path.abspath(loc.file.name), self.root)
+        return rel if rel in self.wanted else None
+
+    # -- declaration pass --------------------------------------------------
+
+    def walk(self, cursor) -> None:
+        for child in cursor.get_children():
+            self._visit_decl(child)
+
+    def _visit_decl(self, cursor) -> None:
+        rel = self._relpath(cursor)
+        if cursor.kind in (CursorKind.NAMESPACE, CursorKind.LINKAGE_SPEC):
+            self.walk(cursor)
+            return
+        if rel is None:
+            return
+        if cursor.kind in _CLASS_KINDS:
+            self._visit_class(cursor, rel)
+            self.walk(cursor)
+            return
+        if cursor.kind in (CursorKind.TYPE_ALIAS_DECL,
+                           CursorKind.TYPEDEF_DECL):
+            try:
+                under = cursor.underlying_typedef_type.spelling
+            except Exception:  # pragma: no cover - defensive
+                under = ""
+            if "function<" in under:
+                self.program.callback_aliases.add(cursor.spelling)
+            return
+        if cursor.kind in _FUNCTION_KINDS:
+            self._visit_function(cursor, rel)
+            return
+        self.walk(cursor)
+
+    def _visit_class(self, cursor, rel: str) -> None:
+        cls = cursor.spelling
+        for child in cursor.get_children():
+            if child.kind == CursorKind.FIELD_DECL:
+                self.program.add_field(model.FieldDecl(
+                    cls=cls,
+                    name=child.spelling,
+                    type_text=child.type.spelling,
+                    line=child.location.line,
+                    file=rel,
+                    is_callback=_is_callback_type(
+                        child.type, self.program.callback_aliases),
+                    annotations=_annotations_of(child),
+                ))
+
+    def _visit_function(self, cursor, rel: str) -> None:
+        cls = _enclosing_class(cursor)
+        name = cursor.spelling
+        decl = model.MethodDecl(
+            cls=cls,
+            name=name,
+            annotations=_annotations_of(cursor),
+            returns_status=_returns_status(cursor),
+            file=rel,
+            line=cursor.location.line,
+        )
+        self.program.add_method(decl)
+
+        body = None
+        for child in cursor.get_children():
+            if child.kind == CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+
+        qual = f"{cls}::{name}" if cls else name
+        uid = f"{rel}:{cursor.location.line}:{qual}"
+        if uid in self.seen_uids:
+            return
+        self.seen_uids.add(uid)
+
+        fn = model.FunctionInfo(
+            uid=uid,
+            name=name,
+            qualname=qual,
+            file=rel,
+            line=cursor.location.line,
+            cls=cls,
+            annotations=decl.annotations,
+            returns_status=decl.returns_status,
+            view_params=self._view_params(cursor),
+        )
+        walker = _BodyWalker(self, fn)
+        if cursor.kind == CursorKind.CONSTRUCTOR:
+            walker.record_ctor_inits(cursor, body)
+        walker.walk_block(body)
+        self.program.add_function(fn)
+        walker.flush_lambdas()
+
+    @staticmethod
+    def _view_params(cursor) -> Tuple[str, ...]:
+        names = []
+        for child in cursor.get_children():
+            if child.kind == CursorKind.PARM_DECL:
+                if _type_name(child.type) in model.VIEW_TYPES:
+                    names.append(child.spelling)
+        return tuple(names)
+
+
+class _BodyWalker:
+    """Walks one function body, building CallSites / stores / lambdas."""
+
+    def __init__(self, tu: _TuParser, fn: model.FunctionInfo) -> None:
+        self.tu = tu
+        self.fn = fn
+        self.manual_locks: List[str] = []  # mu.Lock() .. mu.Unlock()
+        self.pending_calls: List[model.CallSite] = []
+        # lambda local var name -> FunctionInfo, for the var-then-field
+        # assignment pattern; flushed after the body completes.
+        self.lambda_vars: Dict[str, model.FunctionInfo] = {}
+        self.lambdas: List[model.FunctionInfo] = []
+
+    # -- constructor init list --------------------------------------------
+
+    def record_ctor_inits(self, ctor, body) -> None:
+        # Init list entries appear as MEMBER_REF children of the ctor,
+        # each followed by its initializer expression.
+        children = list(ctor.get_children())
+        for i, child in enumerate(children):
+            if child.kind != CursorKind.MEMBER_REF:
+                continue
+            if i + 1 >= len(children):
+                continue
+            init = _unwrap(children[i + 1])
+            if init is None:
+                continue
+            # Single-identifier initializer naming a parameter.
+            ref = self._param_ref(init)
+            if ref:
+                self.fn.field_stores.append(model.FieldStore(
+                    field=child.spelling,
+                    param=ref,
+                    line=child.location.line,
+                ))
+
+    def _param_ref(self, cursor) -> str:
+        cursor = _unwrap(cursor)
+        if cursor is None:
+            return ""
+        if cursor.kind == CursorKind.DECL_REF_EXPR:
+            ref = cursor.referenced
+            if ref is not None and ref.kind == CursorKind.PARM_DECL:
+                if ref.spelling in self.fn.view_params:
+                    return ref.spelling
+        return ""
+
+    # -- statement walk ----------------------------------------------------
+
+    def walk_block(self, block, locks: Optional[List[str]] = None) -> None:
+        frame = list(locks or [])
+        for stmt in block.get_children():
+            self._visit_stmt(stmt, frame, at_stmt_level=True)
+
+    def _visit_stmt(self, cursor, locks: List[str],
+                    at_stmt_level: bool) -> None:
+        kind = cursor.kind
+        if kind == CursorKind.COMPOUND_STMT:
+            self.walk_block(cursor, locks)
+            return
+        if kind == CursorKind.DECL_STMT:
+            for child in cursor.get_children():
+                self._visit_var_decl(child, locks)
+            return
+        if kind == CursorKind.LAMBDA_EXPR:
+            self._visit_lambda(cursor, locks)
+            return
+        if kind == CursorKind.CALL_EXPR:
+            self._visit_call(cursor, locks, discarded=at_stmt_level)
+            return
+        if kind == CursorKind.CSTYLE_CAST_EXPR and at_stmt_level:
+            if self._visit_void_cast(cursor, locks):
+                return
+        if kind == CursorKind.BINARY_OPERATOR:
+            if self._visit_assignment(cursor, locks):
+                return
+        for child in cursor.get_children():
+            self._visit_stmt(child, locks, at_stmt_level=False)
+
+    def _visit_var_decl(self, cursor, locks: List[str]) -> None:
+        if cursor.kind != CursorKind.VAR_DECL:
+            for child in cursor.get_children():
+                self._visit_stmt(child, locks, at_stmt_level=False)
+            return
+        tname = _type_name(cursor.type)
+        if tname in model.SCOPED_LOCK_TYPES:
+            locks.append(self._lock_operand(cursor) or cursor.spelling)
+            return
+        init_children = list(cursor.get_children())
+        for child in init_children:
+            lam = self._find_lambda(child)
+            if lam is not None:
+                info = self._visit_lambda(lam, locks)
+                if info is not None:
+                    self.lambda_vars[cursor.spelling] = info
+                return
+        for child in init_children:
+            self._visit_stmt(child, locks, at_stmt_level=False)
+
+    @staticmethod
+    def _lock_operand(cursor) -> str:
+        for child in cursor.get_children():
+            toks = _tokens(child)
+            if toks:
+                return "".join(toks)
+        return ""
+
+    def _find_lambda(self, cursor):
+        cursor = _unwrap(cursor)
+        if cursor is None:
+            return None
+        if cursor.kind == CursorKind.LAMBDA_EXPR:
+            return cursor
+        if cursor.kind == CursorKind.CALL_EXPR:
+            # std::function<...> f = [] {...}; materializes through a
+            # converting constructor call — look one level down.
+            children = [_unwrap(c) for c in cursor.get_children()]
+            lambdas = [c for c in children
+                       if c is not None
+                       and c.kind == CursorKind.LAMBDA_EXPR]
+            if len(lambdas) == 1:
+                return lambdas[0]
+        return None
+
+    # -- calls -------------------------------------------------------------
+
+    def _visit_call(self, cursor, locks: List[str],
+                    discarded: bool) -> None:
+        ref = cursor.referenced
+        callee_name = cursor.spelling or (ref.spelling if ref else "")
+
+        site = model.CallSite(
+            name=callee_name,
+            line=cursor.location.line,
+            locks_held=tuple(locks + self.manual_locks),
+            discarded=discarded,
+        )
+
+        if ref is not None and ref.kind in _FUNCTION_KINDS:
+            cls = _enclosing_class(ref)
+            if cls:
+                site.qualifier = cls
+            # Register the resolved callee so flag/status lookups work
+            # even when its declaration lives outside the scanned set's
+            # own pass (e.g. an out-of-line body seen later).
+            if self.tu._relpath(ref) is not None:
+                self.tu.program.add_method(model.MethodDecl(
+                    cls=cls,
+                    name=ref.spelling,
+                    annotations=_annotations_of(ref),
+                    returns_status=_returns_status(ref),
+                ))
+        if not site.qualifier and self.fn.cls:
+            site.is_self_call = self._is_self_call(cursor)
+
+        self._detect_callback_member(cursor, site)
+        self._maybe_manual_lock(cursor, site)
+
+        self.fn.calls.append(site)
+
+        # Arguments: lambdas sink into this call; other calls recurse.
+        self.pending_calls.append(site)
+        try:
+            for child in cursor.get_children():
+                self._visit_stmt(child, locks, at_stmt_level=False)
+        finally:
+            self.pending_calls.pop()
+
+    def _is_self_call(self, cursor) -> bool:
+        ref = cursor.referenced
+        if ref is None:
+            return False
+        return _enclosing_class(ref) == self.fn.cls
+
+    def _detect_callback_member(self, cursor, site: model.CallSite) -> None:
+        """`callback_(x)` — a CALL_EXPR through a std::function member."""
+        if site.name not in ("operator()", ""):
+            # A named call can still be a member functor via `this->cb_(x)`
+            # only when the callee is operator(); nothing to do here.
+            return
+        for child in cursor.walk_preorder():
+            if child.kind != CursorKind.MEMBER_REF_EXPR:
+                continue
+            ref = child.referenced
+            if ref is None or ref.kind != CursorKind.FIELD_DECL:
+                continue
+            cls = _enclosing_class(ref)
+            decl = self.tu.program.field_decl(cls, ref.spelling)
+            if decl is not None and decl.is_callback:
+                site.through_member_callback = ref.spelling
+                site.callback_class = cls
+                site.name = ref.spelling
+                return
+
+    def _maybe_manual_lock(self, cursor, site: model.CallSite) -> None:
+        if site.name == "Lock":
+            operand = self._receiver_text(cursor)
+            if operand:
+                self.manual_locks.append(operand)
+        elif site.name == "Unlock":
+            operand = self._receiver_text(cursor)
+            if operand and operand in self.manual_locks:
+                self.manual_locks.remove(operand)
+
+    @staticmethod
+    def _receiver_text(cursor) -> str:
+        for child in cursor.get_children():
+            child = _unwrap(child)
+            if child is not None \
+                    and child.kind == CursorKind.MEMBER_REF_EXPR:
+                inner = list(child.get_children())
+                if not inner:
+                    return child.spelling
+                toks = _tokens(inner[0])
+                return "".join(toks) if toks else child.spelling
+        return ""
+
+    # -- (void) discards ---------------------------------------------------
+
+    def _visit_void_cast(self, cursor, locks: List[str]) -> bool:
+        if "void" not in cursor.type.spelling:
+            return False
+        inner = _unwrap(next(iter(cursor.get_children()), None))
+        if inner is None or inner.kind != CursorKind.CALL_EXPR:
+            return False
+        before = len(self.fn.calls)
+        self._visit_call(inner, locks, discarded=False)
+        for site in self.fn.calls[before:]:
+            if site.line == inner.location.line:
+                site.void_discarded = True
+        return True
+
+    # -- assignments -------------------------------------------------------
+
+    def _visit_assignment(self, cursor, locks: List[str]) -> bool:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return False
+        toks = _tokens(cursor)
+        if "=" not in toks:
+            return False
+        lhs = _unwrap(children[0])
+        rhs_raw = children[1]
+        if lhs is None or lhs.kind != CursorKind.MEMBER_REF_EXPR:
+            return False
+        ref = lhs.referenced
+        if ref is None or ref.kind != CursorKind.FIELD_DECL:
+            return False
+        cls = _enclosing_class(ref)
+        field = ref.spelling
+
+        lam = self._find_lambda(rhs_raw)
+        if lam is not None:
+            info = self._visit_lambda(lam, locks)
+            if info is not None:
+                info.sink_kind = "field"
+                info.sink_field = f"{cls}::{field}"
+            return True
+
+        rhs = _unwrap(rhs_raw)
+        if rhs is not None and rhs.kind == CursorKind.DECL_REF_EXPR:
+            target = rhs.referenced
+            if target is not None:
+                if target.spelling in self.lambda_vars:
+                    info = self.lambda_vars[target.spelling]
+                    info.sink_kind = "field"
+                    info.sink_field = f"{cls}::{field}"
+                    return True
+                if target.kind == CursorKind.PARM_DECL:
+                    self.fn.field_stores.append(model.FieldStore(
+                        field=field,
+                        param=target.spelling,
+                        line=cursor.location.line,
+                    ))
+                    return True
+        for child in cursor.get_children():
+            self._visit_stmt(child, locks, at_stmt_level=False)
+        return True
+
+    # -- lambdas -----------------------------------------------------------
+
+    def _visit_lambda(self, cursor, locks: List[str]):
+        rel = self.fn.file
+        line = cursor.location.line
+        info = model.FunctionInfo(
+            uid=f"{rel}:{line}:<lambda>",
+            name="<lambda>",
+            qualname=f"<lambda@{rel}:{line}>",
+            file=rel,
+            line=line,
+            cls=self.fn.cls,
+            is_lambda=True,
+        )
+        if self.pending_calls:
+            info.sink_kind = "call"
+            info.sink_call = self.pending_calls[-1]
+
+        body = None
+        for child in cursor.get_children():
+            if child.kind == CursorKind.COMPOUND_STMT:
+                body = child
+        if body is not None:
+            sub = _BodyWalker(self.tu, info)
+            sub.walk_block(body)
+            self.lambdas.append(info)
+            self.lambdas.extend(sub.lambdas)
+            sub.lambdas = []
+        else:
+            self.lambdas.append(info)
+        return info
+
+    def flush_lambdas(self) -> None:
+        for info in self.lambdas:
+            if info.uid not in self.tu.seen_uids:
+                self.tu.seen_uids.add(info.uid)
+                self.tu.program.add_function(info)
+        self.lambdas = []
+
+
+def _compile_args(db, path: str, root: str) -> List[str]:
+    if db is not None:
+        try:
+            commands = db.getCompileCommands(path)
+        except Exception:  # pragma: no cover - defensive
+            commands = None
+        if commands:
+            args = list(commands[0].arguments)[1:]
+            # Drop the input file and -o/-c plumbing; keep flags.
+            cleaned = []
+            skip = False
+            for arg in args:
+                if skip:
+                    skip = False
+                    continue
+                if arg in ("-o", "-c"):
+                    skip = arg == "-o"
+                    continue
+                if os.path.abspath(arg) == os.path.abspath(path):
+                    continue
+                cleaned.append(arg)
+            return cleaned
+    return [
+        "-std=c++17",
+        "-x", "c++",
+        "-I", os.path.join(root, "src"),
+        "-I", os.path.dirname(path),
+    ]
+
+
+def _ensure_libclang() -> None:
+    """Points cindex at a loadable libclang.
+
+    The Debian/Ubuntu python3-clang package does not always find the
+    versioned shared library on its own. MEDRELAX_LIBCLANG overrides
+    explicitly; otherwise the default search runs first and versioned
+    install paths are probed as a fallback. Any failure propagates so
+    the driver can fall back to the textual frontend.
+    """
+    explicit = os.environ.get("MEDRELAX_LIBCLANG")
+    if explicit and not cindex.Config.loaded:
+        cindex.Config.set_library_file(explicit)
+        return
+    try:
+        cindex.Index.create()
+        return
+    except cindex.LibclangError:
+        pass
+    import glob
+
+    for pattern in ("/usr/lib/llvm-*/lib/libclang.so*",
+                    "/usr/lib/*/libclang-*.so*"):
+        for cand in sorted(glob.glob(pattern), reverse=True):
+            if cindex.Config.loaded:  # pragma: no cover - defensive
+                return
+            cindex.Config.set_library_file(cand)
+            try:
+                cindex.Index.create()
+                return
+            except cindex.LibclangError:
+                continue
+    raise RuntimeError("no loadable libclang found"
+                       " (set MEDRELAX_LIBCLANG to the .so path)")
+
+
+def parse_program(files: List[Tuple[str, str]], compile_db: str,
+                  root: str) -> model.Program:
+    _ensure_libclang()
+    index = cindex.Index.create()
+
+    db = None
+    if os.path.isfile(compile_db):
+        try:
+            db = cindex.CompilationDatabase.fromDirectory(
+                os.path.dirname(compile_db))
+        except cindex.CompilationDatabaseError:
+            db = None
+
+    program = model.Program()
+    wanted = {relpath for relpath, _text in files}
+    seen_uids: Set[str] = set()
+
+    # Two passes over the TUs: the first registers every class/field/alias
+    # (so callback-member detection has complete tables), the second walks
+    # bodies. Re-parsing is avoided by keeping the TUs alive in between.
+    tus = []
+    for relpath, _text in files:
+        path = os.path.join(root, relpath)
+        args = _compile_args(db, path, root)
+        try:
+            tu = index.parse(path, args=args)
+        except cindex.TranslationUnitLoadError as err:
+            raise RuntimeError(f"cannot parse {relpath}: {err}") from err
+        tus.append(tu)
+
+    parser = _TuParser(program, root, wanted, seen_uids)
+    # Pass 1: declarations only (fields, aliases, method annotations).
+    for tu in tus:
+        _register_decls(parser, tu.cursor)
+    # Pass 2: function bodies.
+    for tu in tus:
+        parser.walk(tu.cursor)
+    return program
+
+
+def _register_decls(parser: _TuParser, cursor) -> None:
+    for child in cursor.get_children():
+        if child.kind in (CursorKind.NAMESPACE, CursorKind.LINKAGE_SPEC):
+            _register_decls(parser, child)
+            continue
+        rel = parser._relpath(child)
+        if rel is None:
+            continue
+        if child.kind in _CLASS_KINDS:
+            parser._visit_class(child, rel)
+            for sub in child.get_children():
+                if sub.kind in (CursorKind.TYPE_ALIAS_DECL,
+                                CursorKind.TYPEDEF_DECL):
+                    try:
+                        under = sub.underlying_typedef_type.spelling
+                    except Exception:  # pragma: no cover - defensive
+                        under = ""
+                    if "function<" in under:
+                        parser.program.callback_aliases.add(sub.spelling)
+                if sub.kind in _FUNCTION_KINDS:
+                    parser.program.add_method(model.MethodDecl(
+                        cls=child.spelling,
+                        name=sub.spelling,
+                        annotations=_annotations_of(sub),
+                        returns_status=_returns_status(sub),
+                        file=rel,
+                        line=sub.location.line,
+                    ))
+            _register_decls(parser, child)
+            continue
+        if child.kind in (CursorKind.TYPE_ALIAS_DECL,
+                          CursorKind.TYPEDEF_DECL):
+            try:
+                under = child.underlying_typedef_type.spelling
+            except Exception:  # pragma: no cover - defensive
+                under = ""
+            if "function<" in under:
+                parser.program.callback_aliases.add(child.spelling)
+            continue
+        if child.kind in _FUNCTION_KINDS:
+            parser.program.add_method(model.MethodDecl(
+                cls=_enclosing_class(child),
+                name=child.spelling,
+                annotations=_annotations_of(child),
+                returns_status=_returns_status(child),
+                file=rel,
+                line=child.location.line,
+            ))

@@ -1,0 +1,244 @@
+"""The frontend-neutral IR of the semantic lint.
+
+Both frontends lower C++ into exactly these shapes; rules.py never sees
+tokens or cursors. The IR is deliberately name-based rather than
+symbol-based: rules resolve a call through (receiver type, method name)
+against the declaration tables, and skip — never guess — when a name is
+ambiguous across classes and the receiver type is unknown. A semantic
+lint that sometimes cannot prove a violation is fine; one that reports
+violations that are not there gets deleted within a month.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+# Annotation macro -> canonical flag. The macros expand to
+# [[clang::annotate]] attributes (src/medrelax/common/thread_annotations.h);
+# the clang frontend reads the expanded spellings, the textual frontend the
+# macro names.
+ANNOTATION_MACROS = {
+    "MEDRELAX_LOOP_THREAD_ONLY": "loop_thread_only",
+    "MEDRELAX_BLOCKING": "blocking",
+    "MEDRELAX_POSTS_TO_LOOP": "posts_to_loop",
+}
+
+ANNOTATION_SPELLINGS = {
+    "medrelax::loop_thread_only": "loop_thread_only",
+    "medrelax::blocking": "blocking",
+    "medrelax::posts_to_loop": "posts_to_loop",
+}
+
+LOOP_ONLY = "loop_thread_only"
+BLOCKING = "blocking"
+POSTS_TO_LOOP = "posts_to_loop"
+
+# RAII lock types of common/mutex.h: a local of one of these types holds
+# its mutex until the end of the enclosing block.
+SCOPED_LOCK_TYPES = {"MutexLock", "ReaderLock", "WriterLock"}
+
+# Return types whose silent discard the ignored-status rule reports.
+STATUS_RETURN_TYPES = {"Status", "Result"}
+
+# Types whose parameters must not be stored into fields (lifetime-escape):
+# non-owning views over caller-owned memory.
+VIEW_TYPES = {"string_view", "span"}
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str  # unqualified callee name as written
+    line: int
+    receiver_type: str = ""  # resolved class of the receiver; "" = unknown
+    # True when the receiver is implicit (a self-call inside a method) or
+    # written Class::name; rules then qualify by the enclosing class.
+    is_self_call: bool = False
+    qualifier: str = ""  # explicit Foo:: qualifier, if written
+    locks_held: Tuple[str, ...] = ()
+    # Field name when the call goes through a stored std::function member
+    # (directly or via a typed member chain), else "".
+    through_member_callback: str = ""
+    # Class owning that callback member, when known.
+    callback_class: str = ""
+    # True when the whole statement is this call and nothing consumes the
+    # result (no assignment, no (void), not a condition, not returned).
+    discarded: bool = False
+    # True when the statement is `(void)call(...);` — legal for
+    # Status/Result returns only with a justifying comment, which the
+    # driver (the only layer that still sees comments) checks.
+    void_discarded: bool = False
+
+
+@dataclasses.dataclass
+class FieldStore:
+    """`member_ = <param>` (or ctor-init `member_(param)`) inside a method."""
+
+    field: str
+    param: str
+    line: int
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function/method/lambda body the frontend parsed."""
+
+    uid: str  # unique per program, e.g. "file:line:qualname"
+    name: str  # unqualified; lambdas use "<lambda>"
+    qualname: str  # "Class::name", "name", or "<lambda@file:line>"
+    file: str
+    line: int
+    cls: str = ""  # enclosing class for methods; "" for free functions
+    annotations: frozenset = frozenset()
+    is_lambda: bool = False
+    # How the lambda leaves its definition site: ("call", CallSite) when
+    # passed as an argument, ("field", "Class::member") when assigned to a
+    # data member, ("", None) when unknown (e.g. stored in a local and
+    # never seen escaping).
+    sink_kind: str = ""
+    sink_call: Optional[CallSite] = None
+    sink_field: str = ""
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    # Parameter names of view type (string_view/span), for lifetime-escape.
+    view_params: Tuple[str, ...] = ()
+    field_stores: List[FieldStore] = dataclasses.field(default_factory=list)
+    returns_status: bool = False
+
+
+@dataclasses.dataclass
+class FieldDecl:
+    """One data member declaration (from a class body)."""
+
+    cls: str
+    name: str
+    type_text: str
+    line: int
+    file: str = ""
+    is_callback: bool = False  # std::function (directly or via alias)
+    annotations: frozenset = frozenset()
+
+
+@dataclasses.dataclass
+class MethodDecl:
+    """One method/function declaration (header knowledge; no body needed)."""
+
+    cls: str  # "" for free functions
+    name: str
+    annotations: frozenset = frozenset()
+    returns_status: bool = False
+    file: str = ""
+    line: int = 0
+
+
+class Program:
+    """Whole-program tables the rules run over. Frontends only append."""
+
+    def __init__(self) -> None:
+        self.functions: List[FunctionInfo] = []
+        # (cls, name) -> merged annotation flags from every declaration
+        # and definition seen.
+        self.method_annotations: Dict[Tuple[str, str], Set[str]] = {}
+        # name -> set of classes declaring it ("" = free function); the
+        # ambiguity oracle for name-only resolution.
+        self.classes_by_method: Dict[str, Set[str]] = {}
+        # (cls, name) -> True when the declared return type is
+        # Status/Result<...>.
+        self.returns_status: Dict[Tuple[str, str], bool] = {}
+        # cls -> field name -> FieldDecl.
+        self.fields: Dict[str, Dict[str, FieldDecl]] = {}
+        # `using Alias = std::function<...>` names, so fields typed by
+        # alias still count as callbacks.
+        self.callback_aliases: Set[str] = set()
+
+    # -- registration -----------------------------------------------------
+
+    def add_method(self, decl: MethodDecl) -> None:
+        key = (decl.cls, decl.name)
+        self.method_annotations.setdefault(key, set()).update(decl.annotations)
+        self.classes_by_method.setdefault(decl.name, set()).add(decl.cls)
+        if decl.returns_status:
+            self.returns_status[key] = True
+
+    def add_field(self, field: FieldDecl) -> None:
+        self.fields.setdefault(field.cls, {})[field.name] = field
+
+    def add_function(self, fn: FunctionInfo) -> None:
+        self.functions.append(fn)
+        self.add_method(
+            MethodDecl(
+                cls=fn.cls,
+                name=fn.name,
+                annotations=fn.annotations,
+                returns_status=fn.returns_status,
+                file=fn.file,
+                line=fn.line,
+            )
+        )
+
+    # -- resolution -------------------------------------------------------
+
+    def annotations_of(self, cls: str, name: str) -> Set[str]:
+        return self.method_annotations.get((cls, name), set())
+
+    def resolve_call(self, site: CallSite, caller_cls: str) -> Set[str]:
+        """Annotation flags of a call's target; set() when unresolvable.
+
+        Resolution order: explicit qualifier, typed receiver, self-call
+        through the enclosing class, then name-only — accepted only when
+        every class declaring the name agrees on the flags (otherwise an
+        unknown receiver could pin the wrong overload's contract on the
+        call).
+        """
+        if site.qualifier:
+            return self.annotations_of(site.qualifier, site.name)
+        if site.receiver_type:
+            return self.annotations_of(site.receiver_type, site.name)
+        if site.is_self_call and caller_cls:
+            found = self.annotations_of(caller_cls, site.name)
+            if found or (caller_cls in self.classes_by_method.get(site.name, set())):
+                return found
+        classes = self.classes_by_method.get(site.name, set())
+        if not classes:
+            return set()
+        flag_sets = [frozenset(self.annotations_of(c, site.name)) for c in classes]
+        if len(set(flag_sets)) == 1:
+            return set(flag_sets[0])
+        return set()  # ambiguous: refuse to guess
+
+    def call_returns_status(self, site: CallSite, caller_cls: str) -> bool:
+        """Whether the call's target declares a Status/Result return."""
+        if site.qualifier:
+            return self.returns_status.get((site.qualifier, site.name), False)
+        if site.receiver_type:
+            return self.returns_status.get((site.receiver_type, site.name), False)
+        if site.is_self_call and caller_cls:
+            if (caller_cls, site.name) in self.returns_status:
+                return True
+        classes = self.classes_by_method.get(site.name, set())
+        if not classes:
+            return False
+        # Name-only: report only when every declarer returns Status/Result
+        # (mirrors the declaration-collection contract of the old regex
+        # rule, minus its false positives on multiline calls).
+        return all(self.returns_status.get((c, site.name), False) for c in classes)
+
+    def field_decl(self, cls: str, name: str) -> Optional[FieldDecl]:
+        return self.fields.get(cls, {}).get(name)
+
+
+@dataclasses.dataclass
+class Finding:
+    """One report line: path:line: [rule] message."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    # Set on (void)-discard findings: the driver drops the finding when a
+    # justifying comment sits on the reported line or the one above it.
+    comment_waivable: bool = False
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,181 @@
+"""The five semantic rules, evaluated over model.Program.
+
+Rule catalog (docs/TOOLING.md has the operator-facing version):
+
+  loop-affinity    a MEDRELAX_LOOP_THREAD_ONLY function (or a call through
+                   a LOOP_THREAD_ONLY std::function member) may only be
+                   called from loop-thread context: another loop-only
+                   function, or a lambda handed to a MEDRELAX_POSTS_TO_LOOP
+                   sink / a LOOP_THREAD_ONLY callback member.
+  loop-blocking    a MEDRELAX_BLOCKING function must be unreachable from
+                   loop-thread context (transitively, through unannotated
+                   callees the analyzer has bodies for).
+  callback-scope   no call through a stored std::function member while a
+                   medrelax Mutex is held — a callback that re-enters the
+                   lock deadlocks, and one that blocks convoys it.
+  ignored-status   the result of a Status/Result-returning call must be
+                   consumed (assigned, tested, returned, or cast to void).
+  lifetime-escape  a string_view/span parameter must not be stored into a
+                   data member: the member outlives the caller's buffer.
+
+Context derivation is deliberately conservative: a lambda whose sink is
+unknown has *unknown* context — it is exempt from loop-affinity (we
+cannot prove it runs off-loop) and from loop-blocking (we cannot prove it
+runs on-loop). Only provable violations report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from . import model
+
+ALL_RULES = (
+    "loop-affinity",
+    "loop-blocking",
+    "callback-scope",
+    "ignored-status",
+    "lifetime-escape",
+)
+
+
+def _loop_context_uids(program: model.Program,
+                       enabled: Set[str]) -> Set[str]:
+    """uids of functions/lambdas that (can) run on the loop thread."""
+    loop: Set[str] = set()
+    for fn in program.functions:
+        if model.LOOP_ONLY in fn.annotations:
+            loop.add(fn.uid)
+        elif model.LOOP_ONLY in program.annotations_of(fn.cls, fn.name):
+            # Out-of-line definition of a method annotated in the header.
+            loop.add(fn.uid)
+        elif fn.is_lambda:
+            if fn.sink_kind == "call" and fn.sink_call is not None:
+                flags = program.resolve_call(fn.sink_call, fn.cls)
+                if model.POSTS_TO_LOOP in flags:
+                    loop.add(fn.uid)
+            elif fn.sink_kind == "field" and fn.sink_field:
+                cls, _, name = fn.sink_field.partition("::")
+                fld = program.field_decl(cls, name)
+                if fld is not None and model.LOOP_ONLY in fld.annotations:
+                    loop.add(fn.uid)
+    # Transitive closure: an unannotated function whose body we have and
+    # that a loop-context function calls also runs on the loop thread.
+    by_key: Dict[Tuple[str, str], List[model.FunctionInfo]] = {}
+    for fn in program.functions:
+        by_key.setdefault((fn.cls, fn.name), []).append(fn)
+        if fn.cls:  # a plain self-less call may still hit a free function
+            by_key.setdefault(("", fn.name), []).append(fn)
+    changed = True
+    while changed:
+        changed = False
+        for fn in program.functions:
+            if fn.uid not in loop:
+                continue
+            for site in fn.calls:
+                targets = _call_targets(program, by_key, site, fn.cls)
+                for target in targets:
+                    if target.uid in loop:
+                        continue
+                    if model.BLOCKING in target.annotations:
+                        continue  # reported by loop-blocking, not spread
+                    loop.add(target.uid)
+                    changed = True
+    return loop
+
+
+def _call_targets(program: model.Program,
+                  by_key: Dict[Tuple[str, str], List[model.FunctionInfo]],
+                  site: model.CallSite,
+                  caller_cls: str) -> List[model.FunctionInfo]:
+    """FunctionInfos a call might land in — only confident matches."""
+    if site.through_member_callback:
+        return []
+    if site.qualifier:
+        return by_key.get((site.qualifier, site.name), [])
+    if site.receiver_type:
+        return by_key.get((site.receiver_type, site.name), [])
+    if site.is_self_call:
+        if caller_cls and (caller_cls, site.name) in by_key:
+            return by_key[(caller_cls, site.name)]
+        # Fall through to free functions of that name — but only when the
+        # name is unambiguous across classes.
+        classes = program.classes_by_method.get(site.name, set())
+        if classes == {""}:
+            return by_key.get(("", site.name), [])
+    return []
+
+
+def check(program: model.Program,
+          enabled: Set[str] = None) -> List[model.Finding]:
+    rules = set(enabled) if enabled is not None else set(ALL_RULES)
+    findings: List[model.Finding] = []
+    loop_uids = _loop_context_uids(program, rules)
+
+    for fn in program.functions:
+        in_loop = fn.uid in loop_uids
+        provably_off_loop = not in_loop and not (
+            fn.is_lambda and not fn.sink_kind)
+
+        for site in fn.calls:
+            flags = program.resolve_call(site, fn.cls)
+
+            if "loop-affinity" in rules and provably_off_loop:
+                callee_loop_only = model.LOOP_ONLY in flags
+                if site.through_member_callback:
+                    fld = program.field_decl(site.callback_class,
+                                             site.through_member_callback)
+                    callee_loop_only = (
+                        fld is not None and model.LOOP_ONLY in fld.annotations)
+                if callee_loop_only:
+                    findings.append(model.Finding(
+                        fn.file, site.line, "loop-affinity",
+                        f"'{site.name}' is MEDRELAX_LOOP_THREAD_ONLY but"
+                        f" '{fn.qualname}' does not run on the loop thread;"
+                        " hand the work to EventLoop::Post or annotate the"
+                        " caller"))
+
+            if "loop-blocking" in rules and in_loop \
+                    and model.BLOCKING in flags:
+                findings.append(model.Finding(
+                    fn.file, site.line, "loop-blocking",
+                    f"'{site.name}' is MEDRELAX_BLOCKING and"
+                    f" '{fn.qualname}' runs on the loop thread; move the"
+                    " work to a worker and Post the result back"))
+
+            if "callback-scope" in rules and site.through_member_callback \
+                    and site.locks_held:
+                held = ", ".join(site.locks_held)
+                findings.append(model.Finding(
+                    fn.file, site.line, "callback-scope",
+                    f"call through stored callback"
+                    f" '{site.through_member_callback}' while holding"
+                    f" {held}; invoke callbacks after releasing the lock"))
+
+            if "ignored-status" in rules \
+                    and program.call_returns_status(site, fn.cls):
+                if site.discarded:
+                    findings.append(model.Finding(
+                        fn.file, site.line, "ignored-status",
+                        f"result of '{site.name}' (Status/Result) is"
+                        " ignored; check it or cast to void with a"
+                        " justifying comment"))
+                elif site.void_discarded:
+                    findings.append(model.Finding(
+                        fn.file, site.line, "ignored-status",
+                        f"(void)-discard of '{site.name}' (Status/Result)"
+                        " needs a comment explaining why the error is"
+                        " ignorable", comment_waivable=True))
+
+        if "lifetime-escape" in rules and fn.view_params:
+            views = set(fn.view_params)
+            for store in fn.field_stores:
+                if store.param in views:
+                    findings.append(model.Finding(
+                        fn.file, store.line, "lifetime-escape",
+                        f"view parameter '{store.param}' is stored into"
+                        f" field '{store.field}', which outlives the"
+                        " caller's buffer; copy into an owning type"))
+
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings

@@ -7,7 +7,9 @@
 # transcript — the TCP frontend must be byte-identical to the stdin
 # path. Then run short closed-loop load bursts on both transports (only
 # the deterministic first line is checked — throughput is
-# machine-dependent and goes to stderr anyway).
+# machine-dependent and goes to stderr anyway), and prove RELOAD's
+# re-ingest runs off the epoll thread: with the rebuild padded to 2s a
+# concurrent session must keep answering in well under 1s.
 #
 # Usage: scripts/server_smoke.sh   (MEDRELAX_BUILD_DIR overrides ./build)
 set -euo pipefail
@@ -98,6 +100,70 @@ fi
 "${CLIENT}" load "${PORT}" --requests 200 --connections 4 \
   > "${WORK}/tcp_load.out" 2>/dev/null
 grep -q '^ok load requests=200 answered=200 errors=0$' "${WORK}/tcp_load.out"
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+# --- RELOAD runs off the epoll thread ---------------------------------
+# Fresh server with the test-only rebuild delay armed: the reload
+# executor pads its re-ingest by 2s. One session issues RELOAD; while
+# that rebuild is in flight a second session must still get answers
+# within 1s — if re-ingest ever moves back onto the loop thread, the
+# timed probe stalls behind the full 2s pad and the bound fails. The
+# probe also asserts gen=1 (the pre-reload snapshot), proving it really
+# ran *during* the swap, and the paused RELOAD session still gets its
+# `ok reload gen=2` afterwards (per-connection ordering survives).
+MEDRELAX_RELOAD_TEST_DELAY_MS=2000 \
+  "${SERVER}" serve "${WORLD}" --exact --workers 1 --listen 0 \
+  > "${WORK}/server2.stdout" 2> "${WORK}/server2.stderr" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^ok listening port=\([0-9][0-9]*\)$/\1/p' \
+         "${WORK}/server2.stdout")
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server_smoke: delayed-reload server exited before listening" >&2
+    cat "${WORK}/server2.stderr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "server_smoke: delayed-reload server never announced its port" >&2
+  exit 1
+fi
+
+printf 'RELOAD\n' | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/reload.out" &
+RELOAD_CLIENT_PID=$!
+sleep 0.3  # let the RELOAD land and enter its padded rebuild
+
+START_NS=$(date +%s%N)
+printf 'GEN\nRELAX disorder of kidney\n' | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/during_reload.out"
+END_NS=$(date +%s%N)
+ELAPSED_MS=$(( (END_NS - START_NS) / 1000000 ))
+
+wait "${RELOAD_CLIENT_PID}"
+if ! grep -q '^ok gen=1$' "${WORK}/during_reload.out"; then
+  echo "server_smoke: concurrent probe did not answer from the" \
+       "pre-reload snapshot (expected 'ok gen=1'):" >&2
+  cat "${WORK}/during_reload.out" >&2
+  exit 1
+fi
+if ! grep -q '^ok reload gen=2$' "${WORK}/reload.out"; then
+  echo "server_smoke: paused RELOAD session never got its reply:" >&2
+  cat "${WORK}/reload.out" >&2
+  exit 1
+fi
+if (( ELAPSED_MS >= 1000 )); then
+  echo "server_smoke: probe during RELOAD took ${ELAPSED_MS}ms —" \
+       "the 2s rebuild pad leaked onto the serving path" >&2
+  exit 1
+fi
 
 kill "${SERVER_PID}"
 wait "${SERVER_PID}" 2>/dev/null || true

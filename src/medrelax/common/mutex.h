@@ -184,8 +184,9 @@ class CondVar {
   /// Atomically releases `mu`, blocks until notified, and reacquires
   /// `mu` before returning. The detector keeps treating the site as held
   /// across the wait: the blocked thread acquires nothing meanwhile, so
-  /// no spurious order edge can form.
-  void Wait(Mutex& mu) MEDRELAX_REQUIRES(mu) {
+  /// no spurious order edge can form. MEDRELAX_BLOCKING: an unbounded
+  /// wait — never reachable from loop-thread-only code.
+  void Wait(Mutex& mu) MEDRELAX_REQUIRES(mu) MEDRELAX_BLOCKING {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();

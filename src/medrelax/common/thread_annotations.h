@@ -86,4 +86,39 @@
 #define MEDRELAX_NO_THREAD_SAFETY_ANALYSIS \
   MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
 
+// --- Semantic-pass vocabulary (scripts/lint/semantic/) ---------------------
+//
+// Thread-affinity and blocking annotations checked by the project's
+// libclang semantic analyzer, the same way the capability macros above
+// are checked by -Wthread-safety. Under clang they expand to
+// __attribute__((annotate(...))) so the AST carries them; under gcc they
+// vanish (documentation only — the analyzer reads the tokens either
+// way). docs/CONCURRENCY.md ("Thread affinity") is the model; the rule
+// catalog lives in docs/TOOLING.md.
+
+// On a function or method: may only execute on the event-loop thread.
+// The affinity rule demands every caller be loop-thread-only itself, a
+// task handed to EventLoop::Post, or a callback declared to fire on the
+// loop. On a data member: the member is confined to the loop thread —
+// an alternative to MEDRELAX_GUARDED_BY that the guarded-by invariant
+// lint accepts, because the affinity rules (not a lock) are what keeps
+// the accesses serialized.
+#define MEDRELAX_LOOP_THREAD_ONLY \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(annotate("medrelax::loop_thread_only"))
+
+// On a function: it may block the calling thread for real time — file
+// I/O, an offline rebuild, future::get/thread::join, a condition wait.
+// The no-blocking rule proves these are unreachable from any
+// loop-thread-only function: one blocked reactor stalls every session.
+#define MEDRELAX_BLOCKING \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(annotate("medrelax::blocking"))
+
+// On a function (or std::function-typed member) taking/holding a
+// callable: the callable executes on the event-loop thread. Lambdas
+// handed to such a sink are analyzed as loop-thread-only code; the
+// function itself stays callable from any thread (EventLoop::Post is
+// the archetype).
+#define MEDRELAX_POSTS_TO_LOOP \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(annotate("medrelax::posts_to_loop"))
+
 #endif  // MEDRELAX_COMMON_THREAD_ANNOTATIONS_H_

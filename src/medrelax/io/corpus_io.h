@@ -5,6 +5,7 @@
 #include <string>
 
 #include "medrelax/common/result.h"
+#include "medrelax/common/thread_annotations.h"
 #include "medrelax/corpus/document.h"
 
 namespace medrelax {
@@ -18,17 +19,20 @@ namespace medrelax {
 /// Sections belong to the most recent D record; an untyped section writes
 /// "-" for the context. Tokens must not contain tabs/newlines (the
 /// tokenizer guarantees that).
-[[nodiscard]] Status SaveCorpus(const Corpus& corpus, std::ostream& out);
+[[nodiscard]] Status SaveCorpus(const Corpus& corpus, std::ostream& out)
+    MEDRELAX_BLOCKING;
 
 /// Convenience: SaveCorpus to a file path.
 [[nodiscard]]
-Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path)
+    MEDRELAX_BLOCKING;
 
 /// Parses the format written by SaveCorpus.
-[[nodiscard]] Result<Corpus> LoadCorpus(std::istream& in);
+[[nodiscard]] Result<Corpus> LoadCorpus(std::istream& in) MEDRELAX_BLOCKING;
 
 /// Convenience: LoadCorpus from a file path.
-[[nodiscard]] Result<Corpus> LoadCorpusFromFile(const std::string& path);
+[[nodiscard]] Result<Corpus> LoadCorpusFromFile(const std::string& path)
+    MEDRELAX_BLOCKING;
 
 }  // namespace medrelax
 

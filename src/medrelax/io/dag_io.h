@@ -5,6 +5,7 @@
 #include <string>
 
 #include "medrelax/common/result.h"
+#include "medrelax/common/thread_annotations.h"
 #include "medrelax/graph/concept_dag.h"
 
 namespace medrelax {
@@ -19,18 +20,21 @@ namespace medrelax {
 /// Names may contain spaces but not tabs or newlines (normalization strips
 /// both). The format round-trips shortcut edges, so a customized external
 /// source can be ingested once and reloaded.
-[[nodiscard]] Status SaveDag(const ConceptDag& dag, std::ostream& out);
+[[nodiscard]] Status SaveDag(const ConceptDag& dag, std::ostream& out)
+    MEDRELAX_BLOCKING;
 
 /// Convenience: SaveDag to a file path.
 [[nodiscard]]
-Status SaveDagToFile(const ConceptDag& dag, const std::string& path);
+Status SaveDagToFile(const ConceptDag& dag, const std::string& path)
+    MEDRELAX_BLOCKING;
 
 /// Parses the format written by SaveDag. Fails with InvalidArgument on
 /// malformed input (wrong header, bad ids, tab-embedded names).
-[[nodiscard]] Result<ConceptDag> LoadDag(std::istream& in);
+[[nodiscard]] Result<ConceptDag> LoadDag(std::istream& in) MEDRELAX_BLOCKING;
 
 /// Convenience: LoadDag from a file path.
-[[nodiscard]] Result<ConceptDag> LoadDagFromFile(const std::string& path);
+[[nodiscard]] Result<ConceptDag> LoadDagFromFile(const std::string& path)
+    MEDRELAX_BLOCKING;
 
 }  // namespace medrelax
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "medrelax/common/result.h"
+#include "medrelax/common/thread_annotations.h"
 #include "medrelax/graph/concept_dag.h"
 #include "medrelax/relax/ingestion.h"
 
@@ -32,11 +33,12 @@ namespace medrelax {
 /// The shortcut edges themselves live in the DAG (see dag_io.h): persist
 /// the customized DAG alongside this file.
 [[nodiscard]]
-Status SaveIngestion(const IngestionResult& ingestion, std::ostream& out);
+Status SaveIngestion(const IngestionResult& ingestion, std::ostream& out)
+    MEDRELAX_BLOCKING;
 
 /// Convenience: SaveIngestion to a file path.
 [[nodiscard]] Status SaveIngestionToFile(const IngestionResult& ingestion,
-                           const std::string& path);
+                           const std::string& path) MEDRELAX_BLOCKING;
 
 /// Parses the format written by SaveIngestion and re-derives the flagged
 /// set, the concept->instances reverse index, and the normalized
@@ -44,12 +46,14 @@ Status SaveIngestion(const IngestionResult& ingestion, std::ostream& out);
 /// ingestion ran against: ids are validated against it and the root is
 /// used for re-normalization.
 [[nodiscard]]
-Result<IngestionResult> LoadIngestion(std::istream& in, const ConceptDag& dag);
+Result<IngestionResult> LoadIngestion(std::istream& in, const ConceptDag& dag)
+    MEDRELAX_BLOCKING;
 
 /// Convenience: LoadIngestion from a file path.
 [[nodiscard]]
 Result<IngestionResult> LoadIngestionFromFile(const std::string& path,
-                                              const ConceptDag& dag);
+                                              const ConceptDag& dag)
+    MEDRELAX_BLOCKING;
 
 }  // namespace medrelax
 

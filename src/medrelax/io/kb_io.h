@@ -5,6 +5,7 @@
 #include <string>
 
 #include "medrelax/common/result.h"
+#include "medrelax/common/thread_annotations.h"
 #include "medrelax/kb/kb_query.h"
 
 namespace medrelax {
@@ -18,17 +19,20 @@ namespace medrelax {
 ///   OS<TAB><child-id><TAB><parent-id>           (TBox subsumption)
 ///   I<TAB><concept-id><TAB><instance-name>
 ///   T<TAB><subject><TAB><relationship><TAB><object>
-[[nodiscard]] Status SaveKb(const KnowledgeBase& kb, std::ostream& out);
+[[nodiscard]] Status SaveKb(const KnowledgeBase& kb, std::ostream& out)
+    MEDRELAX_BLOCKING;
 
 /// Convenience: SaveKb to a file path.
 [[nodiscard]]
-Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path);
+Status SaveKbToFile(const KnowledgeBase& kb, const std::string& path)
+    MEDRELAX_BLOCKING;
 
 /// Parses the format written by SaveKb.
-[[nodiscard]] Result<KnowledgeBase> LoadKb(std::istream& in);
+[[nodiscard]] Result<KnowledgeBase> LoadKb(std::istream& in) MEDRELAX_BLOCKING;
 
 /// Convenience: LoadKb from a file path.
-[[nodiscard]] Result<KnowledgeBase> LoadKbFromFile(const std::string& path);
+[[nodiscard]] Result<KnowledgeBase> LoadKbFromFile(const std::string& path)
+    MEDRELAX_BLOCKING;
 
 }  // namespace medrelax
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "medrelax/common/result.h"
+#include "medrelax/common/thread_annotations.h"
 
 namespace medrelax {
 namespace net {
@@ -34,7 +35,7 @@ class Acceptor {
   /// Accepts one pending connection as a non-blocking CLOEXEC socket.
   /// Returns -1 when the accept queue is empty (or on a transient
   /// error); call again on the next EPOLLIN.
-  [[nodiscard]] int AcceptOne() const;
+  [[nodiscard]] int AcceptOne() const MEDRELAX_LOOP_THREAD_ONLY;
 
  private:
   Acceptor(int fd, uint16_t port) : fd_(fd), port_(port) {}

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "medrelax/common/status.h"
+#include "medrelax/common/thread_annotations.h"
 #include "medrelax/net/event_loop.h"
 
 namespace medrelax {
@@ -59,43 +60,47 @@ class Connection {
   class Handler {
    public:
     virtual ~Handler() = default;
-    /// One complete inbound line, framing stripped.
-    virtual void OnLine(Connection& conn, std::string line) = 0;
+    /// One complete inbound line, framing stripped. Loop thread.
+    MEDRELAX_LOOP_THREAD_ONLY virtual void OnLine(Connection& conn,
+                                                  std::string line) = 0;
     /// The connection is torn down (fd closed, deregistered): orderly
     /// EOF/CloseAfterFlush is OK(); limit violations and socket errors
-    /// carry the typed reason. Fires at most once.
-    virtual void OnClose(Connection& conn, const Status& reason) = 0;
+    /// carry the typed reason. Fires at most once, on the loop thread.
+    MEDRELAX_LOOP_THREAD_ONLY virtual void OnClose(Connection& conn,
+                                                   const Status& reason) = 0;
   };
 
   /// Takes ownership of `fd` (non-blocking). Call Start() to begin.
   Connection(EventLoop& loop, int fd, uint64_t id,
              const ConnectionLimits& limits, Handler* handler);
-  ~Connection();
+  /// Deregisters from the loop; connections live and die on the loop
+  /// thread (LineServer erases them from its map inside OnEvents).
+  ~Connection() MEDRELAX_LOOP_THREAD_ONLY;
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
   /// Registers with the loop for reads.
-  [[nodiscard]] Status Start();
+  [[nodiscard]] Status Start() MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Buffers `data` and flushes as much as the socket accepts now; the
   /// rest drains via EPOLLOUT. No-op after close.
-  void Send(std::string_view data);
+  void Send(std::string_view data) MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Stops reading and line delivery; an async request is in flight and
   /// the reply must precede any later command (pipelined input stays
   /// buffered in the kernel — that is the backpressure).
-  void Pause();
+  void Pause() MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Resumes reading and delivers lines buffered while paused.
-  void Resume();
+  void Resume() MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Orderly shutdown: no further lines are delivered, buffered output
   /// drains, then the socket closes and OnClose(OK) fires.
-  void CloseAfterFlush();
+  void CloseAfterFlush() MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Immediate teardown with `reason` (also the path limits take).
-  void Close(const Status& reason);
+  void Close(const Status& reason) MEDRELAX_LOOP_THREAD_ONLY;
 
   [[nodiscard]] uint64_t id() const { return id_; }
   [[nodiscard]] int fd() const { return fd_; }
@@ -105,22 +110,22 @@ class Connection {
   [[nodiscard]] const ConnectionStats& stats() const { return stats_; }
 
  private:
-  void OnEvents(uint32_t events);
+  void OnEvents(uint32_t events) MEDRELAX_LOOP_THREAD_ONLY;
   /// Reads until EAGAIN/EOF; delivers lines; enforces max_line_bytes.
-  void HandleReadable();
+  void HandleReadable() MEDRELAX_LOOP_THREAD_ONLY;
   /// Flushes the write buffer; de-arms EPOLLOUT when drained.
-  void HandleWritable();
+  void HandleWritable() MEDRELAX_LOOP_THREAD_ONLY;
   /// Extracts and delivers complete lines until paused/closing/starved.
-  void DeliverLines();
+  void DeliverLines() MEDRELAX_LOOP_THREAD_ONLY;
   /// True if in_ holds at least one complete ('\n'-terminated) line.
   [[nodiscard]] bool HasCompleteLine() const;
   /// Flushes out_ to the socket; closes (slow-reader/error) on failure.
-  void TryFlush();
+  void TryFlush() MEDRELAX_LOOP_THREAD_ONLY;
   /// Recomputes and applies the epoll interest mask.
-  void UpdateInterest();
+  void UpdateInterest() MEDRELAX_LOOP_THREAD_ONLY;
   /// Closes once teardown conditions hold (flushed + nothing pending).
-  void MaybeFinish();
-  void DoClose(const Status& reason);
+  void MaybeFinish() MEDRELAX_LOOP_THREAD_ONLY;
+  void DoClose(const Status& reason) MEDRELAX_LOOP_THREAD_ONLY;
 
   EventLoop& loop_;
   int fd_;

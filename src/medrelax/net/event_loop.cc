@@ -32,19 +32,24 @@ uint32_t UnpackToken(uint64_t data) { return static_cast<uint32_t>(data >> 32); 
 
 }  // namespace
 
-EventLoop::EventLoop() {
-  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = PackEventData(wake_fd_, 0);
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
-      close(wake_fd_);
-      wake_fd_ = -1;
-    }
+int EventLoop::CreateEpollFd() { return epoll_create1(EPOLL_CLOEXEC); }
+
+int EventLoop::CreateWakeFd(int epoll_fd) {
+  if (epoll_fd < 0) return -1;
+  const int wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) return -1;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = PackEventData(wake_fd, 0);
+  if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+    close(wake_fd);
+    return -1;
   }
+  return wake_fd;
 }
+
+EventLoop::EventLoop()
+    : epoll_fd_(CreateEpollFd()), wake_fd_(CreateWakeFd(epoll_fd_)) {}
 
 EventLoop::~EventLoop() {
   if (wake_fd_ >= 0) close(wake_fd_);

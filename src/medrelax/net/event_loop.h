@@ -46,25 +46,27 @@ class EventLoop {
   [[nodiscard]] bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
 
   /// Registers `fd` for the level-triggered `events` mask. Loop thread
-  /// only (as are Modify and Remove).
-  [[nodiscard]] Status Watch(int fd, uint32_t events, IoHandler handler);
+  /// only (as are Modify and Remove); `handler` fires on the loop thread.
+  [[nodiscard]] Status Watch(int fd, uint32_t events, IoHandler handler)
+      MEDRELAX_LOOP_THREAD_ONLY MEDRELAX_POSTS_TO_LOOP;
   /// Changes the interest mask of a registered fd (0 parks it).
-  [[nodiscard]] Status Modify(int fd, uint32_t events);
+  [[nodiscard]] Status Modify(int fd, uint32_t events)
+      MEDRELAX_LOOP_THREAD_ONLY;
   /// Deregisters `fd`; pending events already fetched for it are dropped.
-  void Remove(int fd);
+  void Remove(int fd) MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Enqueues `task` to run on the loop thread and wakes the loop.
   /// Thread-safe; the only EventLoop entry point that is.
-  void Post(Task task);
+  void Post(Task task) MEDRELAX_POSTS_TO_LOOP;
 
   /// Runs until Stop(). Blocks the calling thread, which becomes *the*
   /// loop thread.
-  void Run();
+  void Run() MEDRELAX_LOOP_THREAD_ONLY;
 
   /// One epoll_wait pass: dispatches ready events and drained Post()ed
   /// tasks, returns how many of either it handled. `timeout_ms` < 0
   /// blocks until something is ready; 0 polls. The unit-test driver.
-  int RunOnce(int timeout_ms);
+  int RunOnce(int timeout_ms) MEDRELAX_LOOP_THREAD_ONLY;
 
   /// Makes Run() return soon. Thread-safe and idempotent.
   void Stop();
@@ -79,15 +81,22 @@ class EventLoop {
     uint32_t token = 0;
   };
 
-  void DrainWakeupFd();
-  int RunTasks();
+  /// Creates the epoll instance (-1 on failure); a plain function so the
+  /// fd members can be const — immutable after construction, no guard.
+  static int CreateEpollFd();
+  /// Creates the wakeup eventfd and registers it with `epoll_fd`;
+  /// returns -1 (closing the eventfd) when either step fails.
+  static int CreateWakeFd(int epoll_fd);
 
-  int epoll_fd_ = -1;           // lint:allow(guarded-by) set once in ctor
-  int wake_fd_ = -1;            // lint:allow(guarded-by) set once in ctor
-  uint32_t next_token_ = 1;     // lint:allow(guarded-by) loop thread only
+  void DrainWakeupFd() MEDRELAX_LOOP_THREAD_ONLY;
+  int RunTasks() MEDRELAX_LOOP_THREAD_ONLY;
+
+  const int epoll_fd_;
+  const int wake_fd_;
+  uint32_t next_token_ MEDRELAX_LOOP_THREAD_ONLY = 1;
   std::atomic<bool> stopped_{false};
   // fd -> registration; loop-thread-only like everything but the queue.
-  std::unordered_map<int, Registration> handlers_;  // lint:allow(guarded-by) loop thread only
+  std::unordered_map<int, Registration> handlers_ MEDRELAX_LOOP_THREAD_ONLY;
 
   Mutex wakeup_mu_{"EventLoop::wakeup_mu"};
   std::deque<Task> tasks_ MEDRELAX_GUARDED_BY(wakeup_mu_);

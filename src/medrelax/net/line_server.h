@@ -56,12 +56,14 @@ class LineServer : private Connection::Handler {
   /// Observes an accept rejected at the connection cap.
   using RejectCallback = std::function<void()>;
 
-  /// Protocol-layer hooks; only on_line is required.
+  /// Protocol-layer hooks; only on_line is required. Every hook fires on
+  /// the loop thread (the MEDRELAX_LOOP_THREAD_ONLY on the members is how
+  /// the semantic pass knows a lambda bound here is loop-thread code).
   struct Callbacks {
-    LineCallback on_line;
-    AcceptCallback on_accept;
-    DisconnectCallback on_disconnect;
-    RejectCallback on_reject;
+    LineCallback on_line MEDRELAX_LOOP_THREAD_ONLY;
+    AcceptCallback on_accept MEDRELAX_LOOP_THREAD_ONLY;
+    DisconnectCallback on_disconnect MEDRELAX_LOOP_THREAD_ONLY;
+    RejectCallback on_reject MEDRELAX_LOOP_THREAD_ONLY;
   };
 
   explicit LineServer(EventLoop& loop) : loop_(loop) {}
@@ -72,7 +74,7 @@ class LineServer : private Connection::Handler {
 
   /// Binds 127.0.0.1:options.port and starts accepting.
   [[nodiscard]] Status Start(const LineServerOptions& options,
-                             Callbacks callbacks);
+                             Callbacks callbacks) MEDRELAX_LOOP_THREAD_ONLY;
 
   /// The bound port (after Start).
   [[nodiscard]] uint16_t port() const {
@@ -81,15 +83,17 @@ class LineServer : private Connection::Handler {
 
   /// The live connection with this id, or nullptr if it is gone. Loop
   /// thread only; never cache the pointer across a Post boundary.
-  [[nodiscard]] Connection* Find(uint64_t conn_id);
+  [[nodiscard]] Connection* Find(uint64_t conn_id) MEDRELAX_LOOP_THREAD_ONLY;
 
   [[nodiscard]] size_t num_connections() const { return connections_.size(); }
   [[nodiscard]] const LineServerStats& stats() const { return stats_; }
 
  private:
-  void OnAcceptable();
-  void OnLine(Connection& conn, std::string line) override;
-  void OnClose(Connection& conn, const Status& reason) override;
+  void OnAcceptable() MEDRELAX_LOOP_THREAD_ONLY;
+  MEDRELAX_LOOP_THREAD_ONLY void OnLine(Connection& conn,
+                                        std::string line) override;
+  MEDRELAX_LOOP_THREAD_ONLY void OnClose(Connection& conn,
+                                         const Status& reason) override;
 
   EventLoop& loop_;
   LineServerOptions options_;

@@ -114,7 +114,10 @@ class RelaxationService {
 
   /// Submit + wait. With no background workers the caller's thread pumps
   /// the queue, so this works in single-threaded embeddings too.
-  [[nodiscard]] Result<RelaxResponse> Relax(RelaxRequest request);
+  /// MEDRELAX_BLOCKING: waits on the answer future; loop-thread code uses
+  /// SubmitAsync instead.
+  [[nodiscard]] Result<RelaxResponse> Relax(RelaxRequest request)
+      MEDRELAX_BLOCKING;
 
   /// Dequeues and serves one request on the calling thread; false when the
   /// queue is empty. The pump primitive behind num_workers = 0.
@@ -142,8 +145,8 @@ class RelaxationService {
 
   /// Stops intake (further Submits fail with FailedPrecondition), drains
   /// already-admitted requests, and joins the workers. Idempotent; called
-  /// by the destructor.
-  void Shutdown() MEDRELAX_EXCLUDES(queue_mu_);
+  /// by the destructor. MEDRELAX_BLOCKING: joins worker threads.
+  void Shutdown() MEDRELAX_EXCLUDES(queue_mu_) MEDRELAX_BLOCKING;
 
  private:
   struct PendingRequest {

@@ -50,9 +50,12 @@ class Snapshot {
   /// (customizing the DAG with shortcut edges), and configures the relaxer.
   /// `corpus` may be null (the QR-no-corpus configuration) and is only read
   /// during the build. Fails when ingestion fails (e.g. a multi-rooted DAG).
+  /// MEDRELAX_BLOCKING: the whole offline phase runs inline — seconds of
+  /// CPU at scale. Never reachable from the event loop; rebuilds belong
+  /// on a worker with the result Post()ed back (tools/medrelax_server.cc).
   [[nodiscard]] static Result<std::shared_ptr<Snapshot>> Build(
       ConceptDag dag, KnowledgeBase kb, const Corpus* corpus,
-      const SnapshotOptions& options);
+      const SnapshotOptions& options) MEDRELAX_BLOCKING;
 
   /// The publish generation stamped by SnapshotRegistry::Publish;
   /// 0 until published. Result-cache keys include this, so entries of a

@@ -1,0 +1,20 @@
+// A fixture with zero semantic-lint violations: exercises the clean exit
+// path (and a couple of near-miss shapes that must stay silent).
+
+#include <functional>
+
+#include "medrelax/common/thread_annotations.h"
+
+namespace lintfixture {
+
+class QuietLoop {
+ public:
+  void Post(std::function<void()> task) MEDRELAX_POSTS_TO_LOOP;
+  void Tick() MEDRELAX_LOOP_THREAD_ONLY;
+};
+
+void ScheduleTick(QuietLoop& loop) {
+  loop.Post([&loop]() { loop.Tick(); });
+}
+
+}  // namespace lintfixture

@@ -1,0 +1,61 @@
+// callback-scope fixtures: a stored std::function member must never be
+// invoked while a medrelax Mutex is held — a callback that re-enters the
+// lock deadlocks, one that blocks convoys every other waiter. Stage under
+// the lock, invoke after release.
+
+#include <functional>
+
+namespace lintfixture {
+
+// Minimal stand-ins mirroring common/mutex.h (the analyzer keys on the
+// type names; the fixture stays self-contained and compilable).
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class Dispatcher {
+ public:
+  void DispatchLocked(int value) {
+    MutexLock lock(mu_);
+    callback_(value);  // EXPECT-LINT: callback-scope
+  }
+
+  void DispatchStaged(int value) {
+    int staged = 0;
+    {
+      MutexLock lock(mu_);
+      staged = value;
+    }
+    callback_(staged);  // ok: the lock died with its block
+  }
+
+  void DispatchManualHeld(int value) {
+    mu_.Lock();
+    callback_(value);  // EXPECT-LINT: callback-scope
+    mu_.Unlock();
+  }
+
+  void DispatchManualReleased(int value) {
+    mu_.Lock();
+    mu_.Unlock();
+    callback_(value);  // ok: released before the call
+  }
+
+  void SwapUnderLock(std::function<void(int)> next) {
+    MutexLock lock(mu_);
+    callback_ = next;  // ok: storing, not invoking
+  }
+
+ private:
+  Mutex mu_;
+  std::function<void(int)> callback_;
+};
+
+}  // namespace lintfixture

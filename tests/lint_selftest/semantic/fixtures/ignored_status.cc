@@ -1,0 +1,58 @@
+// ignored-status fixtures, migrated from the retired regex rule in
+// check_invariants.py (every case preserved) plus the AST-accuracy cases
+// the regex could not express: multiline call statements and
+// receiver-typed member calls.
+
+#include "tests/lint_selftest/semantic/fixtures/status_api.h"
+
+namespace medrelax {
+
+void IgnoredStatusCases() {
+  FlushFixture();  // EXPECT-LINT: ignored-status
+
+  (void)PersistFixture();
+  // EXPECT-LINT-PREV: ignored-status
+
+  // Fixture: the flush error is ignorable here, so the comment
+  // legitimizes the discard.
+  (void)FlushFixture();
+
+  FlushFixture();  // lint:allow(ignored-status) fixture waiver
+
+  if (&FlushFixture != nullptr) {
+    PersistFixture();  // EXPECT-LINT: ignored-status
+  }
+
+  // A fallible call consumed as another call's argument is not a
+  // discard — the outer call owns the value.
+  ConsumeFixture(FlushFixture());
+
+  /* A block comment mentioning FlushFixture(); must not fire. */
+
+  /*
+    FlushFixture();
+    PersistFixture();
+  */
+}
+
+void AstAccurateCases(FixtureStore& store) {
+  // The regex rule required the call and the ';' on one line; the
+  // analyzer tracks the statement, so a wrapped argument list still
+  // counts as a discard (reported at the callee's line).
+  PersistFixture(  // EXPECT-LINT: ignored-status
+      );
+
+  store.Flush();  // EXPECT-LINT: ignored-status
+
+  store.Touch();  // ok: void return, nothing to discard
+
+  Status kept = FlushFixture();
+  ConsumeFixture(kept);
+
+  if (!CountFixture().ok()) {
+    return;
+  }
+  CountFixture();  // EXPECT-LINT: ignored-status
+}
+
+}  // namespace medrelax

@@ -1,0 +1,39 @@
+// lifetime-escape fixtures: a std::string_view / std::span parameter is a
+// borrowed view of the caller's buffer; storing it into a data member
+// lets the member outlive the buffer. Copy into an owning type instead.
+
+#include <string>
+#include <string_view>
+
+namespace lintfixture {
+
+class Label {
+ public:
+  explicit Label(std::string_view name)
+      : name_(name) {}  // EXPECT-LINT: lifetime-escape
+
+  void SetTitle(std::string_view title) {
+    title_ = title;  // EXPECT-LINT: lifetime-escape
+  }
+
+  void SetCopied(std::string_view text) {
+    owned_ = std::string(text);  // ok: copies into an owning string
+  }
+
+  void SetOwned(std::string text) {
+    owned_ = text;  // ok: the parameter owns its buffer
+  }
+
+  void Inspect(std::string_view probe) {
+    std::string_view local = probe;  // ok: a local dies with the call
+    last_length_ = local.size();
+  }
+
+ private:
+  std::string_view name_;
+  std::string_view title_;
+  std::string owned_;
+  unsigned long last_length_ = 0;
+};
+
+}  // namespace lintfixture

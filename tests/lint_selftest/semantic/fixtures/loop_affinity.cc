@@ -1,0 +1,63 @@
+// loop-affinity fixtures: MEDRELAX_LOOP_THREAD_ONLY functions (and calls
+// through LOOP_THREAD_ONLY callback members) may only be reached from
+// loop-thread context — another loop-only function, or a lambda handed to
+// a MEDRELAX_POSTS_TO_LOOP sink or stored into an annotated callback
+// member. Everything else must go through the posting sink.
+
+#include <functional>
+
+#include "medrelax/common/thread_annotations.h"
+
+namespace lintfixture {
+
+using Task = std::function<void()>;
+
+class FixtureLoop {
+ public:
+  // Callable from any thread; the task runs on the loop thread.
+  void Post(Task task) MEDRELAX_POSTS_TO_LOOP;
+  void ArmTimer() MEDRELAX_LOOP_THREAD_ONLY;
+  void Run() MEDRELAX_LOOP_THREAD_ONLY;
+};
+
+struct FixtureCallbacks {
+  Task on_ready MEDRELAX_LOOP_THREAD_ONLY;
+};
+
+class FixtureServer {
+ public:
+  void OnReadable() MEDRELAX_LOOP_THREAD_ONLY {
+    callbacks_.on_ready();  // ok: loop context invoking a loop callback
+  }
+  void NotifyFromAnywhere() {
+    callbacks_.on_ready();  // EXPECT-LINT: loop-affinity
+  }
+
+  FixtureCallbacks callbacks_;
+};
+
+// Loop-only code calling loop-only code is the steady state.
+void FixtureLoop::Run() { ArmTimer(); }
+
+// A lambda handed to a POSTS_TO_LOOP sink runs on the loop thread.
+void PostsCorrectly(FixtureLoop& loop) {
+  loop.Post([&loop]() { loop.ArmTimer(); });
+}
+
+// A lambda stored into an annotated callback member adopts loop affinity,
+// including through an intermediate local variable.
+void WiresCallback(FixtureLoop& loop, FixtureCallbacks& callbacks) {
+  auto handler = [&loop]() { loop.ArmTimer(); };
+  callbacks.on_ready = handler;
+}
+
+void CallsFromWrongThread(FixtureLoop& loop) {
+  loop.ArmTimer();  // EXPECT-LINT: loop-affinity
+}
+
+void WaivedEntryPoint(FixtureLoop& loop) {
+  // lint:allow(loop-affinity) fixture: this thread becomes the loop thread
+  loop.Run();
+}
+
+}  // namespace lintfixture

@@ -1,0 +1,65 @@
+// loop-blocking fixtures: MEDRELAX_BLOCKING functions must be unreachable
+// from loop-thread context — directly, from a posted lambda, or
+// transitively through an unannotated helper the analyzer has a body for.
+// Worker-context code may block freely.
+
+#include <functional>
+
+#include "medrelax/common/thread_annotations.h"
+
+namespace lintfixture {
+
+class BlockingStore {
+ public:
+  void LoadFromDisk() MEDRELAX_BLOCKING;
+  void Peek();
+};
+
+class WorkQueue {
+ public:
+  // Plain handoff: the job runs on a worker, not on the loop.
+  void Submit(std::function<void()> job);
+};
+
+class PollLoop {
+ public:
+  void Post(std::function<void()> task) MEDRELAX_POSTS_TO_LOOP;
+  void OnWake() MEDRELAX_LOOP_THREAD_ONLY {
+    store_.LoadFromDisk();  // EXPECT-LINT: loop-blocking
+  }
+  void OnTimer() MEDRELAX_LOOP_THREAD_ONLY;
+
+  BlockingStore store_;
+};
+
+// Unannotated helper: reachable from OnTimer (loop context), so its
+// blocking call is a finding even though the helper itself is unmarked.
+void DrainHelper(BlockingStore& store) {
+  store.LoadFromDisk();  // EXPECT-LINT: loop-blocking
+}
+
+void PollLoop::OnTimer() {
+  DrainHelper(store_);
+  store_.Peek();  // ok: Peek is not blocking
+}
+
+// A lambda posted to the loop must not block either.
+void PostsBlockingWork(PollLoop& loop, BlockingStore& store) {
+  loop.Post([&store]() {
+    store.LoadFromDisk();  // EXPECT-LINT: loop-blocking
+  });
+}
+
+// Worker context: blocking is the whole point.
+void WorkerRefresh(BlockingStore& store) {
+  store.LoadFromDisk();  // ok: never runs on the loop thread
+}
+
+// A lambda handed to a plain (non-posting) sink runs on a worker.
+void SchedulesOffLoop(WorkQueue& queue, BlockingStore& store) {
+  queue.Submit([&store]() {
+    store.LoadFromDisk();  // ok: Submit is not POSTS_TO_LOOP
+  });
+}
+
+}  // namespace lintfixture

@@ -1,0 +1,35 @@
+// Fixture API surface: declares Status/Result-returning functions so the
+// ignored-status rule has declarations to resolve against. No violations
+// in this file.
+#ifndef MEDRELAX_TESTS_LINT_SELFTEST_SEMANTIC_FIXTURES_STATUS_API_H_
+#define MEDRELAX_TESTS_LINT_SELFTEST_SEMANTIC_FIXTURES_STATUS_API_H_
+
+namespace medrelax {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  const Status& status() const;
+};
+
+Status FlushFixture();
+Status PersistFixture();
+Result<int> CountFixture();
+void ConsumeFixture(Status status);
+
+// A class whose fallible method exercises receiver-typed resolution.
+class FixtureStore {
+ public:
+  Status Flush();
+  void Touch();
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_TESTS_LINT_SELFTEST_SEMANTIC_FIXTURES_STATUS_API_H_

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint/run_semantic_lint.py.
+
+Same contract as tests/lint_selftest/run_lint_selftest.py, applied to the
+semantic pass:
+
+  * Fixture files under semantic/fixtures/ carry EXPECT-LINT /
+    EXPECT-LINT-PREV markers; the runner scans them and demands
+    set-equality between marked and reported (path, line, rule) triples.
+  * semantic/clean/ must scan clean (exit 0, clean banner).
+  * Per-rule disable proof: for every rule the fixtures cover, a scan
+    with `--disable <rule>` must drop exactly that rule's findings — so
+    each fixture demonstrably fails when its rule is turned off, and no
+    rule's findings leak from another rule's logic.
+
+The textual frontend always runs. When clang.cindex is importable (CI
+installs a pinned libclang; the local container has none), the whole
+matrix repeats under --frontend clang and must produce the same sets.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+LINT = os.path.join(REPO, "scripts", "lint", "run_semantic_lint.py")
+FIXTURES_DIR = "tests/lint_selftest/semantic/fixtures"
+CLEAN_DIR = "tests/lint_selftest/semantic/clean"
+
+MARKER_RE = re.compile(r"EXPECT-LINT(?P<prev>-PREV)?:\s*(?P<rule>[a-z\-]+)")
+REPORT_RE = re.compile(
+    r"^(?P<path>[^:\s]+):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\]")
+
+
+def collect_expected():
+    expected = set()
+    root = os.path.join(REPO, FIXTURES_DIR)
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            path = os.path.join(dirpath, name)
+            relpath = os.path.relpath(path, REPO)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f.read().splitlines(), 1):
+                    m = MARKER_RE.search(line)
+                    if m:
+                        target = lineno - 1 if m.group("prev") else lineno
+                        expected.add((relpath, target, m.group("rule")))
+    return expected
+
+
+def run_lint(frontend, scan_dir, disable=None):
+    cmd = [sys.executable, LINT, "--frontend", frontend, "--scan", scan_dir]
+    if disable:
+        cmd += ["--disable", disable]
+    return subprocess.run(cmd, capture_output=True, text=True, cwd=REPO)
+
+
+def reported_set(stdout):
+    actual = set()
+    for line in stdout.splitlines():
+        m = REPORT_RE.match(line)
+        if m:
+            actual.add(
+                (m.group("path"), int(m.group("line")), m.group("rule")))
+    return actual
+
+
+def check_frontend(frontend, expected, failures):
+    tag = f"[{frontend}]"
+
+    proc = run_lint(frontend, FIXTURES_DIR)
+    if proc.returncode != 1:
+        failures.append(
+            f"{tag} fixture scan: expected exit 1, got {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    actual = reported_set(proc.stdout)
+    for item in sorted(expected - actual):
+        failures.append(f"{tag} marked but not reported: %s:%d [%s]" % item)
+    for item in sorted(actual - expected):
+        failures.append(f"{tag} reported but not marked: %s:%d [%s]" % item)
+
+    # Disable proof: dropping one rule must drop exactly its findings.
+    for rule in sorted({r for _, _, r in expected}):
+        sub = run_lint(frontend, FIXTURES_DIR, disable=rule)
+        want = {item for item in expected if item[2] != rule}
+        got = reported_set(sub.stdout)
+        if got != want:
+            missing = sorted(want - got)
+            extra = sorted(got - want)
+            failures.append(
+                f"{tag} --disable {rule}: report set diverged"
+                f" (missing {missing}, extra {extra})")
+        if want and sub.returncode != 1:
+            failures.append(
+                f"{tag} --disable {rule}: expected exit 1, got"
+                f" {sub.returncode}")
+
+    clean = run_lint(frontend, CLEAN_DIR)
+    if clean.returncode != 0:
+        failures.append(
+            f"{tag} clean scan: expected exit 0, got {clean.returncode}\n"
+            f"stdout:\n{clean.stdout}\nstderr:\n{clean.stderr}")
+    elif "clean" not in clean.stderr:
+        failures.append(f"{tag} clean scan did not print the clean banner")
+
+
+def main():
+    failures = []
+
+    expected = collect_expected()
+    if not expected:
+        failures.append("no EXPECT-LINT markers under " + FIXTURES_DIR)
+    rules_covered = sorted({rule for _, _, rule in expected})
+
+    check_frontend("textual", expected, failures)
+
+    try:
+        import clang.cindex  # noqa: F401
+
+        have_clang = True
+    except ImportError:
+        have_clang = False
+    if have_clang:
+        check_frontend("clang", expected, failures)
+
+    if failures:
+        print("semantic_lint_selftest: FAIL")
+        for f in failures:
+            print("  " + f)
+        return 1
+    frontends = "textual+clang" if have_clang else "textual"
+    print(f"semantic_lint_selftest: PASS ({len(expected)} marked violations"
+          f" matched across rules: {', '.join(rules_covered)};"
+          f" frontends: {frontends})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,13 @@
 //       protocol is served to many concurrent sessions over TCP on
 //       127.0.0.1:PORT (PORT 0 = ephemeral; the chosen port is printed
 //       as "ok listening port=N" on stdout). One epoll thread owns all
-//       sockets; RELAX answers are computed by the service workers and
-//       delivered back to the owning connection through the loop's
-//       wakeup queue, so the same scripted session yields byte-identical
-//       transcripts over both transports (scripts/server_smoke.sh diffs
-//       exactly that).
+//       sockets; RELAX answers are computed by the service workers, and
+//       RELOAD rebuilds run on a dedicated reload thread (other sessions
+//       keep answering during a re-ingest); both deliver their replies
+//       back to the owning connection through the loop's wakeup queue,
+//       so the same scripted session yields byte-identical transcripts
+//       over both transports (scripts/server_smoke.sh diffs exactly
+//       that).
 //
 //       Lines starting with '#' and blank lines are ignored, so a
 //       scripted session file can be commented.
@@ -39,15 +41,21 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "medrelax/common/mutex.h"
 #include "medrelax/common/string_util.h"
+#include "medrelax/common/thread_annotations.h"
 #include "medrelax/io/dag_io.h"
 #include "medrelax/io/kb_io.h"
 #include "medrelax/net/event_loop.h"
@@ -95,7 +103,7 @@ size_t SizeFlag(int argc, char** argv, const char* flag, size_t fallback) {
 /// operator can regenerate or hand-edit the world files and hot-swap the
 /// result without restarting the server.
 Result<std::shared_ptr<Snapshot>> BuildSnapshotFromDir(
-    const std::string& dir, const SnapshotOptions& options) {
+    const std::string& dir, const SnapshotOptions& options) MEDRELAX_BLOCKING {
   Result<ConceptDag> dag = LoadDagFromFile(dir + "/eks.tsv");
   if (!dag.ok()) return dag.status();
   Result<KnowledgeBase> kb = LoadKbFromFile(dir + "/kb.tsv");
@@ -109,6 +117,91 @@ struct ServerState {
   RelaxationService& service;
   std::string dir;
   SnapshotOptions snapshot_options;
+};
+
+/// Runs one RELOAD end-to-end — re-read <dir> from disk, rerun the
+/// offline phase, publish — and renders the protocol reply. Both
+/// transports produce their RELOAD replies through this one function, so
+/// the transcripts cannot drift. MEDRELAX_BLOCKING: the rebuild is
+/// seconds of CPU at scale; the TCP transport runs it on the
+/// ReloadExecutor thread, never on the event loop.
+std::string DoReload(ServerState& state) MEDRELAX_BLOCKING {
+  // Test hook: scripts/server_smoke.sh stretches the rebuild window to
+  // prove other sessions keep answering while a RELOAD is in flight.
+  if (const char* delay_ms = std::getenv("MEDRELAX_RELOAD_TEST_DELAY_MS")) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::strtoul(delay_ms, nullptr, 10)));
+  }
+  Result<std::shared_ptr<Snapshot>> reloaded =
+      BuildSnapshotFromDir(state.dir, state.snapshot_options);
+  if (!reloaded.ok()) {
+    return StrFormat("err %s\n", reloaded.status().ToString().c_str());
+  }
+  const uint64_t generation =
+      state.service.PublishSnapshot(std::move(*reloaded));
+  return StrFormat("ok reload gen=%llu\n",
+                   static_cast<unsigned long long>(generation));
+}
+
+/// One dedicated worker draining RELOAD jobs, so a rebuild borrows no
+/// RelaxationService worker (with --workers 1 the single query worker
+/// would otherwise stall every session's RELAX behind the rebuild) and
+/// never touches the service's queue bound or counters. A deque, not a
+/// single slot: pile-up is bounded by the number of paused connections,
+/// each of which can have at most one RELOAD in flight.
+class ReloadExecutor {
+ public:
+  ReloadExecutor() : worker_([this] { WorkerLoop(); }) {}
+
+  /// Drains queued jobs, then joins. Runs after EventLoop::Run has
+  /// returned (declaration order in RunTcpServer), so in-flight replies
+  /// still Post() safely into the outlived-but-stopped loop.
+  ~ReloadExecutor() {
+    {
+      MutexLock lock(mu_);
+      stopped_ = true;
+    }
+    cv_.NotifyOne();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  ReloadExecutor(const ReloadExecutor&) = delete;
+  ReloadExecutor& operator=(const ReloadExecutor&) = delete;
+
+  /// Enqueues `job` for the worker. Never blocks beyond the push: safe
+  /// to call from the event loop.
+  void Submit(std::function<void()> job) MEDRELAX_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      queue_.push_back(std::move(job));
+    }
+    cv_.NotifyOne();
+  }
+
+ private:
+  void WorkerLoop() MEDRELAX_EXCLUDES(mu_) {
+    for (;;) {
+      std::function<void()> job;
+      {
+        MutexLock lock(mu_);
+        while (queue_.empty() && !stopped_) cv_.Wait(mu_);
+        if (queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      // Invoked with no lock held: jobs block for seconds by design, and
+      // their completion lambdas must be free to take their own locks.
+      job();
+    }
+  }
+
+  Mutex mu_{"ReloadExecutor::mu"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ MEDRELAX_GUARDED_BY(mu_);
+  bool stopped_ MEDRELAX_GUARDED_BY(mu_) = false;
+  /// Touched only by the constructor and the destructor's join, both on
+  /// the owning thread.
+  std::thread worker_;  // lint:allow(guarded-by) ctor/join only
 };
 
 std::string FormatOutcome(const Snapshot& snap, const RelaxResponse& response,
@@ -179,9 +272,11 @@ std::string ParseRelaxLine(RelaxationService& service, std::istringstream& in,
   return "";
 }
 
-/// Answers every verb except RELAX and QUIT (whose handling is
-/// transport-specific). Shared verbatim between the stdin and TCP
-/// transports so their transcripts cannot drift apart.
+/// Answers the quick control verbs — everything except RELAX, RELOAD
+/// and QUIT, whose handling is transport-specific. Nothing here blocks
+/// (snapshot reads and counter formatting only), so the TCP transport
+/// answers these inline on the event loop. Shared verbatim between the
+/// stdin and TCP transports so their transcripts cannot drift apart.
 std::string HandleControlVerb(ServerState& state, const std::string& verb,
                               std::istringstream& in) {
   (void)in;  // no control verb takes arguments today
@@ -199,17 +294,6 @@ std::string HandleControlVerb(ServerState& state, const std::string& verb,
     return StrFormat("ok gen=%llu\n",
                      static_cast<unsigned long long>(
                          state.service.snapshot()->generation()));
-  }
-  if (verb == "RELOAD") {
-    Result<std::shared_ptr<Snapshot>> reloaded =
-        BuildSnapshotFromDir(state.dir, state.snapshot_options);
-    if (!reloaded.ok()) {
-      return StrFormat("err %s\n", reloaded.status().ToString().c_str());
-    }
-    const uint64_t generation =
-        state.service.PublishSnapshot(std::move(*reloaded));
-    return StrFormat("ok reload gen=%llu\n",
-                     static_cast<unsigned long long>(generation));
   }
   if (verb == "STATS") {
     return StrFormat("ok stats\n%send\n",
@@ -229,6 +313,9 @@ std::string ServingBanner(const RelaxationService& service,
 }
 
 /// The stdin/stdout transport: one synchronous session on this thread.
+/// RELOAD runs inline — with a single client there is nobody else to
+/// keep serving, and the synchronous reply keeps the scripted-session
+/// transcript byte-identical to the TCP transport's.
 int RunStdioSession(ServerState& state) {
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -239,6 +326,11 @@ int RunStdioSession(ServerState& state) {
     if (verb == "QUIT") {
       std::printf("ok bye\n");
       break;
+    }
+    if (verb == "RELOAD") {
+      std::fputs(DoReload(state).c_str(), stdout);
+      std::fflush(stdout);
+      continue;
     }
     if (verb == "RELAX") {
       RelaxRequest request;
@@ -267,17 +359,28 @@ int RunStdioSession(ServerState& state) {
 /// connection may be gone — ids, unlike pointers, fail safely).
 ///
 /// Per-session command order is preserved by pausing the connection
-/// while a RELAX is in flight: later pipelined commands wait in the
-/// buffers until the answer is on the wire. Different sessions proceed
-/// concurrently — that is the point of the frontend.
+/// while a RELAX or RELOAD is in flight: later pipelined commands wait
+/// in the buffers until the answer is on the wire. Different sessions
+/// proceed concurrently — that is the point of the frontend. RELOAD
+/// follows the same shape as RELAX but runs on the dedicated
+/// ReloadExecutor thread: the rebuild never blocks the event loop (every
+/// other session keeps answering) and never occupies a query worker.
+///
+/// MEDRELAX_LOOP_THREAD_ONLY: EventLoop::Run turns the calling thread
+/// into the loop thread, so everything this function touches after
+/// setup runs under loop affinity.
 int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
-                 uint16_t port, size_t max_conns, size_t max_line) {
+                 uint16_t port, size_t max_conns,
+                 size_t max_line) MEDRELAX_LOOP_THREAD_ONLY {
   net::EventLoop loop;
   if (!loop.ok()) {
     std::fprintf(stderr, "event loop init failed (epoll/eventfd)\n");
     return 1;
   }
   net::LineServer server(loop);
+  // Declared after loop and server: destroyed (drained + joined) first,
+  // so a reload finishing during shutdown still Posts into a live loop.
+  ReloadExecutor reload_executor;
 
   net::LineServerOptions options;
   options.port = port;
@@ -285,8 +388,8 @@ int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
   if (max_line != 0) options.limits.max_line_bytes = max_line;
   options.greeting = ServingBanner(state.service, service_options);
 
-  auto on_line = [&state, &loop, &server](net::Connection& conn,
-                                          std::string line) {
+  auto on_line = [&state, &loop, &server, &reload_executor](
+                     net::Connection& conn, std::string line) {
     if (line.empty() || line[0] == '#') return;
     std::istringstream in(line);
     std::string verb;
@@ -294,6 +397,23 @@ int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
     if (verb == "QUIT") {
       conn.Send("ok bye\n");
       conn.CloseAfterFlush();
+      return;
+    }
+    if (verb == "RELOAD") {
+      // Same pause-then-post shape as RELAX below, but the heavy work
+      // runs on the reload thread: this session waits for its answer,
+      // every other session keeps being served by the loop meanwhile.
+      conn.Pause();
+      const uint64_t conn_id = conn.id();
+      reload_executor.Submit([&state, &loop, &server, conn_id]() {
+        std::string reply = DoReload(state);
+        loop.Post([&server, conn_id, reply = std::move(reply)]() {
+          net::Connection* target = server.Find(conn_id);
+          if (target == nullptr) return;  // client disconnected mid-flight
+          target->Send(reply);
+          target->Resume();
+        });
+      });
       return;
     }
     if (verb != "RELAX") {
@@ -393,6 +513,7 @@ int RunServe(int argc, char** argv) {
         static_cast<uint16_t>(SizeFlag(argc, argv, "--listen", 0));
     const size_t max_conns = SizeFlag(argc, argv, "--max-conns", 64);
     const size_t max_line = SizeFlag(argc, argv, "--max-line", 0);
+    // lint:allow(loop-affinity) EventLoop::Run makes this thread the loop
     return RunTcpServer(state, service_options, port, max_conns, max_line);
   }
 
