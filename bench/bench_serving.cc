@@ -7,12 +7,22 @@
 //     the steady state of a production mix dominated by repeated
 //     near-identical queries. The warm/cold ratio is the headline number;
 //     the serving layer targets >= 5x.
+//   * BM_ServingDuplicateHeavy — cache disabled, every request hits the
+//     same key: the single-flight + batch-drain path. The counter
+//     requests_per_invocation (completed / relaxer invocations) is the
+//     coalescing headline; the serving layer targets >= 5x.
+//   * BM_ServingSameContextBatch — cache disabled, pool cycled so each
+//     key repeats within a burst: batch drain groups same-context
+//     requests through one shared-frontier RelaxBatch pass.
 //
-// Both run closed-loop (submit a batch, wait for every future) over
-// 1/2/4 workers. Worker threads do the serving, so wall time is the
+// All run closed-loop (submit a batch, wait for every future) over
+// worker-count args. Worker threads do the serving, so wall time is the
 // meaningful axis: UseRealTime(). Pre-1.8 google-benchmark binary — pass
 // plain-double --benchmark_min_time=0.05 and filter with
 // --benchmark_filter='BM_Serving(Cold|Warm)/...'.
+//
+// Cold/Warm pin max_batch = 1 so their numbers keep meaning "per-request
+// cost without coalescing" across the introduction of batch drain.
 
 #include <future>
 #include <memory>
@@ -95,6 +105,7 @@ void RunServingBench(benchmark::State& state, bool warm_cache) {
   options.num_workers = static_cast<unsigned>(state.range(0));
   options.queue_capacity = 4 * kBatch;
   options.cache.capacity = warm_cache ? 4096 : 0;
+  options.max_batch = 1;  // measure uncoalesced per-request cost
   RelaxationService service(snap, options);
   if (warm_cache) ServeBatch(service, pool, 0);  // populate every key
 
@@ -107,6 +118,67 @@ void RunServingBench(benchmark::State& state, bool warm_cache) {
                           static_cast<int64_t>(kBatch));
   state.SetLabel(warm_cache ? "cache=warm" : "cache=off");
 }
+
+// Duplicate-heavy / same-context mixes: cache disabled so every saved
+// relaxation is attributable to single-flight coalescing or batch drain,
+// not the result cache. With the cache off, cache_misses counts exactly
+// the requests that reached the relaxer (group leaders), so
+//   requests_per_invocation = completed / cache_misses
+// is the coalescing ratio the serving layer gates on (>= 5x).
+void RunCoalescingBench(benchmark::State& state, size_t pool_stride) {
+  std::shared_ptr<Snapshot> snap = SharedSnapshot();
+  if (snap == nullptr) {
+    state.SkipWithError("snapshot build failed");
+    return;
+  }
+  std::vector<ConceptId> pool = QueryPool(*snap);
+  if (pool.empty()) {
+    state.SkipWithError("no flagged query pool");
+    return;
+  }
+  if (pool_stride < pool.size()) pool.resize(pool_stride);
+
+  ServiceOptions options;
+  options.num_workers = static_cast<unsigned>(state.range(0));
+  options.queue_capacity = 4 * kBatch;
+  options.cache.capacity = 0;   // isolate coalescing from caching
+  options.max_batch = kBatch;   // drain whole bursts in one pass
+  RelaxationService service(snap, options);
+
+  for (auto _ : state) {
+    ServeBatch(service, pool, 0);  // fixed offset: bursts repeat keys
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+  state.counters["relaxer_invocations"] =
+      benchmark::Counter(static_cast<double>(stats.cache_misses),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["requests_per_invocation"] =
+      stats.cache_misses > 0 ? static_cast<double>(stats.completed) /
+                                   static_cast<double>(stats.cache_misses)
+                             : 0.0;
+  state.SetLabel(pool_stride == 1 ? "mix=duplicate-heavy"
+                                  : "mix=same-context");
+}
+
+void BM_ServingDuplicateHeavy(benchmark::State& state) {
+  RunCoalescingBench(state, /*pool_stride=*/1);  // one hot key
+}
+BENCHMARK(BM_ServingDuplicateHeavy)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServingSameContextBatch(benchmark::State& state) {
+  RunCoalescingBench(state, /*pool_stride=*/8);  // 8 keys x 8 repeats
+}
+BENCHMARK(BM_ServingSameContextBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ServingCold(benchmark::State& state) {
   RunServingBench(state, /*warm_cache=*/false);

@@ -7,9 +7,12 @@
 # transcript — the TCP frontend must be byte-identical to the stdin
 # path. Then run short closed-loop load bursts on both transports (only
 # the deterministic first line is checked — throughput is
-# machine-dependent and goes to stderr anyway), and prove RELOAD's
+# machine-dependent and goes to stderr anyway), prove RELOAD's
 # re-ingest runs off the epoll thread: with the rebuild padded to 2s a
-# concurrent session must keep answering in well under 1s.
+# concurrent session must keep answering in well under 1s, and finally
+# fire a duplicate-heavy --replay burst at a compute-padded server to
+# assert the single-flight table coalesces identical in-flight misses
+# (STATS must report coalesced_hits > 0).
 #
 # Usage: scripts/server_smoke.sh   (MEDRELAX_BUILD_DIR overrides ./build)
 set -euo pipefail
@@ -162,6 +165,59 @@ fi
 if (( ELAPSED_MS >= 1000 )); then
   echo "server_smoke: probe during RELOAD took ${ELAPSED_MS}ms —" \
        "the 2s rebuild pad leaked onto the serving path" >&2
+  exit 1
+fi
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+# --- Duplicate burst exercises single-flight coalescing ---------------
+# Fresh server with the test-only compute delay armed: every group
+# leader's relaxation is padded by 250ms, so the 8 replay sessions all
+# firing the same keys are guaranteed to overlap on identical in-flight
+# misses. The STATS probe afterwards must show coalesced_hits > 0 — if
+# the single-flight table stops deduplicating, every duplicate recomputes
+# and the counter stays 0.
+MEDRELAX_COMPUTE_TEST_DELAY_MS=250 \
+  "${SERVER}" serve "${WORLD}" --exact --workers 2 --listen 0 \
+  > "${WORK}/server3.stdout" 2> "${WORK}/server3.stderr" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^ok listening port=\([0-9][0-9]*\)$/\1/p' \
+         "${WORK}/server3.stdout")
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server_smoke: duplicate-burst server exited before listening" >&2
+    cat "${WORK}/server3.stderr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "server_smoke: duplicate-burst server never announced its port" >&2
+  exit 1
+fi
+
+# Session replay dominated by repeated keys: the whole point of --replay.
+cat > "${WORK}/replay.txt" <<'EOF'
+# duplicate-heavy mix for the coalescing smoke stage
+RELAX disorder of kidney
+RELAX disorder of kidney
+RELAX k=3 disorder of kidney
+EOF
+"${CLIENT}" load "${PORT}" --requests 64 --connections 8 \
+  --replay "${WORK}/replay.txt" > "${WORK}/dup_load.out" 2>/dev/null
+grep -q '^ok load requests=64 answered=64 errors=0$' "${WORK}/dup_load.out"
+
+printf 'STATS\nQUIT\n' | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/dup_stats.out"
+if ! grep -q '^coalesced_hits=[1-9]' "${WORK}/dup_stats.out"; then
+  echo "server_smoke: duplicate burst produced no coalesced hits —" \
+       "single-flight dedup is not engaging:" >&2
+  cat "${WORK}/dup_stats.out" >&2
   exit 1
 fi
 

@@ -190,6 +190,20 @@ std::vector<RelaxationOutcome> QueryRelaxer::RelaxBatch(
   return outcomes;
 }
 
+std::vector<RelaxationOutcome> QueryRelaxer::RelaxBatch(
+    std::span<const PreparedQuery> queries) const {
+  std::vector<RelaxationOutcome> outcomes;
+  outcomes.reserve(queries.size());
+  GeometryEngine engine(eks_);
+  for (const PreparedQuery& query : queries) {
+    const size_t k =
+        query.top_k != 0 ? query.top_k : relaxation_options_.top_k;
+    outcomes.push_back(
+        RelaxWithEngine(query.concept_id, query.context, k, engine));
+  }
+  return outcomes;
+}
+
 size_t QueryRelaxer::PrecomputeSimilarities() const {
   if (!similarity_.options().memoize_geometry) return 0;
   const std::vector<bool>& flagged = ingestion_->flagged;

@@ -62,6 +62,16 @@ struct ConceptQuery {
   ContextId context = kNoContext;
 };
 
+/// An already-resolved, already-validated query with its effective k, the
+/// unit the serving layer's same-context batch drain hands to RelaxBatch
+/// below (docs/SERVING.md "Coalescing & batching").
+struct PreparedQuery {
+  ConceptId concept_id = kInvalidConcept;
+  ContextId context = kNoContext;
+  /// 0 = the relaxer's configured top_k.
+  size_t top_k = 0;
+};
+
 /// The online query relaxation engine (Algorithm 2 + Equation 5).
 ///
 /// Borrows the external DAG (with shortcut edges applied), the ingestion
@@ -103,6 +113,15 @@ class QueryRelaxer {
   /// one GeometryEngine across its share of the batch.
   [[nodiscard]] std::vector<RelaxationOutcome> RelaxBatch(
       std::span<const ConceptQuery> queries, unsigned num_threads = 0) const;
+
+  /// Serving-drain form: relaxes the prepared queries sequentially on the
+  /// calling thread through ONE shared GeometryEngine, so a drained group
+  /// of same-context (often same-concept) requests shares the upward
+  /// sweep instead of paying one per request — the engine's SetSource
+  /// early-out makes consecutive duplicates nearly free. Outcomes are in
+  /// input order and identical to per-query RelaxConceptWithK calls.
+  [[nodiscard]] std::vector<RelaxationOutcome> RelaxBatch(
+      std::span<const PreparedQuery> queries) const;
 
   /// Offline pre-computation (Section 5.2: the online phase "retrieves
   /// the pre-computed similarity between A and each external concept in

@@ -1,7 +1,9 @@
 #include "medrelax/serve/relaxation_service.h"
 
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "medrelax/common/string_util.h"
 
@@ -45,6 +47,19 @@ std::future<Result<RelaxResponse>> RelaxationService::Submit(
 }
 
 void RelaxationService::SubmitAsync(RelaxRequest request, RelaxCallback done) {
+  // A negative timeout is a caller bug, not "unset": silently substituting
+  // the default deadline would serve a request the client believes already
+  // expired. Reject before admission; no queue slot is consumed.
+  if (request.timeout < Clock::duration::zero()) {
+    stats_.RecordFailed();
+    done(Status::InvalidArgument(StrFormat(
+        "timeout must be non-negative (got %lld ns)",
+        static_cast<long long>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                request.timeout)
+                .count()))));
+    return;
+  }
   const Clock::time_point now = Clock::now();
   Clock::time_point deadline = Clock::time_point::max();
   if (request.timeout > Clock::duration::zero()) {
@@ -119,6 +134,35 @@ void RelaxationService::WorkerLoop() {
 }
 
 void RelaxationService::Serve(PendingRequest pending) {
+  // Pin the snapshot for the whole request (and for everything a batch
+  // drain pulls along): a concurrent PublishSnapshot must never switch
+  // the DAG under a half-served query, and sharing one pin is what makes
+  // a drained group's (options fingerprint, generation) uniform.
+  std::shared_ptr<const Snapshot> snap = registry_.Current();
+
+  std::optional<ComputeItem> leader = Prepare(std::move(pending), *snap);
+  if (!leader.has_value()) return;
+
+  std::vector<ComputeItem> group;
+  group.push_back(std::move(*leader));
+  if (options_.max_batch > 1) {
+    // The leader needs relaxer work anyway; greedily pull queued requests
+    // of the same context into its shared-frontier pass. Each drained
+    // request still gets the full admission treatment (deadline at this
+    // dequeue, resolution, cache, single-flight) — duplicates of the
+    // leader's key attach as its followers, new keys become co-leaders.
+    for (PendingRequest& extra :
+         DrainSameContext(group.front().pending.request.context,
+                          options_.max_batch - 1)) {
+      std::optional<ComputeItem> item = Prepare(std::move(extra), *snap);
+      if (item.has_value()) group.push_back(std::move(*item));
+    }
+  }
+  ComputeGroup(*snap, std::move(group));
+}
+
+std::optional<RelaxationService::ComputeItem> RelaxationService::Prepare(
+    PendingRequest pending, const Snapshot& snap) {
   const Clock::time_point start = Clock::now();
   // Fail fast on requests that aged out while queued: no relaxation work,
   // and the client learns immediately instead of receiving a late answer.
@@ -127,63 +171,144 @@ void RelaxationService::Serve(PendingRequest pending) {
     pending.done(Status::DeadlineExceeded(StrFormat(
         "deadline passed %zu us before service",
         static_cast<size_t>(ElapsedNs(pending.deadline, start) / 1000))));
-    return;
+    return std::nullopt;
   }
-
-  // Pin the snapshot for the whole request: a concurrent PublishSnapshot
-  // must never switch the DAG under a half-served query.
-  std::shared_ptr<const Snapshot> snap = registry_.Current();
 
   ConceptId concept_id = pending.request.concept_id;
   if (concept_id == kInvalidConcept) {
     std::optional<ConceptMatch> match =
-        snap->mapper().Map(pending.request.term);
+        snap.mapper().Map(pending.request.term);
     if (!match.has_value()) {
       stats_.RecordFailed();
       pending.done(Status::NotFound(StrFormat(
           "query term '%s' has no corresponding external concept",
           pending.request.term.c_str())));
-      return;
+      return std::nullopt;
     }
     concept_id = match->id;
   }
-  if (concept_id >= snap->dag().num_concepts()) {
+  if (concept_id >= snap.dag().num_concepts()) {
     stats_.RecordFailed();
     pending.done(Status::InvalidArgument(StrFormat(
         "concept id %zu out of range", static_cast<size_t>(concept_id))));
-    return;
+    return std::nullopt;
   }
   if (pending.request.context != kNoContext &&
-      pending.request.context >= snap->ingestion().contexts.size()) {
+      pending.request.context >= snap.ingestion().contexts.size()) {
     stats_.RecordFailed();
     pending.done(Status::InvalidArgument(StrFormat(
         "context id %zu out of range",
         static_cast<size_t>(pending.request.context))));
-    return;
+    return std::nullopt;
   }
 
   const size_t k = pending.request.top_k != 0
                        ? pending.request.top_k
-                       : snap->relaxer().options().top_k;
+                       : snap.relaxer().options().top_k;
   const CacheKey key{concept_id, pending.request.context,
-                     static_cast<uint64_t>(k), snap->options_fingerprint(),
-                     snap->generation()};
+                     static_cast<uint64_t>(k), snap.options_fingerprint(),
+                     snap.generation()};
 
-  RelaxResponse response;
-  response.generation = snap->generation();
-  response.outcome = cache_.Lookup(key);
-  response.cache_hit = response.outcome != nullptr;
-  if (!response.cache_hit) {
-    auto outcome = std::make_shared<RelaxationOutcome>(
-        snap->relaxer().RelaxConceptWithK(concept_id,
-                                          pending.request.context, k));
-    stats_.RecordRelaxStats(outcome->stats);
-    response.outcome = std::move(outcome);
-    cache_.Insert(key, response.outcome);
+  if (std::shared_ptr<const RelaxationOutcome> cached = cache_.Lookup(key)) {
+    RelaxResponse response;
+    response.outcome = std::move(cached);
+    response.generation = snap.generation();
+    response.cache_hit = true;
+    response.latency_ns = ElapsedNs(pending.enqueued_at, Clock::now());
+    stats_.RecordCompleted(/*cache_hit=*/true, response.latency_ns);
+    pending.done(std::move(response));
+    return std::nullopt;
   }
-  response.latency_ns = ElapsedNs(pending.enqueued_at, Clock::now());
-  stats_.RecordCompleted(response.cache_hit, response.latency_ns);
-  pending.done(std::move(response));
+
+  // Single-flight: if an identical computation is already in flight,
+  // attach to it — the leader fans the outcome out when it lands. The
+  // generation inside the key keeps this swap-safe: a request admitted
+  // after PublishSnapshot pins the new snapshot, computes a new-generation
+  // key, and can never attach to (or be fanned) a stale result.
+  {
+    MutexLock lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      stats_.RecordCoalesced();
+      it->second.push_back(std::move(pending));
+      return std::nullopt;
+    }
+    inflight_.emplace(key, std::vector<PendingRequest>{});
+    stats_.RecordInflightDepth(inflight_.size());
+  }
+  return ComputeItem{std::move(pending), key, k};
+}
+
+std::vector<RelaxationService::PendingRequest>
+RelaxationService::DrainSameContext(ContextId context, size_t limit) {
+  std::vector<PendingRequest> drained;
+  if (limit == 0) return drained;
+  MutexLock lock(queue_mu_);
+  for (auto it = queue_.begin();
+       it != queue_.end() && drained.size() < limit;) {
+    if (it->request.context == context) {
+      drained.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return drained;
+}
+
+void RelaxationService::ComputeGroup(const Snapshot& snap,
+                                     std::vector<ComputeItem> group) {
+  if (options_.pre_compute_hook_for_test) options_.pre_compute_hook_for_test();
+
+  std::vector<PreparedQuery> queries;
+  queries.reserve(group.size());
+  for (const ComputeItem& item : group) {
+    queries.push_back(
+        PreparedQuery{item.key.concept_id, item.key.context, item.k});
+  }
+  // One shared GeometryEngine across the group: same-context (often
+  // same-concept) queries reuse the frontier sweep.
+  std::vector<RelaxationOutcome> outcomes = snap.relaxer().RelaxBatch(
+      std::span<const PreparedQuery>(queries));
+
+  for (size_t i = 0; i < group.size(); ++i) {
+    auto outcome =
+        std::make_shared<const RelaxationOutcome>(std::move(outcomes[i]));
+    stats_.RecordRelaxStats(outcome->stats);
+    cache_.Insert(group[i].key, outcome);
+    // Detach the followers only after the cache insert: a racer that
+    // misses the cache before the insert and checks the table after the
+    // erase merely recomputes — it can never be stranded.
+    std::vector<PendingRequest> followers;
+    {
+      MutexLock lock(inflight_mu_);
+      auto it = inflight_.find(group[i].key);
+      if (it != inflight_.end()) {
+        followers = std::move(it->second);
+        inflight_.erase(it);
+      }
+    }
+
+    RelaxResponse response;
+    response.outcome = outcome;
+    response.generation = snap.generation();
+    response.cache_hit = false;
+    response.latency_ns = ElapsedNs(group[i].pending.enqueued_at,
+                                    Clock::now());
+    stats_.RecordCompleted(/*cache_hit=*/false, response.latency_ns);
+    group[i].pending.done(std::move(response));
+
+    for (PendingRequest& follower : followers) {
+      RelaxResponse fanned;
+      fanned.outcome = outcome;
+      fanned.generation = snap.generation();
+      fanned.cache_hit = true;
+      fanned.coalesced = true;
+      fanned.latency_ns = ElapsedNs(follower.enqueued_at, Clock::now());
+      stats_.RecordCompleted(/*cache_hit=*/true, fanned.latency_ns);
+      follower.done(std::move(fanned));
+    }
+  }
 }
 
 uint64_t RelaxationService::PublishSnapshot(

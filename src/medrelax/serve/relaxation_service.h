@@ -7,8 +7,10 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "medrelax/common/mutex.h"
@@ -33,6 +35,21 @@ struct ServiceOptions {
   std::chrono::milliseconds default_deadline{0};
   /// Result-cache sizing; capacity 0 disables caching entirely.
   ResultCacheOptions cache;
+  /// Same-context batch drain: a worker that dequeues a request needing
+  /// relaxer work may greedily pull up to `max_batch - 1` additional
+  /// queued requests with the same context and serve the whole group
+  /// through one shared-frontier QueryRelaxer::RelaxBatch pass. The
+  /// group shares one pinned snapshot, so (options fingerprint,
+  /// generation) are uniform by construction. 0 or 1 disables draining
+  /// (strict request-at-a-time dequeue).
+  size_t max_batch = 8;
+  /// Test-only seam: when set, runs on the serving thread after a group's
+  /// in-flight entries are claimed and before the relaxer runs. Lets the
+  /// concurrency tests (and the smoke script, via
+  /// MEDRELAX_COMPUTE_TEST_DELAY_MS in medrelax_server) hold a leader
+  /// mid-computation so followers deterministically attach. Copied at
+  /// construction; never invoked under a service lock.
+  std::function<void()> pre_compute_hook_for_test;
 };
 
 /// One relaxation request. Either a surface `term` (resolved through the
@@ -57,6 +74,10 @@ struct RelaxResponse {
   /// Generation of the snapshot that answered.
   uint64_t generation = 0;
   bool cache_hit = false;
+  /// True when this answer was fanned out from an identical in-flight
+  /// computation (single-flight dedup). Coalesced answers also count as
+  /// cache hits: the client paid zero relaxer work.
+  bool coalesced = false;
   /// Submit-to-answer wall time.
   uint64_t latency_ns = 0;
 };
@@ -80,6 +101,11 @@ using RelaxCallback = std::function<void(Result<RelaxResponse>)>;
 ///   * Result caching: answers are cached per (concept, context, k,
 ///     options fingerprint, snapshot generation); repeated near-identical
 ///     queries — the dominant relaxation workload shape — cost one lookup.
+///   * Coalescing: concurrent identical misses are deduplicated through a
+///     single-flight in-flight table (one leader computes, followers
+///     attach and are fanned the shared outcome), and a worker may drain
+///     queued same-context requests into one shared-frontier RelaxBatch
+///     pass (ServiceOptions::max_batch; docs/SERVING.md).
 ///   * Hot snapshot swap: PublishSnapshot atomically replaces the serving
 ///     bundle; in-flight queries finish on the snapshot they started with,
 ///     and the generation-scoped cache keys make stale entries
@@ -119,8 +145,10 @@ class RelaxationService {
   [[nodiscard]] Result<RelaxResponse> Relax(RelaxRequest request)
       MEDRELAX_BLOCKING;
 
-  /// Dequeues and serves one request on the calling thread; false when the
-  /// queue is empty. The pump primitive behind num_workers = 0.
+  /// Dequeues and serves one request on the calling thread (plus any
+  /// same-context requests a batch drain pulls along, when max_batch > 1);
+  /// false when the queue is empty. The pump primitive behind
+  /// num_workers = 0.
   bool RunOnce() MEDRELAX_EXCLUDES(queue_mu_);
 
   /// Atomically publishes `snapshot` as the new serving state and returns
@@ -158,12 +186,42 @@ class RelaxationService {
     RelaxCallback done;
   };
 
+  /// A request that survived the admission-side phases (deadline, term
+  /// resolution, validation, cache, single-flight) and owns the in-flight
+  /// entry under `key`: its relaxer work still has to run.
+  struct ComputeItem {
+    PendingRequest pending;
+    CacheKey key;
+    /// Effective top-k (explicit or the snapshot default).
+    size_t k = 0;
+  };
+
   void WorkerLoop() MEDRELAX_EXCLUDES(queue_mu_);
   /// Serves one dequeued request end-to-end (deadline check, term
-  /// resolution, cache, relaxation) and fulfills its promise. Runs
-  /// lock-free: the serve path never holds queue_mu_ while it touches the
-  /// registry, the cache, or the relaxer (docs/CONCURRENCY.md).
+  /// resolution, cache, single-flight attach, same-context batch drain,
+  /// relaxation, fan-out) and fulfills its promise. Runs one-lock-at-a-
+  /// time: the serve path never holds queue_mu_ or inflight_mu_ while it
+  /// touches the registry, the cache, or the relaxer
+  /// (docs/CONCURRENCY.md).
   void Serve(PendingRequest pending) MEDRELAX_EXCLUDES(queue_mu_);
+  /// Admission-side phases for one dequeued request against the pinned
+  /// `snap`. Returns the compute item when this request became the leader
+  /// of a new in-flight computation; nullopt when it was fully resolved
+  /// here (typed error, cache hit, or coalesced onto an existing leader).
+  std::optional<ComputeItem> Prepare(PendingRequest pending,
+                                     const Snapshot& snap)
+      MEDRELAX_EXCLUDES(inflight_mu_);
+  /// Greedily extracts up to `limit` queued requests whose context equals
+  /// `context`, preserving the relative order of everything left behind.
+  std::vector<PendingRequest> DrainSameContext(ContextId context,
+                                               size_t limit)
+      MEDRELAX_EXCLUDES(queue_mu_);
+  /// Runs the relaxer once over the whole group (one shared frontier),
+  /// then per item: caches the outcome, resolves the leader, and fans the
+  /// same outcome out to every follower that attached while it computed.
+  /// All callbacks are invoked with no service lock held.
+  void ComputeGroup(const Snapshot& snap, std::vector<ComputeItem> group)
+      MEDRELAX_EXCLUDES(inflight_mu_);
 
   const ServiceOptions options_;
   // Each of these synchronizes internally; no member of this class is read
@@ -176,6 +234,13 @@ class RelaxationService {
   CondVar queue_cv_;
   std::deque<PendingRequest> queue_ MEDRELAX_GUARDED_BY(queue_mu_);
   bool stopped_ MEDRELAX_GUARDED_BY(queue_mu_) = false;
+  /// Single-flight rendezvous: key -> followers waiting on the leader
+  /// that owns the entry. Present key = computation in flight. Like every
+  /// serving-layer lock, inflight_mu_ is never held together with another
+  /// lock — and never while a callback runs (docs/CONCURRENCY.md).
+  mutable Mutex inflight_mu_{"RelaxationService::inflight_mu"};
+  std::unordered_map<CacheKey, std::vector<PendingRequest>, CacheKeyHash>
+      inflight_ MEDRELAX_GUARDED_BY(inflight_mu_);
   /// Touched only before the workers start (constructor) and after they
   /// stop (Shutdown's join), both on the owning thread.
   std::vector<std::thread> workers_;  // lint:allow(guarded-by) ctor/join only

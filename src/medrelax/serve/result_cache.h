@@ -37,6 +37,15 @@ struct CacheKey {
 /// the shard.
 [[nodiscard]] uint64_t HashCacheKey(const CacheKey& key);
 
+/// Hash functor over CacheKey for unordered containers keyed by answer
+/// identity — the cache shards below and the service's single-flight
+/// in-flight table share it.
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    return static_cast<size_t>(HashCacheKey(key));
+  }
+};
+
 /// Order-insensitive fingerprint of the knobs that shape an answer.
 [[nodiscard]] uint64_t FingerprintOptions(const RelaxationOptions& relaxation,
                                           const SimilarityOptions& similarity);
@@ -95,11 +104,6 @@ class ResultCache {
   [[nodiscard]] size_t num_shards() const { return shards_.size(); }
 
  private:
-  struct KeyHash {
-    size_t operator()(const CacheKey& key) const {
-      return static_cast<size_t>(HashCacheKey(key));
-    }
-  };
   struct Entry {
     CacheKey key;
     std::shared_ptr<const RelaxationOutcome> outcome;
@@ -110,8 +114,8 @@ class ResultCache {
     mutable Mutex mu{"ResultCache::Shard::mu"};
     /// Front = most recently used; back = eviction candidate.
     std::list<Entry> lru MEDRELAX_GUARDED_BY(mu);
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
-        MEDRELAX_GUARDED_BY(mu);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index MEDRELAX_GUARDED_BY(mu);
   };
 
   [[nodiscard]] Shard& ShardFor(const CacheKey& key) {

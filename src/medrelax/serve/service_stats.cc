@@ -47,6 +47,18 @@ void ServiceStats::RecordCompleted(bool cache_hit, uint64_t latency_ns) {
       1, std::memory_order_relaxed);
 }
 
+void ServiceStats::RecordCoalesced() {
+  coalesced_hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceStats::RecordInflightDepth(size_t depth) {
+  uint64_t now = static_cast<uint64_t>(depth);
+  uint64_t seen = inflight_peak_.load(std::memory_order_relaxed);
+  while (now > seen && !inflight_peak_.compare_exchange_weak(
+                           seen, now, std::memory_order_relaxed)) {
+  }
+}
+
 void ServiceStats::RecordRelaxStats(const RelaxStats& stats) {
   MutexLock lock(relax_mu_);
   relax_totals_.Accumulate(stats);
@@ -72,8 +84,8 @@ void ServiceStats::RecordConnectionRejected() {
   connections_rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ServiceStats::RecordLineRejected() {
-  lines_rejected_.fetch_add(1, std::memory_order_relaxed);
+void ServiceStats::RecordLineRejected(uint64_t count) {
+  lines_rejected_.fetch_add(count, std::memory_order_relaxed);
 }
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
@@ -82,6 +94,8 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.coalesced_hits = coalesced_hits_.load(std::memory_order_relaxed);
+  snap.inflight_peak = inflight_peak_.load(std::memory_order_relaxed);
   snap.rejected_queue_full =
       rejected_queue_full_.load(std::memory_order_relaxed);
   snap.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
@@ -114,6 +128,12 @@ std::string ServiceStatsSnapshot::ToString(bool deterministic_only) const {
   out += StrFormat("completed=%zu\n", static_cast<size_t>(completed));
   out += StrFormat("cache_hits=%zu\n", static_cast<size_t>(cache_hits));
   out += StrFormat("cache_misses=%zu\n", static_cast<size_t>(cache_misses));
+  // Deterministic in a closed-loop scripted session: one request is in the
+  // system at a time, so coalescing never fires and the in-flight table
+  // peaks at exactly one leader per miss.
+  out += StrFormat("coalesced_hits=%zu\n",
+                   static_cast<size_t>(coalesced_hits));
+  out += StrFormat("inflight_peak=%zu\n", static_cast<size_t>(inflight_peak));
   out += StrFormat("rejected_queue_full=%zu\n",
                    static_cast<size_t>(rejected_queue_full));
   out += StrFormat("rejected_deadline=%zu\n",

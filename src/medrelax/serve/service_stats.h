@@ -23,6 +23,12 @@ struct ServiceStatsSnapshot {
   uint64_t completed = 0;         ///< answered (hit or computed)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;      ///< answered by running the relaxer
+  /// Answered by attaching to an identical in-flight computation
+  /// (single-flight dedup); every coalesced answer is also a cache_hit,
+  /// so cache_hits + cache_misses == completed stays an invariant.
+  uint64_t coalesced_hits = 0;
+  /// High-water mark of concurrent in-flight computations (leaders).
+  uint64_t inflight_peak = 0;
   uint64_t rejected_queue_full = 0;
   uint64_t rejected_deadline = 0; ///< expired before a worker got to them
   uint64_t rejected_shutdown = 0;
@@ -65,6 +71,11 @@ class ServiceStats {
   void RecordRejectedShutdown();
   /// A request was answered; `latency_ns` is submit-to-answer wall time.
   void RecordCompleted(bool cache_hit, uint64_t latency_ns);
+  /// A request attached to an identical in-flight computation instead of
+  /// running the relaxer (single-flight dedup).
+  void RecordCoalesced();
+  /// The in-flight table grew to `depth` concurrent computations.
+  void RecordInflightDepth(size_t depth);
   /// Relaxer instrumentation of one computed (cache-miss) answer.
   void RecordRelaxStats(const RelaxStats& stats) MEDRELAX_EXCLUDES(relax_mu_);
   void RecordFailed();
@@ -75,7 +86,10 @@ class ServiceStats {
   void RecordConnectionOpened();
   void RecordConnectionClosed();
   void RecordConnectionRejected();
-  void RecordLineRejected();
+  /// `count` oversized lines were dropped — a connection can reject more
+  /// than one before it is torn down, so the sink takes the true count
+  /// instead of a per-connection flag.
+  void RecordLineRejected(uint64_t count = 1);
 
   [[nodiscard]] ServiceStatsSnapshot Snapshot() const
       MEDRELAX_EXCLUDES(relax_mu_);
@@ -85,6 +99,8 @@ class ServiceStats {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> coalesced_hits_{0};
+  std::atomic<uint64_t> inflight_peak_{0};
   std::atomic<uint64_t> rejected_queue_full_{0};
   std::atomic<uint64_t> rejected_deadline_{0};
   std::atomic<uint64_t> rejected_shutdown_{0};

@@ -31,6 +31,7 @@
 #include "medrelax/net/connection.h"
 #include "medrelax/net/event_loop.h"
 #include "medrelax/net/line_server.h"
+#include "medrelax/serve/service_stats.h"
 
 namespace medrelax {
 namespace net {
@@ -166,6 +167,16 @@ TEST(NetFraming, OversizedLineRejectedWithTypedError) {
   EXPECT_EQ("err ResourceExhausted: line exceeds 64 bytes\n", reply);
   EXPECT_TRUE(h.ClientSawEof());
   EXPECT_TRUE(h.handler().lines.empty());  // nothing was delivered
+
+  // The serving stats must absorb the *count* the connection reports, the
+  // way medrelax_server's on_disconnect forwards it — recording a flat
+  // "one per connection" undercounted sessions that shed several
+  // oversized lines before teardown.
+  ServiceStats stats;
+  stats.RecordLineRejected(h.conn().stats().oversize_rejects);
+  EXPECT_EQ(1u, stats.Snapshot().lines_rejected);
+  stats.RecordLineRejected(3);
+  EXPECT_EQ(4u, stats.Snapshot().lines_rejected);
 }
 
 TEST(NetFraming, EofDeliversTrailingUnterminatedLine) {

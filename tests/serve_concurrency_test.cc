@@ -146,9 +146,12 @@ TEST(ServeConcurrency, ReadersFinishOnTheSnapshotTheyStartedWith) {
     });
   }
   std::thread swapper([&] {
-    while (!stop.load()) {
+    // do-while: at least one swap always lands, even if a loaded box
+    // schedules this thread only after every reader has finished —
+    // the generation assertion below must not depend on timing.
+    do {
       registry.Publish(BuildSnapshot(7));
-    }
+    } while (!stop.load());
   });
   for (std::thread& thread : readers) thread.join();
   stop.store(true);
@@ -195,6 +198,116 @@ TEST(ServeConcurrency, SharedCacheUnderContentionStaysConsistent) {
   EXPECT_GT(stats.cache_hits, 0u);
   EXPECT_GT(service.cache().evictions(), 0u)
       << "the test must actually exercise concurrent eviction";
+}
+
+TEST(ServeConcurrency, CoalescedMissRunsRelaxerExactlyOnce) {
+  std::shared_ptr<Snapshot> snap = BuildSnapshot(7);
+  ConceptId query = FlaggedConcepts(*snap, 1).front();
+
+  // Park the first group leader inside its computation so concurrent
+  // identical submits deterministically find the in-flight entry.
+  std::atomic<int> groups{0};
+  std::atomic<bool> release{false};
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 256;
+  options.cache.capacity = 0;  // single-flight, not the cache, must dedup
+  options.pre_compute_hook_for_test = [&groups, &release] {
+    if (groups.fetch_add(1) == 0) {
+      while (!release.load()) std::this_thread::yield();
+    }
+  };
+  RelaxationService service(snap, options);
+
+  RelaxRequest request;
+  request.concept_id = query;
+  auto leader = service.Submit(request);
+  while (groups.load() == 0) std::this_thread::yield();
+
+  constexpr uint64_t kFollowers = 6;
+  std::vector<std::future<Result<RelaxResponse>>> followers;
+  for (uint64_t i = 0; i < kFollowers; ++i) {
+    followers.push_back(service.Submit(request));
+  }
+  // Every identical miss must attach to the parked leader, whether it was
+  // dequeued singly or pulled along by a batch drain.
+  while (service.Stats().coalesced_hits < kFollowers) {
+    std::this_thread::yield();
+  }
+  release.store(true);
+
+  Result<RelaxResponse> led = leader.get();
+  ASSERT_TRUE(led.ok()) << led.status();
+  EXPECT_FALSE(led->coalesced);
+  EXPECT_FALSE(led->cache_hit);
+  for (auto& future : followers) {
+    Result<RelaxResponse> response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->coalesced);
+    EXPECT_TRUE(response->cache_hit);
+    EXPECT_EQ(response->outcome.get(), led->outcome.get());
+  }
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.completed, kFollowers + 1);
+  EXPECT_EQ(stats.cache_misses, 1u)
+      << "exactly one relaxer invocation for the whole burst";
+  EXPECT_EQ(stats.coalesced_hits, kFollowers);
+  // RelaxStats instrumentation pins it down independently of the
+  // counters: the service-wide aggregate equals ONE direct invocation's
+  // deterministic work counts.
+  RelaxationOutcome direct = snap->relaxer().RelaxConceptWithK(
+      query, kNoContext, snap->relaxer().options().top_k);
+  EXPECT_EQ(stats.relax.candidates_scanned, direct.stats.candidates_scanned);
+  EXPECT_EQ(stats.relax.neighbors_visited, direct.stats.neighbors_visited);
+}
+
+TEST(ServeConcurrency, MidFlightPublishDoesNotFanStaleGeneration) {
+  std::shared_ptr<Snapshot> snap = BuildSnapshot(7);
+  ConceptId query = FlaggedConcepts(*snap, 1).front();
+
+  std::atomic<int> groups{0};
+  std::atomic<bool> release{false};
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 256;
+  options.cache.capacity = 0;
+  options.pre_compute_hook_for_test = [&groups, &release] {
+    if (groups.fetch_add(1) == 0) {
+      while (!release.load()) std::this_thread::yield();
+    }
+  };
+  RelaxationService service(snap, options);
+
+  RelaxRequest request;
+  request.concept_id = query;
+  auto leader = service.Submit(request);
+  while (groups.load() == 0) std::this_thread::yield();
+  auto follower = service.Submit(request);
+  while (service.Stats().coalesced_hits < 1) std::this_thread::yield();
+
+  // The swap lands while generation 1's leader is still computing. A
+  // request admitted after it pins the new snapshot and computes a
+  // new-generation key, so it can NOT attach to the stale leader: it must
+  // be answered fresh, at generation 2.
+  EXPECT_EQ(service.PublishSnapshot(BuildSnapshot(7)), 2u);
+  auto late = service.Submit(request);
+  Result<RelaxResponse> late_response = late.get();
+  ASSERT_TRUE(late_response.ok()) << late_response.status();
+  EXPECT_EQ(late_response->generation, 2u);
+  EXPECT_FALSE(late_response->coalesced)
+      << "a post-swap request must not be fanned a stale-generation result";
+
+  release.store(true);
+  Result<RelaxResponse> led = leader.get();
+  ASSERT_TRUE(led.ok());
+  EXPECT_EQ(led->generation, 1u);
+  Result<RelaxResponse> fanned = follower.get();
+  ASSERT_TRUE(fanned.ok());
+  EXPECT_TRUE(fanned->coalesced);
+  EXPECT_EQ(fanned->generation, 1u)
+      << "followers that attached before the swap get the answer their "
+         "snapshot computed";
 }
 
 TEST(ServeConcurrency, PublishStormKeepsLockOrderAcyclic) {
@@ -278,6 +391,7 @@ TEST(ServeConcurrency, PublishStormKeepsLockOrderAcyclic) {
   DeadlockDetector& detector = DeadlockDetector::Instance();
   const std::vector<int> sites = {
       detector.RegisterSite("RelaxationService::queue_mu"),
+      detector.RegisterSite("RelaxationService::inflight_mu"),
       detector.RegisterSite("SnapshotRegistry::mu"),
       detector.RegisterSite("ResultCache::Shard::mu"),
       detector.RegisterSite("ServiceStats::relax_mu"),

@@ -114,6 +114,7 @@ TEST(RelaxationService, QueueFullRejectsWithResourceExhausted) {
   ServiceOptions options;
   options.num_workers = 0;  // nothing drains the queue until RunOnce
   options.queue_capacity = 2;
+  options.max_batch = 1;  // strict one-request-per-RunOnce, no batch drain
   RelaxationService service(snap, options);
 
   auto first = service.Submit(ConceptRequest(query));
@@ -158,6 +159,32 @@ TEST(RelaxationService, ExpiredRequestsFailFastWithDeadlineExceeded) {
   EXPECT_EQ(service.Stats().rejected_deadline, 1u);
   EXPECT_EQ(service.Stats().completed, 0u)
       << "no relaxation work may be spent on an expired request";
+}
+
+TEST(RelaxationService, NegativeTimeoutIsRejectedAsInvalidArgument) {
+  std::shared_ptr<Snapshot> snap = BuildSmallSnapshot();
+  ConceptId query = FirstFlagged(*snap);
+  ServiceOptions options;
+  options.num_workers = 0;
+  // A default deadline must NOT be substituted for a negative timeout —
+  // that was the original fallthrough bug.
+  options.default_deadline = std::chrono::milliseconds(1000);
+  RelaxationService service(snap, options);
+
+  RelaxRequest bogus = ConceptRequest(query);
+  bogus.timeout = std::chrono::milliseconds(-5);
+  auto future = service.Submit(bogus);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a negative timeout must be rejected at submit, not queued";
+  Result<RelaxResponse> response = future.get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument()) << response.status();
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests, 0u) << "rejected before admission";
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(service.queue_depth(), 0u);
 }
 
 TEST(RelaxationService, DefaultDeadlineAppliesWhenRequestHasNone) {
@@ -225,6 +252,105 @@ TEST(RelaxationService, SnapshotSwapInvalidatesCacheByGeneration) {
   EXPECT_EQ(after->outcome->instances, cold->outcome->instances)
       << "same world, same answer — just recomputed";
   EXPECT_EQ(service.Stats().snapshot_swaps, 1u);
+}
+
+TEST(RelaxationService, BatchDrainCoalescesIdenticalQueuedRequests) {
+  std::shared_ptr<Snapshot> snap = BuildSmallSnapshot();
+  ConceptId query = FirstFlagged(*snap);
+  ServiceOptions options;
+  options.num_workers = 0;
+  options.max_batch = 8;
+  options.cache.capacity = 0;  // all dedup must come from single-flight
+  RelaxationService service(snap, options);
+
+  std::vector<std::future<Result<RelaxResponse>>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(service.Submit(ConceptRequest(query)));
+  }
+  EXPECT_EQ(service.queue_depth(), 5u);
+
+  // One pump: the leader claims the in-flight entry, the drain pulls the
+  // other four, and Prepare attaches them as followers of the same key —
+  // one relaxer pass answers all five.
+  EXPECT_TRUE(service.RunOnce());
+  size_t leaders = 0, followers = 0;
+  std::shared_ptr<const RelaxationOutcome> shared;
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    Result<RelaxResponse> response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->coalesced) {
+      ++followers;
+      EXPECT_TRUE(response->cache_hit)
+          << "a coalesced answer counts as a hit: zero relaxer work";
+    } else {
+      ++leaders;
+      EXPECT_FALSE(response->cache_hit);
+    }
+    if (shared == nullptr) shared = response->outcome;
+    EXPECT_EQ(response->outcome.get(), shared.get())
+        << "every caller shares the one computed outcome";
+  }
+  EXPECT_EQ(leaders, 1u);
+  EXPECT_EQ(followers, 4u);
+  EXPECT_FALSE(service.RunOnce()) << "the drain emptied the queue";
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.cache_misses, 1u) << "one relaxer invocation for five";
+  EXPECT_EQ(stats.cache_hits, 4u);
+  EXPECT_EQ(stats.coalesced_hits, 4u);
+  EXPECT_EQ(stats.inflight_peak, 1u);
+}
+
+TEST(RelaxationService, BatchDrainPullsOnlySameContextRequests) {
+  std::shared_ptr<Snapshot> snap = BuildSmallSnapshot();
+  ASSERT_GE(snap->ingestion().contexts.size(), 1u);
+  const std::vector<bool>& flagged = snap->ingestion().flagged;
+  std::vector<ConceptId> pool;
+  for (ConceptId id = 0; id < flagged.size() && pool.size() < 4; ++id) {
+    if (flagged[id]) pool.push_back(id);
+  }
+  ASSERT_EQ(pool.size(), 4u);
+
+  ServiceOptions options;
+  options.num_workers = 0;
+  options.max_batch = 8;
+  RelaxationService service(snap, options);
+
+  // Three kNoContext requests with an other-context request wedged in
+  // between: the drain must pull the context matches past it and leave it
+  // queued, in place.
+  RelaxRequest other = ConceptRequest(pool[1]);
+  other.context = 0;
+  auto first = service.Submit(ConceptRequest(pool[0]));
+  auto wedged = service.Submit(other);
+  auto third = service.Submit(ConceptRequest(pool[2]));
+  auto fourth = service.Submit(ConceptRequest(pool[3]));
+
+  EXPECT_TRUE(service.RunOnce());
+  EXPECT_EQ(first.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(third.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(fourth.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(wedged.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "a different context must not ride the drained group";
+  EXPECT_EQ(service.queue_depth(), 1u);
+
+  // Distinct concepts, same context: co-leaders in one shared-frontier
+  // pass, not followers — each runs the relaxer once.
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.coalesced_hits, 0u);
+
+  EXPECT_TRUE(service.RunOnce());
+  EXPECT_TRUE(wedged.get().ok());
+  EXPECT_FALSE(service.RunOnce());
 }
 
 TEST(RelaxationService, ShutdownRejectsNewAndFailsQueued) {

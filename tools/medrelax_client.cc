@@ -11,11 +11,17 @@
 //       scripts/server_smoke.sh diffs exactly that.
 //
 //   medrelax_client load <port> [--requests N] [--connections C]
-//                        [--line 'RELAX ...']
+//                        [--line 'RELAX ...' | --replay FILE]
 //       C concurrent sessions issue N requests total, each waiting for
 //       its full reply frame before sending the next (closed loop).
-//       Prints "ok load requests=N answered=A errors=E" on stdout;
-//       timing goes to stderr so stdout stays machine-diffable.
+//       With --replay FILE the request stream is a session replay: every
+//       session cycles through FILE's command lines in order (blank and
+//       '#' lines skipped), so a recorded session with repeated or
+//       correlated keys reproduces the duplicate-heavy mix that
+//       exercises the server's single-flight coalescing and batch drain
+//       (docs/SERVING.md "Coalescing & batching"). Prints
+//       "ok load requests=N answered=A errors=E" on stdout; timing goes
+//       to stderr so stdout stays machine-diffable.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -27,6 +33,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -39,7 +47,7 @@ int Usage() {
                "usage:\n"
                "  medrelax_client session <port>\n"
                "  medrelax_client load <port> [--requests N]"
-               " [--connections C] [--line 'RELAX ...']\n");
+               " [--connections C] [--line 'RELAX ...' | --replay FILE]\n");
   return 2;
 }
 
@@ -167,11 +175,20 @@ int RunSession(uint16_t port) {
   return 0;
 }
 
+/// Whether `command`'s "ok" reply is a multi-line frame terminated by
+/// "end" (mirrors how the server formats each verb's answer).
+bool IsMultiLineReply(const std::string& command) {
+  return command.rfind("RELAX", 0) == 0 || command.rfind("CONTEXTS", 0) == 0 ||
+         command.rfind("STATS", 0) == 0;
+}
+
 /// One load session: greet, then `requests` closed-loop command/reply
-/// rounds. Replies are framed like the server formats them: "err ..." is
-/// one line, multi-line "ok" frames end with "end", other "ok" replies
-/// are one line.
-void LoadWorker(uint16_t port, size_t requests, const std::string& command,
+/// rounds cycling through `script` in order (one entry for --line, the
+/// whole replay file otherwise). Replies are framed like the server
+/// formats them: "err ..." is one line, multi-line "ok" frames end with
+/// "end", other "ok" replies are one line.
+void LoadWorker(uint16_t port, size_t requests,
+                const std::vector<std::string>& script,
                 std::atomic<uint64_t>* answered, std::atomic<uint64_t>* errors) {
   const int fd = ConnectLoopback(port);
   if (fd < 0) {
@@ -186,12 +203,9 @@ void LoadWorker(uint16_t port, size_t requests, const std::string& command,
     close(fd);
     return;
   }
-  const std::string framed = command + "\n";
-  const bool multi_line = command.rfind("RELAX", 0) == 0 ||
-                          command.rfind("CONTEXTS", 0) == 0 ||
-                          command.rfind("STATS", 0) == 0;
   for (size_t i = 0; i < requests; ++i) {
-    if (!SendAll(fd, framed) || !reader.ReadLine(&line)) {
+    const std::string& command = script[i % script.size()];
+    if (!SendAll(fd, command + "\n") || !reader.ReadLine(&line)) {
       errors->fetch_add(requests - i, std::memory_order_relaxed);
       close(fd);
       return;
@@ -200,7 +214,7 @@ void LoadWorker(uint16_t port, size_t requests, const std::string& command,
       errors->fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (multi_line) {
+    if (IsMultiLineReply(command)) {
       bool closed = false;
       while (line != "end") {
         if (!reader.ReadLine(&line)) {
@@ -226,7 +240,29 @@ int RunLoad(int argc, char** argv, uint16_t port) {
   const size_t requests = SizeFlag(argc, argv, "--requests", 100);
   const size_t connections = SizeFlag(argc, argv, "--connections", 1);
   const char* line_flag = FlagValue(argc, argv, "--line");
-  const std::string command = line_flag != nullptr ? line_flag : "GEN";
+  const char* replay_flag = FlagValue(argc, argv, "--replay");
+  if (line_flag != nullptr && replay_flag != nullptr) return Usage();
+  std::vector<std::string> script;
+  if (replay_flag != nullptr) {
+    std::ifstream file(replay_flag);
+    if (!file) {
+      std::fprintf(stderr, "cannot read replay file '%s'\n", replay_flag);
+      return 1;
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      if (line == "QUIT") continue;  // every session QUITs on its own
+      script.push_back(line);
+    }
+    if (script.empty()) {
+      std::fprintf(stderr, "replay file '%s' has no commands\n", replay_flag);
+      return 1;
+    }
+  } else {
+    script.push_back(line_flag != nullptr ? line_flag : "GEN");
+  }
   if (connections == 0 || requests == 0) return Usage();
 
   std::atomic<uint64_t> answered{0};
@@ -238,7 +274,8 @@ int RunLoad(int argc, char** argv, uint16_t port) {
     // Spread the total across sessions; the first takes the remainder.
     size_t share = requests / connections;
     if (c == 0) share += requests % connections;
-    threads.emplace_back(LoadWorker, port, share, command, &answered, &errors);
+    threads.emplace_back(LoadWorker, port, share, std::cref(script),
+                         &answered, &errors);
   }
   for (std::thread& t : threads) t.join();
   const auto t_end = std::chrono::steady_clock::now();

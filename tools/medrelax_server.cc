@@ -1,7 +1,7 @@
 // medrelax_server: the long-lived serving front end over medrelax/serve.
 //
 //   medrelax_server serve <dir> [--workers N] [--queue N] [--cache N]
-//                         [--deadline-ms D] [--exact]
+//                         [--deadline-ms D] [--exact] [--batch N]
 //                         [--listen PORT] [--max-conns N] [--max-line N]
 //       Loads <dir>/eks.tsv + <dir>/kb.tsv (as written by
 //       `medrelax_tool generate`), runs the offline ingestion into a
@@ -71,7 +71,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  medrelax_server serve <dir> [--workers N] [--queue N]"
-      " [--cache N] [--deadline-ms D] [--exact]\n"
+      " [--cache N] [--deadline-ms D] [--exact] [--batch N]\n"
       "                       [--listen PORT] [--max-conns N]"
       " [--max-line BYTES]\n"
       "  medrelax_server load <dir> [--requests N] [--workers N]"
@@ -252,6 +252,13 @@ std::string ParseRelaxLine(RelaxationService& service, std::istringstream& in,
   while (in >> token) {
     if (term->empty() && token.rfind("k=", 0) == 0) {
       request->top_k = std::strtoul(token.c_str() + 2, nullptr, 10);
+      if (request->top_k == 0) {
+        // The service coerces top_k == 0 to the snapshot default, so an
+        // explicit k=0 would silently alias "default" — reject the typo
+        // instead of answering something the client did not ask for.
+        return "err InvalidArgument: k must be positive"
+               " (omit k= for the snapshot default)\n";
+      }
       continue;
     }
     if (term->empty() && token.rfind("ctx=", 0) == 0) {
@@ -461,7 +468,10 @@ int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
     const net::ConnectionStats& stats = conn.stats();
     state.service.TransportStats().RecordConnectionClosed();
     if (stats.oversize_rejects > 0) {
-      state.service.TransportStats().RecordLineRejected();
+      // The true count, not a per-connection flag: a session can shed
+      // several oversized lines before it is finally torn down.
+      state.service.TransportStats().RecordLineRejected(
+          stats.oversize_rejects);
     }
     std::fprintf(stderr,
                  "conn %llu closed (%s): lines_in=%llu bytes_in=%llu"
@@ -497,6 +507,17 @@ int RunServe(int argc, char** argv) {
   service_options.cache.capacity = SizeFlag(argc, argv, "--cache", 1024);
   service_options.default_deadline =
       std::chrono::milliseconds(SizeFlag(argc, argv, "--deadline-ms", 0));
+  service_options.max_batch =
+      SizeFlag(argc, argv, "--batch", service_options.max_batch);
+  // Test hook: scripts/server_smoke.sh pads every computed (cache-miss)
+  // answer so concurrent duplicate requests deterministically pile onto
+  // the in-flight leader and `coalesced_hits` is provably non-zero.
+  if (const char* delay_ms = std::getenv("MEDRELAX_COMPUTE_TEST_DELAY_MS")) {
+    const unsigned long ms = std::strtoul(delay_ms, nullptr, 10);
+    service_options.pre_compute_hook_for_test = [ms]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
 
   Result<std::shared_ptr<Snapshot>> snapshot =
       BuildSnapshotFromDir(dir, snapshot_options);
