@@ -24,8 +24,10 @@
 // Cold/Warm pin max_batch = 1 so their numbers keep meaning "per-request
 // cost without coalescing" across the introduction of batch drain.
 
+#include <cstdlib>
 #include <future>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -199,6 +201,84 @@ BENCHMARK(BM_ServingWarm)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Offline-image pipeline headline: BM_SnapshotBuild is the full offline
+// phase (Algorithm 1 + mapper + relaxer wiring) on a 64k-concept world;
+// BM_SnapshotLoadImage boots the identical serving state from the flat
+// image medrelax_ingest freezes. Their ratio is the O(1)-RELOAD claim —
+// the serving layer gates on load >= 50x faster than build.
+
+Result<GeneratedWorld> BigWorld() {
+  SnomedGeneratorOptions eks;
+  eks.num_concepts = 65536;
+  eks.seed = 2026;
+  KbGeneratorOptions kb;
+  kb.num_drugs = 120;
+  kb.num_findings = 400;
+  kb.seed = 2027;
+  return GenerateWorld(eks, kb);
+}
+
+// The 64k-concept image, ingested once per bench process. Empty on
+// failure.
+const std::string& BigImagePath() {
+  static const std::string path = []() -> std::string {
+    Result<GeneratedWorld> world = BigWorld();
+    if (!world.ok()) return {};
+    Result<std::shared_ptr<Snapshot>> built =
+        Snapshot::Build(std::move(world->eks.dag), std::move(world->kb),
+                        nullptr, SnapshotOptions{});
+    if (!built.ok()) return {};
+    const char* tmp = std::getenv("TMPDIR");
+    std::string candidate = std::string(tmp != nullptr ? tmp : "/tmp") +
+                            "/medrelax_bench_snapshot.img";
+    if (!(*built)->WriteImage(candidate).ok()) return {};
+    return candidate;
+  }();
+  return path;
+}
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    // World generation happens off the clock: the bench measures the
+    // offline phase, not the synthetic data generator.
+    state.PauseTiming();
+    Result<GeneratedWorld> world = BigWorld();
+    if (!world.ok()) {
+      state.SkipWithError("world generation failed");
+      return;
+    }
+    state.ResumeTiming();
+    Result<std::shared_ptr<Snapshot>> built =
+        Snapshot::Build(std::move(world->eks.dag), std::move(world->kb),
+                        nullptr, SnapshotOptions{});
+    benchmark::DoNotOptimize(built);
+    if (!built.ok()) {
+      state.SkipWithError("snapshot build failed");
+      return;
+    }
+  }
+  state.SetLabel("concepts=64k");
+}
+BENCHMARK(BM_SnapshotBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoadImage(benchmark::State& state) {
+  const std::string& path = BigImagePath();
+  if (path.empty()) {
+    state.SkipWithError("image ingest failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<std::shared_ptr<Snapshot>> mapped = Snapshot::LoadFromImage(path);
+    benchmark::DoNotOptimize(mapped);
+    if (!mapped.ok()) {
+      state.SkipWithError("image load failed");
+      return;
+    }
+  }
+  state.SetLabel("concepts=64k");
+}
+BENCHMARK(BM_SnapshotLoadImage)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,7 +12,14 @@
 # concurrent session must keep answering in well under 1s, and finally
 # fire a duplicate-heavy --replay burst at a compute-padded server to
 # assert the single-flight table coalesces identical in-flight misses
-# (STATS must report coalesced_hits > 0).
+# (STATS must report coalesced_hits > 0). The flat-image stages then
+# close the loop on the offline pipeline: medrelax_ingest freezes the
+# same world into a snapshot image, a server booted with --image must
+# replay the scripted session byte-identically (modulo the one-word
+# snapshot_source provenance line), and a live server must hot-swap
+# onto the image via `RELOAD <path>` in well under 1s with a concurrent
+# load burst running — no delay hook, the swap really skips the offline
+# phase.
 #
 # Usage: scripts/server_smoke.sh   (MEDRELAX_BUILD_DIR overrides ./build)
 set -euo pipefail
@@ -21,10 +28,12 @@ BUILD_DIR=${MEDRELAX_BUILD_DIR:-build}
 TOOL="${BUILD_DIR}/examples/medrelax_tool"
 SERVER="${BUILD_DIR}/tools/medrelax_server"
 CLIENT="${BUILD_DIR}/tools/medrelax_client"
-for bin in "${TOOL}" "${SERVER}" "${CLIENT}"; do
+INGEST="${BUILD_DIR}/tools/medrelax_ingest"
+for bin in "${TOOL}" "${SERVER}" "${CLIENT}" "${INGEST}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "server_smoke: missing ${bin} (build the medrelax_tool," \
-         "medrelax_server and medrelax_client targets first)" >&2
+         "medrelax_server, medrelax_client and medrelax_ingest targets" \
+         "first)" >&2
     exit 1
   fi
 done
@@ -63,6 +72,27 @@ if ! diff -u tests/golden/server_session.golden "${WORK}/session.out"; then
   echo "server_smoke: stdin transcript drifted from the golden file" >&2
   echo "(regenerate with: ${SERVER} serve <world> --exact --workers 1" \
        "< tests/golden/server_session.txt)" >&2
+  exit 1
+fi
+
+# --- Flat image: ingest, then byte-identical mapped replay ------------
+# medrelax_ingest runs the same offline phase and freezes it into a
+# snapshot image; a server booted with --image must say exactly what the
+# built-path server said. The only permitted difference is provenance
+# (STATS reports snapshot_source=mapped instead of built), which the sed
+# folds away so one golden file covers both boot paths.
+IMG="${WORK}/world.img"
+"${INGEST}" "${WORLD}" "${IMG}" --exact > "${WORK}/ingest.out" 2>/dev/null
+grep -q '^ok ingest ' "${WORK}/ingest.out"
+
+"${SERVER}" serve --image "${IMG}" --workers 1 \
+  < tests/golden/server_session.txt \
+  | sed 's/^snapshot_source=mapped$/snapshot_source=built/' \
+  > "${WORK}/image_session.out"
+if ! diff -u tests/golden/server_session.golden "${WORK}/image_session.out"; then
+  echo "server_smoke: --image transcript drifted from the golden file" \
+       "(the built-path transcript matched, so the mapped snapshot" \
+       "answers differently from the built one)" >&2
   exit 1
 fi
 
@@ -220,6 +250,72 @@ if ! grep -q '^coalesced_hits=[1-9]' "${WORK}/dup_stats.out"; then
   cat "${WORK}/dup_stats.out" >&2
   exit 1
 fi
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+# --- O(1) image RELOAD under a concurrent session ---------------------
+# Fresh server booted from the directory, NO delay hooks: hot-swapping
+# onto the pre-built image via `RELOAD <path>` skips the offline phase
+# entirely, so the whole round trip — map, validate, publish, reply —
+# must land well under 1s in absolute wall time, while a concurrent
+# load burst keeps the serving path busy. Afterwards STATS must report
+# the new provenance (snapshot_source=mapped) and the bumped reload
+# counter.
+"${SERVER}" serve "${WORLD}" --exact --workers 1 --listen 0 \
+  > "${WORK}/server4.stdout" 2> "${WORK}/server4.stderr" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^ok listening port=\([0-9][0-9]*\)$/\1/p' \
+         "${WORK}/server4.stdout")
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server_smoke: image-reload server exited before listening" >&2
+    cat "${WORK}/server4.stderr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "server_smoke: image-reload server never announced its port" >&2
+  exit 1
+fi
+
+"${CLIENT}" load "${PORT}" --requests 100 --connections 2 \
+  > "${WORK}/img_load.out" 2>/dev/null &
+IMG_LOAD_PID=$!
+
+START_NS=$(date +%s%N)
+printf 'RELOAD %s\nGEN\n' "${IMG}" | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/img_reload.out"
+END_NS=$(date +%s%N)
+ELAPSED_MS=$(( (END_NS - START_NS) / 1000000 ))
+
+wait "${IMG_LOAD_PID}"
+grep -q '^ok load requests=100 answered=100 errors=0$' "${WORK}/img_load.out"
+if ! grep -q '^ok reload gen=2$' "${WORK}/img_reload.out"; then
+  echo "server_smoke: RELOAD onto the image did not publish gen=2:" >&2
+  cat "${WORK}/img_reload.out" >&2
+  exit 1
+fi
+if ! grep -q '^ok gen=2$' "${WORK}/img_reload.out"; then
+  echo "server_smoke: session after the image RELOAD is not on gen=2:" >&2
+  cat "${WORK}/img_reload.out" >&2
+  exit 1
+fi
+if (( ELAPSED_MS >= 1000 )); then
+  echo "server_smoke: image RELOAD round trip took ${ELAPSED_MS}ms —" \
+       "mapping a pre-built image must not cost offline-phase time" >&2
+  exit 1
+fi
+
+printf 'STATS\nQUIT\n' | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/img_stats.out"
+grep -q '^snapshot_source=mapped$' "${WORK}/img_stats.out"
+grep -q '^reloads_completed=1$' "${WORK}/img_stats.out"
 
 kill "${SERVER_PID}"
 wait "${SERVER_PID}" 2>/dev/null || true

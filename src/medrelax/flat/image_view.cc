@@ -1,0 +1,153 @@
+#include "medrelax/flat/image_view.h"
+
+#include <cstring>
+#include <utility>
+
+namespace medrelax::flat {
+
+Result<std::unique_ptr<FlatImageView>> FlatImageView::Open(
+    const std::string& path) {
+  MEDRELAX_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  const std::span<const std::byte> bytes = file.bytes();
+
+  // 1. Header fits and identifies as ours. memcpy, not reinterpret: the
+  // header copy is cheap and sidesteps any alignment assumption about
+  // the mapping's first bytes (page-aligned in practice, but the checks
+  // below must not depend on that).
+  if (bytes.size() < sizeof(ImageHeader)) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': %zu bytes is too small for an image header",
+                  path.c_str(), bytes.size()));
+  }
+  ImageHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kImageMagic, sizeof(kImageMagic)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': bad magic, not a medrelax image", path.c_str()));
+  }
+  if (header.endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': endianness marker mismatch (image written on an"
+                  " opposite-endian host)",
+                  path.c_str()));
+  }
+  if (header.version != kImageVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("'%s': image format version %u, this build reads %u",
+                  path.c_str(), static_cast<unsigned>(header.version),
+                  static_cast<unsigned>(kImageVersion)));
+  }
+  // 2. Declared size matches what the filesystem handed us — catches
+  // truncation and concatenation before any offset is trusted.
+  if (header.file_size != bytes.size()) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': header declares %llu bytes, file has %zu"
+                  " (truncated or corrupt)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(header.file_size),
+                  bytes.size()));
+  }
+  // 3. Whole-payload checksum — after this, remaining failures mean a
+  // malformed producer, not bit rot.
+  const uint64_t checksum = FnvChecksum(bytes.subspan(sizeof(ImageHeader)));
+  if (checksum != header.payload_checksum) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': payload checksum mismatch (stored %016llx,"
+                  " computed %016llx)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(header.payload_checksum),
+                  static_cast<unsigned long long>(checksum)));
+  }
+  // 4. Directory bounds, then per-entry bounds/alignment/uniqueness.
+  const uint64_t dir_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+  if (header.directory_offset < sizeof(ImageHeader) ||
+      header.directory_offset > bytes.size() ||
+      dir_bytes > bytes.size() - header.directory_offset) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': section directory out of bounds", path.c_str()));
+  }
+
+  auto view = std::make_unique<FlatImageView>(OpenTag{}, std::move(file));
+  view->sections_.reserve(header.section_count);
+  const std::byte* base = view->file_.data();
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, base + header.directory_offset +
+                            static_cast<uint64_t>(i) * sizeof(SectionEntry),
+                sizeof(entry));
+    if (entry.offset > view->file_.size() ||
+        entry.size > view->file_.size() - entry.offset) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': section %u [offset=%llu size=%llu] exceeds the"
+                    " %zu-byte file",
+                    path.c_str(), static_cast<unsigned>(entry.id),
+                    static_cast<unsigned long long>(entry.offset),
+                    static_cast<unsigned long long>(entry.size),
+                    view->file_.size()));
+    }
+    if (entry.offset % kSectionAlignment != 0) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': section %u offset %llu breaks the %llu-byte"
+                    " alignment rule",
+                    path.c_str(), static_cast<unsigned>(entry.id),
+                    static_cast<unsigned long long>(entry.offset),
+                    static_cast<unsigned long long>(kSectionAlignment)));
+    }
+    if (!view->sections_.emplace(entry.id, entry).second) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': duplicate section id %u", path.c_str(),
+                    static_cast<unsigned>(entry.id)));
+    }
+  }
+  // 5. The meta section is mandatory and exactly one FlatMeta.
+  MEDRELAX_ASSIGN_OR_RETURN(std::span<const FlatMeta> meta,
+                            view->SectionArray<FlatMeta>(SectionId::kMeta));
+  if (meta.size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': meta section holds %zu records, want 1",
+                  path.c_str(), meta.size()));
+  }
+  view->meta_ = meta.data();
+  return view;
+}
+
+Result<std::span<const std::byte>> FlatImageView::SectionBytes(
+    SectionId id) const {
+  auto it = sections_.find(static_cast<uint32_t>(id));
+  if (it == sections_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("image has no section %u", static_cast<unsigned>(id)));
+  }
+  return file_.bytes().subspan(it->second.offset, it->second.size);
+}
+
+Result<FlatImageView::StringTableView> FlatImageView::Strings(
+    SectionId offsets_id, SectionId blob_id, size_t expected_count) const {
+  MEDRELAX_ASSIGN_OR_RETURN(std::span<const uint64_t> offsets,
+                            SectionArray<uint64_t>(offsets_id));
+  MEDRELAX_ASSIGN_OR_RETURN(std::span<const std::byte> blob,
+                            SectionBytes(blob_id));
+  if (offsets.size() != expected_count + 1) {
+    return Status::InvalidArgument(
+        StrFormat("string table %u: %zu offsets, want %zu",
+                  static_cast<unsigned>(offsets_id), offsets.size(),
+                  expected_count + 1));
+  }
+  if (offsets.front() != 0 || offsets.back() != blob.size()) {
+    return Status::InvalidArgument(
+        StrFormat("string table %u: offsets do not span the %zu-byte blob",
+                  static_cast<unsigned>(offsets_id), blob.size()));
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument(
+          StrFormat("string table %u: offsets decrease at index %zu",
+                    static_cast<unsigned>(offsets_id), i));
+    }
+  }
+  return StringTableView(offsets,
+                         reinterpret_cast<const char*>(blob.data()));
+}
+
+}  // namespace medrelax::flat

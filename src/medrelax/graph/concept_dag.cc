@@ -92,6 +92,25 @@ ConceptId ConceptDag::FindByName(std::string_view name) const {
   return it == name_to_id_.end() ? kInvalidConcept : it->second;
 }
 
+ConceptDag ConceptDag::Restore(std::vector<std::string> names,
+                               std::vector<std::vector<std::string>> synonyms,
+                               std::vector<std::vector<DagEdge>> parents,
+                               std::vector<std::vector<DagEdge>> children,
+                               size_t num_edges, size_t num_shortcuts) {
+  ConceptDag dag;
+  dag.names_ = std::move(names);
+  dag.synonyms_ = std::move(synonyms);
+  dag.parents_ = std::move(parents);
+  dag.children_ = std::move(children);
+  dag.num_edges_ = num_edges;
+  dag.num_shortcuts_ = num_shortcuts;
+  dag.name_to_id_.reserve(dag.names_.size());
+  for (ConceptId id = 0; id < dag.names_.size(); ++id) {
+    dag.name_to_id_[dag.names_[id]] = id;
+  }
+  return dag;
+}
+
 std::vector<ConceptId> ConceptDag::Roots() const {
   std::vector<ConceptId> roots;
   for (ConceptId id = 0; id < names_.size(); ++id) {

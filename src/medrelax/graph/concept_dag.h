@@ -113,6 +113,20 @@ class ConceptDag {
   /// exactly one root (owl:Thing, Section 2.2).
   [[nodiscard]] std::vector<ConceptId> Roots() const;
 
+  /// Bulk-restores a DAG from pre-validated component vectors — the flat
+  /// snapshot image decoder's fast path, skipping the per-edge duplicate
+  /// scans AddSubsumption/AddShortcut perform. All vectors must be sized
+  /// per-concept consistently and `parents`/`children` must mirror each
+  /// other; the decoder (flat/snapshot_codec.cc) establishes both while
+  /// walking the CSR sections. Duplicate names collapse in the lookup map
+  /// (last id wins) without invalidating the structure itself.
+  [[nodiscard]] static ConceptDag Restore(
+      std::vector<std::string> names,
+      std::vector<std::vector<std::string>> synonyms,
+      std::vector<std::vector<DagEdge>> parents,
+      std::vector<std::vector<DagEdge>> children, size_t num_edges,
+      size_t num_shortcuts);
+
  private:
   std::vector<std::string> names_;
   std::vector<std::vector<std::string>> synonyms_;

@@ -1,0 +1,66 @@
+#include "medrelax/io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "medrelax/common/string_util.h"
+
+namespace medrelax {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    // No strerror text: the message is part of the serving protocol's
+    // typed `err` vocabulary and must not vary with locale/libc.
+    return Status::NotFound(
+        StrFormat("cannot open '%s' for mapping", path.c_str()));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal(StrFormat("fstat('%s') failed", path.c_str()));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not a regular file", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping pins the pages; the fd is no longer needed
+  if (mapped == MAP_FAILED) {
+    return Status::Internal(StrFormat("mmap('%s') failed", path.c_str()));
+  }
+  return MappedFile(static_cast<const std::byte*>(mapped), size);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);  // NOLINT
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(data_), size_);  // NOLINT
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace medrelax

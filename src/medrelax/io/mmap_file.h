@@ -1,0 +1,51 @@
+#ifndef MEDRELAX_IO_MMAP_FILE_H_
+#define MEDRELAX_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "medrelax/common/result.h"
+#include "medrelax/common/thread_annotations.h"
+
+namespace medrelax {
+
+/// A read-only memory mapping of a whole regular file (MAP_SHARED, so two
+/// processes mapping the same snapshot image share one page-cache copy).
+/// The file descriptor is closed immediately after mmap — the mapping
+/// keeps the pages alive on its own. Movable, not copyable: the
+/// destructor unmaps.
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Opens and maps `path`. Fails with NotFound when the file cannot be
+  /// opened, InvalidArgument when it is not a regular file, Internal when
+  /// the mmap itself fails. A zero-length file maps to an empty view.
+  /// MEDRELAX_BLOCKING: open/fstat/mmap are filesystem syscalls.
+  [[nodiscard]] static Result<MappedFile> Open(const std::string& path)
+      MEDRELAX_BLOCKING;
+
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {data_, size_};
+  }
+
+ private:
+  MappedFile(const std::byte* data, size_t size) : data_(data), size_(size) {}
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace medrelax
+
+#endif  // MEDRELAX_IO_MMAP_FILE_H_

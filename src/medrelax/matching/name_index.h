@@ -1,6 +1,9 @@
 #ifndef MEDRELAX_MATCHING_NAME_INDEX_H_
 #define MEDRELAX_MATCHING_NAME_INDEX_H_
 
+#include <cstdint>
+#include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -26,6 +29,9 @@ struct NameEntry {
 ///
 /// Exact lookup is hash-based; fuzzy lookups use character-trigram blocking
 /// so the edit-distance matcher does not scan the whole vocabulary.
+/// Trigrams are packed into integer keys (length tag + up to 3 bytes)
+/// rather than heap strings: index construction is on the snapshot load
+/// path, where a 64k-concept vocabulary means millions of postings.
 class NameIndex {
  public:
   /// Builds the index from every concept's canonical name and synonyms.
@@ -40,6 +46,13 @@ class NameIndex {
   /// Entry indexes of surface forms sharing at least one character trigram
   /// with the normalized input, ordered by shared-trigram count (blocking
   /// set for the fuzzy matchers). At most `max_candidates` entries.
+  ///
+  /// The postings table behind this is built lazily on first call (under
+  /// std::call_once — concurrent queries are safe): exact-matcher
+  /// deployments never look at trigrams, so booting a snapshot from a
+  /// flat image stays free of the one vocabulary-sized pass this needs,
+  /// and a fuzzy deployment pays it once on its first non-exact lookup
+  /// (during ingestion for built snapshots).
   std::vector<size_t> CandidatesByTrigram(std::string_view normalized,
                                           size_t max_candidates) const;
 
@@ -50,10 +63,50 @@ class NameIndex {
   [[nodiscard]] const ConceptDag& dag() const { return *dag_; }
 
  private:
+  /// Trigram -> postings, stored CSR. A 64k-concept vocabulary produces
+  /// ~3M postings over only a few thousand distinct trigram keys, and
+  /// index construction sits directly on the snapshot image load path —
+  /// so the table is built in two counting passes into one flat postings
+  /// array (no per-key vector growth, cursor writes stay cache-resident)
+  /// with keys resolved by linear probing over a flat power-of-two slot
+  /// array instead of a node-based map.
+  class TrigramTable {
+   public:
+    /// Builds the table over the (already normalized) entry surfaces.
+    void Build(const std::vector<NameEntry>& entries);
+    /// The entry indexes containing `key`, in ascending entry order;
+    /// empty when the trigram was never seen.
+    [[nodiscard]] std::span<const uint32_t> Find(uint32_t key) const;
+
+   private:
+    /// Dense id of `key`, interning it on first sight.
+    uint32_t Intern(uint32_t key);
+    /// Slot index of `key`, or of the empty slot where it would insert.
+    [[nodiscard]] size_t Probe(uint32_t key) const;
+    void Grow();
+
+    static constexpr int32_t kEmpty = -1;
+    /// (key, dense id) pairs; id kEmpty marks a free slot. Capacity is a
+    /// power of two, load kept under 1/2.
+    std::vector<std::pair<uint32_t, int32_t>> slots_;
+    /// Postings of dense id k live in
+    /// postings_[offsets_[k] .. offsets_[k + 1]).
+    std::vector<uint32_t> offsets_;
+    std::vector<uint32_t> postings_;
+  };
+
   const ConceptDag* dag_;
   std::vector<NameEntry> entries_;
-  std::unordered_map<std::string, std::vector<ConceptId>> exact_;
-  std::unordered_map<std::string, std::vector<size_t>> trigram_postings_;
+  /// Keys view into entries_' surfaces (no second copy of the
+  /// vocabulary). Safe because entries_ is reserved to its exact final
+  /// size before the first insert and never touched afterwards — small
+  /// (SSO) strings live inside the vector's buffer, so a reallocation
+  /// would dangle these views.
+  std::unordered_map<std::string_view, std::vector<ConceptId>> exact_;
+  /// Lazily built by CandidatesByTrigram (see its contract); mutable so
+  /// the logically-const first lookup can materialize it.
+  mutable std::once_flag trigram_once_;
+  mutable TrigramTable trigram_postings_;
 };
 
 }  // namespace medrelax

@@ -15,12 +15,26 @@ FrequencyModel::FrequencyModel(size_t num_concepts, size_t num_contexts,
   raw_.assign((num_contexts_ + 1) * num_concepts_, 0.0);
 }
 
+FrequencyModel FrequencyModel::FromNormalizedTable(
+    size_t num_concepts, size_t num_contexts, double smoothing,
+    std::span<const double> normalized) {
+  MEDRELAX_CHECK(normalized.size() == (num_contexts + 1) * num_concepts)
+      << "normalized table size mismatch";
+  FrequencyModel model(num_concepts, num_contexts, smoothing);
+  model.raw_.clear();
+  model.raw_.shrink_to_fit();
+  model.borrowed_ = normalized;
+  model.normalized_ = true;
+  return model;
+}
+
 size_t FrequencyModel::Index(ConceptId id, ContextId ctx) const {
   size_t row = (ctx == kNoContext) ? num_contexts_ : ctx;
   return row * num_concepts_ + id;
 }
 
 void FrequencyModel::SetRaw(ConceptId id, ContextId ctx, double raw) {
+  MEDRELAX_CHECK(borrowed_.empty()) << "SetRaw on a borrowed-table model";
   MEDRELAX_CHECK(id < num_concepts_);
   MEDRELAX_CHECK(ctx < num_contexts_);
   raw_[Index(id, ctx)] = raw;
@@ -31,6 +45,7 @@ double FrequencyModel::Raw(ConceptId id, ContextId ctx) const {
 }
 
 void FrequencyModel::Normalize(ConceptId root) {
+  MEDRELAX_CHECK(borrowed_.empty()) << "Normalize on a borrowed-table model";
   MEDRELAX_CHECK(root < num_concepts_);
   // Aggregate row = sum over context rows.
   for (ConceptId id = 0; id < num_concepts_; ++id) {
@@ -53,13 +68,21 @@ void FrequencyModel::Normalize(ConceptId root) {
 
 double FrequencyModel::Frequency(ConceptId id, ContextId ctx) const {
   MEDRELAX_CHECK(normalized_) << "Normalize() must run before Frequency()";
-  return normalized_freq_[Index(id, ctx)];
+  const double* table =
+      borrowed_.empty() ? normalized_freq_.data() : borrowed_.data();
+  return table[Index(id, ctx)];
 }
 
 double FrequencyModel::Ic(ConceptId id, ContextId ctx) const {
   double f = Frequency(id, ctx);
   if (f >= 1.0) return 0.0;
   return -std::log(f);
+}
+
+std::span<const double> FrequencyModel::NormalizedTable() const {
+  MEDRELAX_CHECK(normalized_) << "NormalizedTable() on an unnormalized model";
+  if (!borrowed_.empty()) return borrowed_;
+  return {normalized_freq_.data(), normalized_freq_.size()};
 }
 
 Result<FrequencyModel> PropagateFrequencies(

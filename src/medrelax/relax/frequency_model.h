@@ -2,6 +2,7 @@
 #define MEDRELAX_RELAX_FREQUENCY_MODEL_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "medrelax/common/result.h"
@@ -27,6 +28,18 @@ class FrequencyModel {
   FrequencyModel(size_t num_concepts, size_t num_contexts,
                  double smoothing = 1.0);
 
+  /// Builds an already-normalized model whose table *borrows*
+  /// `normalized` — the zero-copy path of the flat snapshot image
+  /// (flat/snapshot_codec.h). `normalized` must hold the full
+  /// (num_contexts + 1) x num_concepts row-major layout (aggregate row
+  /// last) and must outlive the model; the mapped image owner guarantees
+  /// this by member-declaration order. A borrowed model rejects SetRaw
+  /// and Normalize.
+  static FrequencyModel FromNormalizedTable(size_t num_concepts,
+                                            size_t num_contexts,
+                                            double smoothing,
+                                            std::span<const double> normalized);
+
   [[nodiscard]] size_t num_concepts() const { return num_concepts_; }
   [[nodiscard]] size_t num_contexts() const { return num_contexts_; }
   [[nodiscard]] double smoothing() const { return smoothing_; }
@@ -50,6 +63,11 @@ class FrequencyModel {
   /// growing with specificity. ctx == kNoContext uses aggregation.
   [[nodiscard]] double Ic(ConceptId id, ContextId ctx) const;
 
+  /// The full normalized table, (num_contexts + 1) x num_concepts
+  /// row-major with the aggregate row last — what the flat image
+  /// serializes. Requires a normalized model.
+  [[nodiscard]] std::span<const double> NormalizedTable() const;
+
  private:
   [[nodiscard]] size_t Index(ConceptId id, ContextId ctx) const;
 
@@ -60,6 +78,11 @@ class FrequencyModel {
   /// Layout: [ctx][concept] flattened; last "context" row is the aggregate.
   std::vector<double> raw_;
   std::vector<double> normalized_freq_;
+  /// Non-empty iff the normalized table is borrowed from a mapped image
+  /// rather than owned by normalized_freq_ (FromNormalizedTable). Never
+  /// points into this object's own storage, so default copies/moves stay
+  /// correct.
+  std::span<const double> borrowed_;
 };
 
 /// Propagates direct per-context mention weights bottom-up over the DAG's

@@ -35,6 +35,16 @@ struct ServiceStatsSnapshot {
   uint64_t failed = 0;            ///< mapping/validation errors
   uint64_t queue_depth_high_water = 0;
   uint64_t snapshot_swaps = 0;
+  /// How the current snapshot came to exist: 0 = built by the offline
+  /// phase in-process, 1 = mapped from a flat image (SnapshotSource).
+  uint64_t snapshot_source = 0;
+  /// RELOADs that produced and published a new snapshot (failed reloads
+  /// leave the counter alone — the old generation keeps serving).
+  uint64_t reloads_completed = 0;
+  /// Microseconds the most recent image map-and-rehydrate took; 0 when
+  /// the current snapshot was built rather than mapped. Wall-clock, so
+  /// outside the deterministic ToString subset.
+  uint64_t image_load_us = 0;
   /// Transport (TCP frontend) counters. Deliberately outside the
   /// deterministic ToString subset: the same scripted session must
   /// produce one transcript over stdin (0 connections) and TCP (1).
@@ -80,6 +90,12 @@ class ServiceStats {
   void RecordRelaxStats(const RelaxStats& stats) MEDRELAX_EXCLUDES(relax_mu_);
   void RecordFailed();
   void RecordSnapshotSwap();
+  /// The published snapshot's provenance: `mapped` = flat image,
+  /// otherwise the in-process offline build. `image_load_us` is the
+  /// map-and-rehydrate time for mapped snapshots (0 for built ones).
+  void RecordSnapshotSource(bool mapped, uint64_t image_load_us);
+  /// A RELOAD produced and published a replacement snapshot.
+  void RecordReloadCompleted();
   /// Transport accounting, reported by the TCP frontend: sessions that
   /// reached the protocol layer, sessions torn down, accepts rejected at
   /// the connection cap, and lines dropped for exceeding the size limit.
@@ -107,6 +123,9 @@ class ServiceStats {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> queue_depth_high_water_{0};
   std::atomic<uint64_t> snapshot_swaps_{0};
+  std::atomic<uint64_t> snapshot_source_{0};
+  std::atomic<uint64_t> reloads_completed_{0};
+  std::atomic<uint64_t> image_load_us_{0};
   std::atomic<uint64_t> connections_opened_{0};
   std::atomic<uint64_t> connections_closed_{0};
   std::atomic<uint64_t> connections_rejected_{0};

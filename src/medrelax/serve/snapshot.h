@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "medrelax/common/mutex.h"
 #include "medrelax/common/result.h"
@@ -16,6 +17,18 @@
 #include "medrelax/relax/query_relaxer.h"
 
 namespace medrelax {
+
+namespace flat {
+class FlatImageView;
+}  // namespace flat
+
+/// How a snapshot came to exist: built from raw inputs by the full
+/// offline phase, or mapped from a flat image medrelax_ingest froze
+/// earlier (docs/SNAPSHOT_FORMAT.md).
+enum class SnapshotSource {
+  kBuilt,
+  kMapped,
+};
 
 /// Knobs of a serving snapshot build: everything the offline phase needs to
 /// turn a raw (EKS, KB) pair into a query-ready bundle.
@@ -57,6 +70,23 @@ class Snapshot {
       ConceptDag dag, KnowledgeBase kb, const Corpus* corpus,
       const SnapshotOptions& options) MEDRELAX_BLOCKING;
 
+  /// Boots a snapshot from a flat image medrelax_ingest wrote: the image
+  /// is mmapped read-only, the DAG/KB/ingestion artifacts rehydrate from
+  /// its sections, and the frequency table is served zero-copy out of the
+  /// mapping — Algorithm 1 never reruns. The recomputed options
+  /// fingerprint must match the one stored at ingest time
+  /// (InvalidArgument otherwise — the format evolved under the knobs).
+  /// MEDRELAX_BLOCKING: maps and validates the whole file; O(image)
+  /// checksum + index rebuild, but no corpus pass and no propagation.
+  [[nodiscard]] static Result<std::shared_ptr<Snapshot>> LoadFromImage(
+      const std::string& path) MEDRELAX_BLOCKING;
+
+  /// Freezes this snapshot into a flat image at `path`, to be served
+  /// later via LoadFromImage. MEDRELAX_BLOCKING: serializes every table
+  /// to disk (offline ingest tool only).
+  [[nodiscard]] Status WriteImage(const std::string& path) const
+      MEDRELAX_BLOCKING;
+
   /// The publish generation stamped by SnapshotRegistry::Publish;
   /// 0 until published. Result-cache keys include this, so entries of a
   /// replaced snapshot can never answer queries against the new one.
@@ -75,12 +105,23 @@ class Snapshot {
   [[nodiscard]] const MappingFunction& mapper() const { return *mapper_; }
   [[nodiscard]] const QueryRelaxer& relaxer() const { return *relaxer_; }
 
+  /// The options this snapshot was built (or ingested) under.
+  [[nodiscard]] const SnapshotOptions& options() const { return options_; }
+
+  /// Whether this snapshot ran the offline phase or mapped an image.
+  [[nodiscard]] SnapshotSource source() const { return source_; }
+
+  /// Wall-clock microseconds LoadFromImage spent mapping + rehydrating;
+  /// 0 for built snapshots.
+  [[nodiscard]] uint64_t load_micros() const { return load_micros_; }
+
   /// Tag type gating the public constructor to Build (make_shared needs a
   /// public constructor; the tag keeps outside callers on the factory).
   struct BuildTag {
     explicit BuildTag() = default;
   };
   Snapshot(BuildTag, ConceptDag dag, KnowledgeBase kb);
+  ~Snapshot();
 
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
@@ -88,14 +129,21 @@ class Snapshot {
  private:
   friend class SnapshotRegistry;
 
+  /// Declared first so it is destroyed LAST: when the snapshot was mapped
+  /// from an image, ingestion_.frequencies borrows its normalized table
+  /// straight from this mapping and must never outlive it.
+  std::unique_ptr<flat::FlatImageView> image_;
   ConceptDag dag_;
   KnowledgeBase kb_;
   IngestionResult ingestion_;
   std::unique_ptr<NameIndex> index_;
   std::unique_ptr<MappingFunction> mapper_;
   std::unique_ptr<QueryRelaxer> relaxer_;
+  SnapshotOptions options_;
   uint64_t options_fingerprint_ = 0;
   uint64_t generation_ = 0;
+  SnapshotSource source_ = SnapshotSource::kBuilt;
+  uint64_t load_micros_ = 0;
 };
 
 /// The RCU-style publication point: readers take the current snapshot with

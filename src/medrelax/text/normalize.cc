@@ -31,27 +31,24 @@ bool IsSpace(char c) {
 
 std::string NormalizeTerm(std::string_view term,
                           const NormalizeOptions& options) {
-  std::string staged;
-  staged.reserve(term.size());
+  // Single pass, single allocation: this runs once per surface form when
+  // a name index is (re)built, which is on the snapshot image load path.
+  std::string out;
+  out.reserve(term.size());
+  bool in_space = true;  // trims leading whitespace
   for (char c : term) {
     if (options.lowercase && c >= 'A' && c <= 'Z') {
       c = static_cast<char>(c - 'A' + 'a');
     }
     if (options.strip_punctuation && IsPunct(c)) c = ' ';
-    staged.push_back(c);
-  }
-  if (!options.collapse_whitespace) return staged;
-
-  std::string out;
-  out.reserve(staged.size());
-  bool in_space = true;  // trims leading whitespace
-  for (char c : staged) {
-    if (IsSpace(c)) {
-      in_space = true;
-      continue;
+    if (options.collapse_whitespace) {
+      if (IsSpace(c)) {
+        in_space = true;
+        continue;
+      }
+      if (in_space && !out.empty()) out.push_back(' ');
+      in_space = false;
     }
-    if (in_space && !out.empty()) out.push_back(' ');
-    in_space = false;
     out.push_back(c);
   }
   return out;

@@ -1,17 +1,23 @@
 // medrelax_server: the long-lived serving front end over medrelax/serve.
 //
-//   medrelax_server serve <dir> [--workers N] [--queue N] [--cache N]
-//                         [--deadline-ms D] [--exact] [--batch N]
-//                         [--listen PORT] [--max-conns N] [--max-line N]
+//   medrelax_server serve <dir> [--image FILE] [--workers N] [--queue N]
+//                         [--cache N] [--deadline-ms D] [--exact]
+//                         [--batch N] [--listen PORT] [--max-conns N]
+//                         [--max-line N]
 //       Loads <dir>/eks.tsv + <dir>/kb.tsv (as written by
 //       `medrelax_tool generate`), runs the offline ingestion into a
 //       serving snapshot, and answers a newline-delimited text protocol
-//       (grammar in docs/SERVING.md):
+//       (grammar in docs/SERVING.md). With --image FILE the offline
+//       phase is skipped entirely: FILE is a flat snapshot image frozen
+//       by medrelax_ingest, mmapped read-only and served zero-copy
+//       (<dir> may then be omitted).
 //
 //         RELAX [k=N] [ctx=LABEL] <term...>   relax a [term, context] pair
 //         CONTEXTS                            list context labels
 //         GEN                                 current snapshot generation
-//         RELOAD                              re-ingest <dir>, hot-swap
+//         RELOAD [path]                       hot-swap: map `path` (a flat
+//                                             image) when given, else
+//                                             re-load the boot source
 //         STATS                               deterministic counter block
 //         QUIT                                end the session (EOF too)
 //
@@ -70,10 +76,12 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  medrelax_server serve <dir> [--workers N] [--queue N]"
-      " [--cache N] [--deadline-ms D] [--exact] [--batch N]\n"
+      "  medrelax_server serve <dir> [--image FILE] [--workers N]"
+      " [--queue N] [--cache N] [--deadline-ms D] [--exact] [--batch N]\n"
       "                       [--listen PORT] [--max-conns N]"
       " [--max-line BYTES]\n"
+      "      (--image FILE boots from a medrelax_ingest snapshot image;"
+      " <dir> may be omitted)\n"
       "  medrelax_server load <dir> [--requests N] [--workers N]"
       " [--queue N] [--cache N] [--deadline-ms D] [--distinct N]\n");
   return 2;
@@ -112,33 +120,52 @@ Result<std::shared_ptr<Snapshot>> BuildSnapshotFromDir(
 }
 
 /// Everything a session (stdin or one TCP connection) needs to answer
-/// protocol verbs. One per server process.
+/// protocol verbs. One per server process. `image_path` is the flat
+/// image the current snapshot was mapped from, empty for dir-built
+/// servers; only the reload path (one thread at a time — the stdio
+/// session or the single ReloadExecutor worker) touches it after setup.
 struct ServerState {
   RelaxationService& service;
   std::string dir;
+  std::string image_path;
   SnapshotOptions snapshot_options;
 };
 
-/// Runs one RELOAD end-to-end — re-read <dir> from disk, rerun the
-/// offline phase, publish — and renders the protocol reply. Both
-/// transports produce their RELOAD replies through this one function, so
-/// the transcripts cannot drift. MEDRELAX_BLOCKING: the rebuild is
-/// seconds of CPU at scale; the TCP transport runs it on the
-/// ReloadExecutor thread, never on the event loop.
-std::string DoReload(ServerState& state) MEDRELAX_BLOCKING {
+/// Runs one RELOAD end-to-end and renders the protocol reply. With an
+/// explicit `image_arg` (RELOAD <path>) or an image-booted server, the
+/// swap is map-and-publish — O(image validation), no Algorithm 1;
+/// otherwise <dir> is re-read from disk and the offline phase reruns.
+/// A failed reload replies a typed err and leaves the current generation
+/// serving untouched. Both transports produce their RELOAD replies
+/// through this one function, so the transcripts cannot drift.
+/// MEDRELAX_BLOCKING: a dir rebuild is seconds of CPU at scale; the TCP
+/// transport runs it on the ReloadExecutor thread, never on the event
+/// loop.
+std::string DoReload(ServerState& state,
+                     const std::string& image_arg) MEDRELAX_BLOCKING {
   // Test hook: scripts/server_smoke.sh stretches the rebuild window to
   // prove other sessions keep answering while a RELOAD is in flight.
   if (const char* delay_ms = std::getenv("MEDRELAX_RELOAD_TEST_DELAY_MS")) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(std::strtoul(delay_ms, nullptr, 10)));
   }
+  const std::string image =
+      !image_arg.empty() ? image_arg : state.image_path;
   Result<std::shared_ptr<Snapshot>> reloaded =
-      BuildSnapshotFromDir(state.dir, state.snapshot_options);
+      !image.empty() ? Snapshot::LoadFromImage(image)
+                     : BuildSnapshotFromDir(state.dir, state.snapshot_options);
   if (!reloaded.ok()) {
     return StrFormat("err %s\n", reloaded.status().ToString().c_str());
   }
+  // A successful explicit-path reload makes that image the boot source
+  // for later plain RELOADs (sticky, like booting with --image).
+  if (!image_arg.empty()) state.image_path = image_arg;
+  state.service.TransportStats().RecordSnapshotSource(
+      (*reloaded)->source() == SnapshotSource::kMapped,
+      (*reloaded)->load_micros());
   const uint64_t generation =
       state.service.PublishSnapshot(std::move(*reloaded));
+  state.service.TransportStats().RecordReloadCompleted();
   return StrFormat("ok reload gen=%llu\n",
                    static_cast<unsigned long long>(generation));
 }
@@ -335,7 +362,9 @@ int RunStdioSession(ServerState& state) {
       break;
     }
     if (verb == "RELOAD") {
-      std::fputs(DoReload(state).c_str(), stdout);
+      std::string image_arg;
+      in >> image_arg;
+      std::fputs(DoReload(state, image_arg).c_str(), stdout);
       std::fflush(stdout);
       continue;
     }
@@ -410,10 +439,13 @@ int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
       // Same pause-then-post shape as RELAX below, but the heavy work
       // runs on the reload thread: this session waits for its answer,
       // every other session keeps being served by the loop meanwhile.
+      std::string image_arg;
+      in >> image_arg;
       conn.Pause();
       const uint64_t conn_id = conn.id();
-      reload_executor.Submit([&state, &loop, &server, conn_id]() {
-        std::string reply = DoReload(state);
+      reload_executor.Submit([&state, &loop, &server, conn_id,
+                              image_arg = std::move(image_arg)]() {
+        std::string reply = DoReload(state, image_arg);
         loop.Post([&server, conn_id, reply = std::move(reply)]() {
           net::Connection* target = server.Find(conn_id);
           if (target == nullptr) return;  // client disconnected mid-flight
@@ -497,7 +529,13 @@ int RunTcpServer(ServerState& state, const ServiceOptions& service_options,
 }
 
 int RunServe(int argc, char** argv) {
-  const std::string dir = argv[2];
+  // With --image the positional <dir> may be omitted (argv[2] is then
+  // the first flag); without it the dir stays mandatory.
+  const std::string dir =
+      std::strncmp(argv[2], "--", 2) != 0 ? argv[2] : "";
+  const char* image_flag = FlagValue(argc, argv, "--image");
+  const std::string image = image_flag != nullptr ? image_flag : "";
+  if (dir.empty() && image.empty()) return Usage();
   SnapshotOptions snapshot_options;
   snapshot_options.use_exact_mapper = HasFlag(argc, argv, "--exact");
   ServiceOptions service_options;
@@ -520,14 +558,24 @@ int RunServe(int argc, char** argv) {
   }
 
   Result<std::shared_ptr<Snapshot>> snapshot =
-      BuildSnapshotFromDir(dir, snapshot_options);
+      !image.empty() ? Snapshot::LoadFromImage(image)
+                     : BuildSnapshotFromDir(dir, snapshot_options);
   if (!snapshot.ok()) {
-    std::fprintf(stderr, "snapshot build failed: %s\n",
+    std::fprintf(stderr, "snapshot %s failed: %s\n",
+                 !image.empty() ? "image load" : "build",
                  snapshot.status().ToString().c_str());
     return 1;
   }
+  const bool mapped = (*snapshot)->source() == SnapshotSource::kMapped;
+  const uint64_t load_micros = (*snapshot)->load_micros();
+  if (mapped) {
+    // An image carries its build-time knobs; later dir RELOADs (only
+    // possible when a <dir> was also given) reuse them.
+    snapshot_options = (*snapshot)->options();
+  }
   RelaxationService service(std::move(*snapshot), service_options);
-  ServerState state{service, dir, snapshot_options};
+  service.TransportStats().RecordSnapshotSource(mapped, load_micros);
+  ServerState state{service, dir, image, snapshot_options};
 
   if (FlagValue(argc, argv, "--listen") != nullptr) {
     const uint16_t port =
