@@ -25,7 +25,7 @@ skip() { printf 'SKIP: %s\n' "$*" >&2; }
 
 # tests/lint_selftest holds lint fixtures with deliberate violations and
 # deliberately unformatted code; only the lint self-test reads them.
-mapfile -t CXX_FILES < <(find src tests bench examples tools \
+mapfile -t CXX_FILES < <(find src tests bench examples tools fuzz \
   \( -name '*.cc' -o -name '*.h' \) -type f \
   -not -path '*/lint_selftest/*' | sort)
 
@@ -92,6 +92,25 @@ python3 tests/lint_selftest/run_lint_selftest.py || fail "lint self-test"
 note "semantic lint self-test (tests/lint_selftest/semantic)"
 python3 tests/lint_selftest/semantic/run_semantic_selftest.py \
   || fail "semantic lint self-test"
+
+# 6. fuzz regression-corpus replay ------------------------------------------
+# The committed corpus (fuzz/corpus/<harness>/) pins every crash/UB the
+# fuzzers ever found; replaying it needs only the plain replay drivers —
+# no clang, no libFuzzer — so a lint run catches a reintroduced parser
+# bug even on a gcc-only machine. Skipped (not failed) when the drivers
+# are not built: ctest runs the same replay as <harness>_corpus_replay.
+replayed_any=0
+for harness in fuzz_image fuzz_protocol fuzz_textio; do
+  replay="${BUILD_DIR}/fuzz/${harness}_replay"
+  if [[ -x "${replay}" ]]; then
+    note "fuzz corpus replay (${harness})"
+    "${replay}" "fuzz/corpus/${harness}" || fail "corpus replay (${harness})"
+    replayed_any=1
+  fi
+done
+if [[ ${replayed_any} -eq 0 ]]; then
+  skip "fuzz corpus replay: no replay drivers in ${BUILD_DIR}/fuzz (build first)"
+fi
 
 if [[ ${failures} -gt 0 ]]; then
   printf '\ncheck.sh: %d stage(s) failed\n' "${failures}" >&2

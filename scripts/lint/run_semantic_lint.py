@@ -38,6 +38,13 @@ ALLOW_RE = re.compile(r"lint:allow\(([a-z0-9_,\- ]+)\)")
 # for a semantic rule in these directories is itself a finding.
 NO_WAIVER_DIRS = ("src/medrelax/net/", "src/medrelax/serve/")
 
+# Rule-specific bans on top of NO_WAIVER_DIRS: the untrusted-input
+# boundary (mapped images, inbound connection bytes) must hold without
+# exceptions in the layers that own it.
+RULE_NO_WAIVER_DIRS = {
+    "untrusted-bytes": ("src/medrelax/flat/", "src/medrelax/net/"),
+}
+
 DEFAULT_SCAN = ("src", "tools")
 SOURCE_EXTS = (".h", ".cc")
 
@@ -125,11 +132,18 @@ def apply_waivers(findings, sources_by_path):
             continue
         waived = waived_rules(line_cache[finding.file], finding.line)
         if finding.rule in waived:
+            rule_bans = RULE_NO_WAIVER_DIRS.get(finding.rule, ())
             if finding.file.startswith(NO_WAIVER_DIRS):
                 illegal.append(model.Finding(
                     finding.file, finding.line, finding.rule,
                     "waiver is not permitted in net/ or serve/ — these"
                     " layers define the affinity model; fix the code"))
+            elif finding.file.startswith(rule_bans):
+                illegal.append(model.Finding(
+                    finding.file, finding.line, finding.rule,
+                    f"waiver for [{finding.rule}] is not permitted here —"
+                    " this layer owns the untrusted-input boundary; fix"
+                    " the code"))
             else:
                 waived_count += 1
             continue

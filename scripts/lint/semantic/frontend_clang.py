@@ -27,7 +27,7 @@ import os
 from typing import Dict, List, Optional, Set, Tuple
 
 from clang import cindex
-from clang.cindex import CursorKind
+from clang.cindex import CursorKind, TypeKind
 
 from . import model
 
@@ -247,6 +247,8 @@ class _BodyWalker:
         # assignment pattern; flushed after the body completes.
         self.lambda_vars: Dict[str, model.FunctionInfo] = {}
         self.lambdas: List[model.FunctionInfo] = []
+        # Locals carrying MEDRELAX_UNTRUSTED_BYTES data (untrusted-bytes).
+        self.tainted: Set[str] = set()
 
     # -- constructor init list --------------------------------------------
 
@@ -308,9 +310,26 @@ class _BodyWalker:
         if kind == CursorKind.CSTYLE_CAST_EXPR and at_stmt_level:
             if self._visit_void_cast(cursor, locks):
                 return
+        if kind == CursorKind.CXX_REINTERPRET_CAST_EXPR:
+            hit = self._find_taint_in(cursor)
+            if hit:
+                self.fn.taint_uses.append(model.TaintUse(
+                    kind="reinterpret-cast", source=hit,
+                    line=cursor.location.line))
+        if kind == CursorKind.ARRAY_SUBSCRIPT_EXPR:
+            base = next(iter(cursor.get_children()), None)
+            disp = self._direct_taint(base) if base is not None else ""
+            if disp:
+                self.fn.taint_uses.append(model.TaintUse(
+                    kind="index", source=disp, line=cursor.location.line))
+        if kind == CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+            self._note_compound_taint(cursor)
+        if kind == CursorKind.UNARY_OPERATOR:
+            self._note_unary_taint(cursor)
         if kind == CursorKind.BINARY_OPERATOR:
             if self._visit_assignment(cursor, locks):
                 return
+            self._note_binary_taint(cursor)
         for child in cursor.get_children():
             self._visit_stmt(child, locks, at_stmt_level=False)
 
@@ -331,6 +350,8 @@ class _BodyWalker:
                 if info is not None:
                     self.lambda_vars[cursor.spelling] = info
                 return
+        if init_children and self._value_taint(init_children[-1]):
+            self.tainted.add(cursor.spelling)
         for child in init_children:
             self._visit_stmt(child, locks, at_stmt_level=False)
 
@@ -451,6 +472,150 @@ class _BodyWalker:
                 toks = _tokens(inner[0])
                 return "".join(toks) if toks else child.spelling
         return ""
+
+    # -- untrusted-bytes taint ---------------------------------------------
+
+    def _direct_taint(self, cursor) -> str:
+        """Display name when `cursor` IS a tainted value: a tainted local,
+        a MEDRELAX_UNTRUSTED_BYTES field, or a call to an annotated
+        accessor. '' otherwise — a value that merely *contains* taint
+        deeper down (a member call on the buffer, say) is a plain value."""
+        cursor = _unwrap(cursor)
+        if cursor is None:
+            return ""
+        kind = cursor.kind
+        if kind == CursorKind.DECL_REF_EXPR:
+            ref = cursor.referenced
+            if ref is not None and ref.spelling in self.tainted:
+                return ref.spelling
+        elif kind == CursorKind.MEMBER_REF_EXPR:
+            ref = cursor.referenced
+            if ref is not None and ref.kind == CursorKind.FIELD_DECL \
+                    and model.UNTRUSTED in _annotations_of(ref):
+                return ref.spelling
+        elif kind == CursorKind.CALL_EXPR:
+            ref = cursor.referenced
+            if ref is not None and model.UNTRUSTED in _annotations_of(ref):
+                return (cursor.spelling or ref.spelling) + "()"
+        return ""
+
+    def _find_taint_in(self, cursor) -> str:
+        """Deep search (for reinterpret_cast operands): any tainted value
+        anywhere in the subtree taints the cast."""
+        for node in cursor.walk_preorder():
+            disp = self._direct_taint(node)
+            if disp:
+                return disp
+        return ""
+
+    def _value_taint(self, cursor) -> str:
+        """Taint carried by an initializer/RHS *value*: the expression is
+        itself a tainted atom, or pointer arithmetic over one. Mirrors the
+        textual frontend: results of member calls on tainted objects are
+        plain values and do not propagate."""
+        cursor = _unwrap(cursor)
+        if cursor is None:
+            return ""
+        disp = self._direct_taint(cursor)
+        if disp:
+            return disp
+        if cursor.kind == CursorKind.BINARY_OPERATOR \
+                and self._binop_text(cursor) in ("+", "-"):
+            for child in cursor.get_children():
+                disp = self._value_taint(child)
+                if disp:
+                    return disp
+        return ""
+
+    @staticmethod
+    def _binop_text(cursor) -> str:
+        """Spelling of a binary/compound operator ('+', '-', '=', '+=',
+        ...). Prefers the cindex BinaryOperator property (clang >= 17);
+        falls back to the first token past the LHS extent."""
+        try:
+            name = cursor.binary_operator.name
+            mapped = {"Add": "+", "Sub": "-", "Assign": "=",
+                      "AddAssign": "+=", "SubAssign": "-="}.get(name)
+            if mapped:
+                return mapped
+            if name and name != "Invalid":
+                return name
+        except Exception:
+            pass
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return ""
+        try:
+            lhs_end = children[0].extent.end.offset
+            for tok in cursor.get_tokens():
+                if tok.extent.start.offset >= lhs_end:
+                    return tok.spelling
+        except Exception:  # pragma: no cover - defensive
+            return ""
+        return ""
+
+    @staticmethod
+    def _is_pointer(ctype) -> bool:
+        try:
+            return ctype.get_canonical().kind == TypeKind.POINTER
+        except Exception:  # pragma: no cover - defensive
+            return False
+
+    def _note_binary_taint(self, cursor) -> None:
+        """Pointer arithmetic on tainted operands, and `lhs = rhs` taint
+        propagation onto plain local variables."""
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return
+        op = self._binop_text(cursor)
+        if op in ("+", "-") and self._is_pointer(cursor.type):
+            for child in children:
+                disp = self._direct_taint(child)
+                if disp:
+                    self.fn.taint_uses.append(model.TaintUse(
+                        kind="pointer-arith", source=disp,
+                        line=child.location.line))
+                    return
+            return
+        if op != "=":
+            return
+        lhs = _unwrap(children[0])
+        if lhs is None or lhs.kind != CursorKind.DECL_REF_EXPR:
+            return
+        name = lhs.referenced.spelling if lhs.referenced is not None \
+            else lhs.spelling
+        if not name:
+            return
+        if self._value_taint(children[1]):
+            self.tainted.add(name)
+        else:
+            self.tainted.discard(name)
+
+    def _note_compound_taint(self, cursor) -> None:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return
+        if self._binop_text(cursor) not in ("+=", "-="):
+            return
+        disp = self._direct_taint(children[0])
+        if disp and self._is_pointer(cursor.type):
+            self.fn.taint_uses.append(model.TaintUse(
+                kind="pointer-arith", source=disp,
+                line=children[0].location.line))
+
+    def _note_unary_taint(self, cursor) -> None:
+        toks = _tokens(cursor)
+        if not toks or not (toks[0] in ("++", "--")
+                            or toks[-1] in ("++", "--")):
+            return
+        operand = next(iter(cursor.get_children()), None)
+        if operand is None:
+            return
+        disp = self._direct_taint(operand)
+        if disp and self._is_pointer(cursor.type):
+            self.fn.taint_uses.append(model.TaintUse(
+                kind="pointer-arith", source=disp,
+                line=operand.location.line))
 
     # -- (void) discards ---------------------------------------------------
 

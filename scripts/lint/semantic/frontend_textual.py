@@ -667,6 +667,7 @@ class _Scope:
         self.parent = parent
         self.vars: Dict[str, str] = {}  # name -> type component
         self.lambda_vars: Dict[str, model.FunctionInfo] = {}
+        self.tainted: set = set()  # locals carrying untrusted bytes
 
     def type_of(self, name: str) -> str:
         s: Optional[_Scope] = self
@@ -675,6 +676,23 @@ class _Scope:
                 return s.vars[name]
             s = s.parent
         return ""
+
+    def is_tainted(self, name: str) -> bool:
+        s: Optional[_Scope] = self
+        while s is not None:
+            if name in s.tainted:
+                return True
+            s = s.parent
+        return False
+
+    def taint(self, name: str) -> None:
+        self.tainted.add(name)
+
+    def untaint(self, name: str) -> None:
+        s: Optional[_Scope] = self
+        while s is not None:
+            s.tainted.discard(name)
+            s = s.parent
 
     def lambda_of(self, name: str) -> Optional[model.FunctionInfo]:
         s: Optional[_Scope] = self
@@ -754,6 +772,10 @@ class _BodyWalker:
             t = toks[i]
             if t.kind == "p":
                 if t.text == "{":
+                    # The statement-so-far is a control-flow header (`if
+                    # (...)`, `while (...)`) — taint uses in the condition
+                    # still count.
+                    self._analyze_stmt_taint(toks, stmt_start, i, fn, scope)
                     close = _match_brace(toks, i)
                     lock_frames.append(set())
                     self._walk_tokens_with_frames(i + 1, close, fn,
@@ -773,6 +795,7 @@ class _BodyWalker:
                 elif t.text == ";" and paren == 0:
                     self._finalize_stmt(toks, stmt_start, i, stmt_calls,
                                         has_assign)
+                    self._analyze_stmt_taint(toks, stmt_start, i, fn, scope)
                     stmt_start = i + 1
                     stmt_calls = []
                     has_assign = False
@@ -800,6 +823,200 @@ class _BodyWalker:
                     continue
             i += 1
         self._finalize_stmt(toks, stmt_start, end, stmt_calls, has_assign)
+        self._analyze_stmt_taint(toks, stmt_start, end, fn, scope)
+
+    # -- untrusted-bytes taint ---------------------------------------------
+
+    def _call_is_untrusted(self, toks: List[Tok], idx: int,
+                           fn: model.FunctionInfo, scope: _Scope) -> bool:
+        """Whether the call whose callee id sits at `idx` resolves to a
+        MEDRELAX_UNTRUSTED_BYTES function. Resolution demands a known
+        receiver (chain type, qualifier, or self) — a name-only match
+        would taint every std:: `.data()` in the tree."""
+        name = toks[idx].text
+        k = idx - 1
+        if k >= 0 and toks[k].kind == "p" and toks[k].text == "::":
+            if k - 1 >= 0 and toks[k - 1].kind == "id":
+                return model.UNTRUSTED in self.program.annotations_of(
+                    toks[k - 1].text, name)
+            return False
+        if k >= 0 and toks[k].kind == "p" and toks[k].text in (".", "->"):
+            chain: List[str] = []
+            k -= 1
+            while k >= 0:
+                t = toks[k]
+                if t.kind == "id":
+                    chain.append(t.text)
+                elif not (t.kind == "p" and t.text in (".", "->")):
+                    break
+                k -= 1
+            if k >= 0 and toks[k].kind == "p" and toks[k].text == ")":
+                return False  # computed receiver: refuse to guess
+            chain.reverse()
+            rtype = self._chain_type(chain, fn, scope)
+            if not rtype:
+                return False
+            return model.UNTRUSTED in self.program.annotations_of(rtype, name)
+        if fn.cls:
+            return model.UNTRUSTED in self.program.annotations_of(
+                fn.cls, name)
+        return False
+
+    def _stmt_taint_atoms(self, toks: List[Tok], start: int, end: int,
+                          fn: model.FunctionInfo,
+                          scope: _Scope) -> List[Tuple[int, int, str]]:
+        """(first_tok, last_tok, display) spans of tainted atoms in
+        [start, end): untrusted-annotated calls, tainted locals, and
+        MEDRELAX_UNTRUSTED_BYTES fields (bare or through a resolvable
+        member chain)."""
+        atoms: List[Tuple[int, int, str]] = []
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.kind != "id":
+                i += 1
+                continue
+            nxt = toks[i + 1] if i + 1 < end else None
+            if nxt is not None and nxt.kind == "p" and nxt.text == "(":
+                if self._call_is_untrusted(toks, i, fn, scope):
+                    depth = 0
+                    j = i + 1
+                    while j < end:
+                        if toks[j].kind == "p" and toks[j].text == "(":
+                            depth += 1
+                        elif toks[j].kind == "p" and toks[j].text == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        j += 1
+                    atoms.append((i, min(j, end - 1), t.text + "()"))
+                    i = j + 1
+                    continue
+                i += 1
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            member_access = prev is not None and prev.kind == "p" \
+                and prev.text in (".", "->")
+            if not member_access:
+                if scope.is_tainted(t.text):
+                    atoms.append((i, i, t.text))
+                    i += 1
+                    continue
+                fld = self.program.field_decl(fn.cls, t.text)
+                if fld is not None and model.UNTRUSTED in fld.annotations:
+                    atoms.append((i, i, t.text))
+                i += 1
+                continue
+            # `chain.member` — resolve the owner, then check its field.
+            chain: List[str] = []
+            k = i - 2
+            while k >= 0:
+                tt = toks[k]
+                if tt.kind == "id":
+                    chain.append(tt.text)
+                elif not (tt.kind == "p" and tt.text in (".", "->")):
+                    break
+                k -= 1
+            chain.reverse()
+            if chain:
+                owner = self._chain_type(chain, fn, scope)
+                if owner:
+                    fld = self.program.field_decl(owner, t.text)
+                    if fld is not None \
+                            and model.UNTRUSTED in fld.annotations:
+                        atoms.append((i, i, t.text))
+            i += 1
+        return atoms
+
+    _ARITH_AFTER = {"+", "-", "+=", "-=", "++", "--"}
+    _ARITH_BEFORE = {"++", "--"}
+
+    def _analyze_stmt_taint(self, toks: List[Tok], start: int, end: int,
+                            fn: model.FunctionInfo, scope: _Scope) -> None:
+        """Records TaintUse facts for one statement and propagates taint
+        through `lhs = <tainted expr>` assignments/declarations."""
+        if start >= end:
+            return
+        atoms = self._stmt_taint_atoms(toks, start, end, fn, scope)
+
+        # reinterpret_cast<T>(...) with a tainted atom in its argument.
+        for i in range(start, end):
+            if toks[i].kind != "id" or toks[i].text != "reinterpret_cast":
+                continue
+            j = i + 1
+            while j < end and not (toks[j].kind == "p"
+                                   and toks[j].text == "("):
+                j += 1
+            if j >= end:
+                continue
+            depth = 0
+            close = j
+            while close < end:
+                if toks[close].kind == "p" and toks[close].text == "(":
+                    depth += 1
+                elif toks[close].kind == "p" and toks[close].text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                close += 1
+            hit = next((a for a in atoms if j < a[0] < close), None)
+            if hit is not None:
+                fn.taint_uses.append(model.TaintUse(
+                    kind="reinterpret-cast", source=hit[2],
+                    line=toks[i].line))
+
+        for first, last, display in atoms:
+            after = toks[last + 1] if last + 1 < end else None
+            before = toks[first - 1] if first > 0 else None
+            if after is not None and after.kind == "p" \
+                    and after.text == "[":
+                fn.taint_uses.append(model.TaintUse(
+                    kind="index", source=display, line=toks[last].line))
+            if (after is not None and after.kind == "p"
+                    and after.text in self._ARITH_AFTER) \
+                    or (before is not None and before.kind == "p"
+                        and before.text in self._ARITH_BEFORE):
+                fn.taint_uses.append(model.TaintUse(
+                    kind="pointer-arith", source=display,
+                    line=toks[last].line))
+
+        # Propagation: `... name = <rhs>;` taints (or clears) `name`.
+        eq_at = -1
+        depth = 0
+        for i in range(start, end):
+            t = toks[i]
+            if t.kind != "p":
+                continue
+            if t.text in "([{":
+                depth += 1
+            elif t.text in ")]}":
+                depth -= 1
+            elif t.text == "=" and depth == 0:
+                eq_at = i
+                break
+        if eq_at <= start:
+            return
+        # The assigned variable is a plain identifier directly before the
+        # '=' (not a member access or subscript — those are not locals).
+        lhs_tok = toks[eq_at - 1]
+        if lhs_tok.kind != "id":
+            return
+        before_lhs = toks[eq_at - 2] if eq_at - 2 >= start else None
+        if before_lhs is not None and before_lhs.kind == "p" \
+                and before_lhs.text in (".", "->", "::"):
+            return
+        # An atom whose next token is '.'/'->' feeds a member call
+        # (`in_.find(...)`): the *result* is a plain value, not the raw
+        # bytes, so it does not propagate taint.
+        def _flows(a: Tuple[int, int, str]) -> bool:
+            after = toks[a[1] + 1] if a[1] + 1 < end else None
+            return after is None or not (after.kind == "p"
+                                         and after.text in (".", "->"))
+        rhs_tainted = any(a[0] > eq_at and _flows(a) for a in atoms)
+        if rhs_tainted:
+            scope.taint(lhs_tok.text)
+        elif scope.is_tainted(lhs_tok.text):
+            scope.untaint(lhs_tok.text)
 
     # -- pieces ------------------------------------------------------------
 

@@ -22,17 +22,20 @@ ANNOTATION_MACROS = {
     "MEDRELAX_LOOP_THREAD_ONLY": "loop_thread_only",
     "MEDRELAX_BLOCKING": "blocking",
     "MEDRELAX_POSTS_TO_LOOP": "posts_to_loop",
+    "MEDRELAX_UNTRUSTED_BYTES": "untrusted_bytes",
 }
 
 ANNOTATION_SPELLINGS = {
     "medrelax::loop_thread_only": "loop_thread_only",
     "medrelax::blocking": "blocking",
     "medrelax::posts_to_loop": "posts_to_loop",
+    "medrelax::untrusted_bytes": "untrusted_bytes",
 }
 
 LOOP_ONLY = "loop_thread_only"
 BLOCKING = "blocking"
 POSTS_TO_LOOP = "posts_to_loop"
+UNTRUSTED = "untrusted_bytes"
 
 # RAII lock types of common/mutex.h: a local of one of these types holds
 # its mutex until the end of the enclosing block.
@@ -73,6 +76,22 @@ class CallSite:
 
 
 @dataclasses.dataclass
+class TaintUse:
+    """One raw-byte operation on an untrusted-tainted value.
+
+    A value is tainted when it came (directly or through local
+    assignment) from a MEDRELAX_UNTRUSTED_BYTES-annotated accessor or
+    data member: bytes an attacker fully controls (a mapped snapshot
+    image, a connection's inbound buffer). The untrusted-bytes rule
+    reports these uses outside the blessed accessor files.
+    """
+
+    kind: str  # "reinterpret-cast" | "pointer-arith" | "index"
+    source: str  # the tainted expression/variable, for the message
+    line: int
+
+
+@dataclasses.dataclass
 class FieldStore:
     """`member_ = <param>` (or ctor-init `member_(param)`) inside a method."""
 
@@ -105,6 +124,8 @@ class FunctionInfo:
     view_params: Tuple[str, ...] = ()
     field_stores: List[FieldStore] = dataclasses.field(default_factory=list)
     returns_status: bool = False
+    # Raw-byte operations on untrusted-tainted values (untrusted-bytes).
+    taint_uses: List[TaintUse] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass

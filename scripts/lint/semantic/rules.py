@@ -17,6 +17,12 @@ Rule catalog (docs/TOOLING.md has the operator-facing version):
                    consumed (assigned, tested, returned, or cast to void).
   lifetime-escape  a string_view/span parameter must not be stored into a
                    data member: the member outlives the caller's buffer.
+  untrusted-bytes  no reinterpret_cast, pointer arithmetic, or raw
+                   indexing on a value tainted by a
+                   MEDRELAX_UNTRUSTED_BYTES accessor or member outside the
+                   blessed accessor files — untrusted bytes (a mapped
+                   snapshot image, a connection's inbound buffer) are only
+                   touched through the bounds-checked typed readers.
 
 Context derivation is deliberately conservative: a lambda whose sink is
 unknown has *unknown* context — it is exempt from loop-affinity (we
@@ -36,7 +42,24 @@ ALL_RULES = (
     "callback-scope",
     "ignored-status",
     "lifetime-escape",
+    "untrusted-bytes",
 )
+
+# Files allowed to do raw-byte work on tainted values: the validating
+# accessors themselves. Everything else goes through their typed,
+# bounds-checked results. Matched against the end of the reported path so
+# both repo-relative and absolute spellings resolve.
+UNTRUSTED_BLESSED_FILES = (
+    "flat/image_view.h",
+    "flat/image_view.cc",
+    "io/mmap_file.h",
+    "io/mmap_file.cc",
+)
+
+
+def _untrusted_blessed(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return any(norm.endswith(suffix) for suffix in UNTRUSTED_BLESSED_FILES)
 
 
 def _loop_context_uids(program: model.Program,
@@ -166,6 +189,21 @@ def check(program: model.Program,
                         f"(void)-discard of '{site.name}' (Status/Result)"
                         " needs a comment explaining why the error is"
                         " ignorable", comment_waivable=True))
+
+        if "untrusted-bytes" in rules and fn.taint_uses \
+                and not _untrusted_blessed(fn.file):
+            verbs = {
+                "reinterpret-cast": "reinterpret_cast on",
+                "pointer-arith": "pointer arithmetic on",
+                "index": "unchecked indexing into",
+            }
+            for use in fn.taint_uses:
+                findings.append(model.Finding(
+                    fn.file, use.line, "untrusted-bytes",
+                    f"{verbs.get(use.kind, use.kind)} '{use.source}',"
+                    " which carries MEDRELAX_UNTRUSTED_BYTES data; go"
+                    " through the bounds-checked typed accessors"
+                    " (SectionArray/Strings) instead of raw bytes"))
 
         if "lifetime-escape" in rules and fn.view_params:
             views = set(fn.view_params)

@@ -121,4 +121,14 @@
 #define MEDRELAX_POSTS_TO_LOOP \
   MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(annotate("medrelax::posts_to_loop"))
 
+// On an accessor or data member: the bytes it exposes cross a trust
+// boundary — a mapped snapshot image an operator can RELOAD from any
+// path, or a TCP connection's inbound buffer. The untrusted-bytes rule
+// flags reinterpret_cast, pointer arithmetic, and raw indexing on values
+// tainted by these outside the blessed validating accessors
+// (flat/image_view.*, io/mmap_file.*); everything else consumes the
+// bounds-checked typed readers they return.
+#define MEDRELAX_UNTRUSTED_BYTES \
+  MEDRELAX_THREAD_ANNOTATION_ATTRIBUTE_(annotate("medrelax::untrusted_bytes"))
+
 #endif  // MEDRELAX_COMMON_THREAD_ANNOTATIONS_H_

@@ -164,9 +164,12 @@ static_assert(sizeof(FlatMeta) == 168, "on-disk layout is frozen");
 static_assert(std::is_trivially_copyable_v<FlatMeta>);
 
 /// FNV-1a 64 folded a word at a time: tiny, dependency-free, and plenty
-/// to catch truncation and bit rot (the threat model; images are trusted
-/// operator artifacts, not adversarial inputs, but corruption must still
-/// surface as a typed error). Words are mixed as stored — fine because
+/// to catch truncation and bit rot. It is NOT the integrity story for
+/// adversarial images — an attacker who controls the bytes can restamp
+/// the checksum — it only gates accidental corruption; the structural
+/// checks in FlatImageView::Open (bounds, alignment, overlap, meta
+/// count sanity) are what stand between crafted input and UB (see
+/// docs/SNAPSHOT_FORMAT.md). Words are mixed as stored — fine because
 /// kEndianMarker already pins images to one byte order — and the 8-byte
 /// stride keeps validation of a multi-MB image in the low milliseconds,
 /// which is what makes RELOAD-from-image effectively O(1) for operators.

@@ -1,7 +1,9 @@
 #include "medrelax/flat/image_view.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 namespace medrelax::flat {
 
@@ -100,7 +102,44 @@ Result<std::unique_ptr<FlatImageView>> FlatImageView::Open(
                     static_cast<unsigned>(entry.id)));
     }
   }
-  // 5. The meta section is mandatory and exactly one FlatMeta.
+  // 5. No two byte ranges may alias: every raw byte a typed accessor
+  // can hand out has exactly one owner. Without this, a corrupt
+  // directory can serve the same mapped bytes as, say, both a string
+  // blob and an offsets array, and cross-section consistency checks
+  // downstream stop meaning anything. Offsets and sizes were
+  // bounds-checked above, so the end-of-range sums cannot overflow.
+  struct Range {
+    uint64_t begin;
+    uint64_t end;
+    std::string label;
+  };
+  std::vector<Range> ranges;
+  ranges.reserve(view->sections_.size() + 2);
+  ranges.push_back(Range{0, sizeof(ImageHeader), "header"});
+  ranges.push_back(Range{header.directory_offset,
+                         header.directory_offset + dir_bytes,
+                         "section directory"});
+  for (const auto& [id, entry] : view->sections_) {
+    if (entry.size == 0) continue;  // empty sections occupy no bytes
+    ranges.push_back(
+        Range{entry.offset, entry.offset + entry.size,
+              StrFormat("section %u", static_cast<unsigned>(id))});
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i - 1].end > ranges[i].begin) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': %s [%llu, %llu) overlaps %s [%llu, %llu)",
+                    path.c_str(), ranges[i - 1].label.c_str(),
+                    static_cast<unsigned long long>(ranges[i - 1].begin),
+                    static_cast<unsigned long long>(ranges[i - 1].end),
+                    ranges[i].label.c_str(),
+                    static_cast<unsigned long long>(ranges[i].begin),
+                    static_cast<unsigned long long>(ranges[i].end)));
+    }
+  }
+  // 6. The meta section is mandatory and exactly one FlatMeta.
   MEDRELAX_ASSIGN_OR_RETURN(std::span<const FlatMeta> meta,
                             view->SectionArray<FlatMeta>(SectionId::kMeta));
   if (meta.size() != 1) {
@@ -109,6 +148,46 @@ Result<std::unique_ptr<FlatImageView>> FlatImageView::Open(
                   path.c_str(), meta.size()));
   }
   view->meta_ = meta.data();
+  // 7. Counts the decoder will trust for loop bounds and size math must
+  // be plausible before anything multiplies them. Every counted record
+  // owns at least 8 bytes somewhere in the image (an offsets entry, an
+  // id pair, an edge), so a count beyond the file size is provably
+  // corrupt — and rejecting it here keeps the decoder's `count + 1` /
+  // `2 * count` arithmetic comfortably inside 64 bits.
+  const struct {
+    const char* name;
+    uint64_t value;
+  } counts[] = {
+      {"num_concepts", view->meta_->num_concepts},
+      {"num_edges", view->meta_->num_edges},
+      {"num_shortcut_edges", view->meta_->num_shortcut_edges},
+      {"num_synonyms", view->meta_->num_synonyms},
+      {"num_contexts", view->meta_->num_contexts},
+      {"num_mappings", view->meta_->num_mappings},
+      {"num_ontology_concepts", view->meta_->num_ontology_concepts},
+      {"num_relationships", view->meta_->num_relationships},
+      {"num_subconcept_pairs", view->meta_->num_subconcept_pairs},
+      {"num_instances", view->meta_->num_instances},
+      {"num_triples", view->meta_->num_triples},
+  };
+  for (const auto& count : counts) {
+    if (count.value > view->file_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': meta %s=%llu exceeds the %zu-byte file",
+                    path.c_str(), count.name,
+                    static_cast<unsigned long long>(count.value),
+                    view->file_.size()));
+    }
+  }
+  if (view->meta_->num_shortcut_edges > view->meta_->num_edges) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': meta declares %llu shortcut edges out of %llu"
+                  " total",
+                  path.c_str(),
+                  static_cast<unsigned long long>(
+                      view->meta_->num_shortcut_edges),
+                  static_cast<unsigned long long>(view->meta_->num_edges)));
+  }
   return view;
 }
 
@@ -128,11 +207,15 @@ Result<FlatImageView::StringTableView> FlatImageView::Strings(
                             SectionArray<uint64_t>(offsets_id));
   MEDRELAX_ASSIGN_OR_RETURN(std::span<const std::byte> blob,
                             SectionBytes(blob_id));
-  if (offsets.size() != expected_count + 1) {
+  // `offsets.size() - 1 != expected_count` rather than
+  // `offsets.size() != expected_count + 1`: with a corrupt
+  // expected_count of SIZE_MAX the latter wraps to 0, an empty offsets
+  // section passes, and offsets.front() below reads an empty span.
+  if (offsets.empty() || offsets.size() - 1 != expected_count) {
     return Status::InvalidArgument(
-        StrFormat("string table %u: %zu offsets, want %zu",
+        StrFormat("string table %u: %zu offsets, want %zu + 1",
                   static_cast<unsigned>(offsets_id), offsets.size(),
-                  expected_count + 1));
+                  expected_count));
   }
   if (offsets.front() != 0 || offsets.back() != blob.size()) {
     return Status::InvalidArgument(

@@ -51,7 +51,7 @@ class FlatImageView {
   /// Raw bytes of a section; InvalidArgument when absent. Bounds against
   /// the mapping were validated at Open.
   [[nodiscard]] Result<std::span<const std::byte>> SectionBytes(
-      SectionId id) const;
+      SectionId id) const MEDRELAX_UNTRUSTED_BYTES;
 
   /// A section as a typed array. Fails when the section is absent, its
   /// size is not a multiple of sizeof(T), or its offset breaks T's

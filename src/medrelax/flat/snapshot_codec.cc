@@ -553,10 +553,18 @@ Result<DecodedSnapshotImage> ReadSnapshotImage(const std::string& path) {
   MEDRELAX_ASSIGN_OR_RETURN(
       std::span<const double> frequency_table,
       image->SectionArray<double>(SectionId::kFrequencyTable));
-  if (frequency_table.size() != (num_contexts + 1) * n) {
+  // Divide instead of multiplying: (num_contexts + 1) * n can wrap for
+  // corrupt meta counts (Open bounds each against the file size, but a
+  // product of two large-yet-plausible counts can still overflow), and
+  // a wrapped product that happens to equal the real table size would
+  // hand FromNormalizedTable dimensions the table does not have.
+  const size_t rows = num_contexts + 1;
+  if (frequency_table.size() % rows != 0 ||
+      frequency_table.size() / rows != n) {
     return Status::InvalidArgument(
-        StrFormat("frequency table: %zu values, want %zu",
-                  frequency_table.size(), (num_contexts + 1) * n));
+        StrFormat("frequency table: %zu values do not factor as"
+                  " (%zu contexts + 1) x %zu concepts",
+                  frequency_table.size(), num_contexts, n));
   }
   ingestion.frequencies = FrequencyModel::FromNormalizedTable(
       n, num_contexts, meta.ic_smoothing, frequency_table);

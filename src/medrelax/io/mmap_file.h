@@ -33,9 +33,12 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] const std::byte* data() const MEDRELAX_UNTRUSTED_BYTES {
+    return data_;
+  }
   [[nodiscard]] size_t size() const { return size_; }
-  [[nodiscard]] std::span<const std::byte> bytes() const {
+  [[nodiscard]] std::span<const std::byte> bytes() const
+      MEDRELAX_UNTRUSTED_BYTES {
     return {data_, size_};
   }
 

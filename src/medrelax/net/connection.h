@@ -133,7 +133,8 @@ class Connection {
   const ConnectionLimits limits_;
   Handler* const handler_;
 
-  std::string in_;        // unconsumed inbound bytes
+  // Unconsumed inbound bytes — attacker-controlled until framed.
+  std::string in_ MEDRELAX_UNTRUSTED_BYTES;
   size_t in_pos_ = 0;     // consumed prefix of in_ (compacted lazily)
   std::string out_;       // unflushed outbound bytes
   size_t out_pos_ = 0;

@@ -336,6 +336,73 @@ TEST(FlatImageHardening, MisalignedSectionOffsetIsInvalidArgument) {
   EXPECT_TRUE(image.status().IsInvalidArgument()) << image.status();
 }
 
+TEST(FlatImageHardening, OverlappingSectionsAreInvalidArgument) {
+  ASSERT_FALSE(SharedImagePath().empty());
+  std::vector<std::byte> bytes = ReadFileBytes(SharedImagePath());
+  SectionEntry parent_offsets;
+  ASSERT_TRUE(
+      FindSection(bytes, SectionId::kDagParentOffsets, &parent_offsets));
+  SectionEntry child_offsets;
+  size_t child_entry_pos = 0;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kDagChildOffsets, &child_offsets,
+                          &child_entry_pos));
+  // Alias the child-offsets section onto the parent-offsets bytes. The
+  // entry stays in bounds, aligned, and uniquely-id'd — only the
+  // overlap check can reject the aliasing.
+  std::memcpy(bytes.data() + child_entry_pos + offsetof(SectionEntry, offset),
+              &parent_offsets.offset, sizeof(parent_offsets.offset));
+  Restamp(bytes);
+  const std::string path = WriteCorrupted("flat_overlap.img", bytes);
+  Result<std::unique_ptr<FlatImageView>> image = FlatImageView::Open(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsInvalidArgument()) << image.status();
+  EXPECT_NE(image.status().message().find("overlaps"), std::string::npos)
+      << image.status();
+}
+
+TEST(FlatImageHardening, SectionAliasingTheHeaderIsInvalidArgument) {
+  ASSERT_FALSE(SharedImagePath().empty());
+  std::vector<std::byte> bytes = ReadFileBytes(SharedImagePath());
+  SectionEntry entry;
+  size_t entry_pos = 0;
+  ASSERT_TRUE(
+      FindSection(bytes, SectionId::kFrequencyTable, &entry, &entry_pos));
+  // Offset 0 is 16-byte aligned and in bounds, but the first 48 bytes
+  // belong to the header — a section may not serve them as payload.
+  const uint64_t zero_offset = 0;
+  std::memcpy(bytes.data() + entry_pos + offsetof(SectionEntry, offset),
+              &zero_offset, sizeof(zero_offset));
+  Restamp(bytes);
+  const std::string path = WriteCorrupted("flat_header_alias.img", bytes);
+  Result<std::unique_ptr<FlatImageView>> image = FlatImageView::Open(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsInvalidArgument()) << image.status();
+  EXPECT_NE(image.status().message().find("overlaps"), std::string::npos)
+      << image.status();
+}
+
+TEST(FlatImageHardening, OversizedMetaCountIsInvalidArgument) {
+  ASSERT_FALSE(SharedImagePath().empty());
+  std::vector<std::byte> bytes = ReadFileBytes(SharedImagePath());
+  SectionEntry entry;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kMeta, &entry));
+  // num_concepts = 2^64 - 1 used to sail through Open: downstream,
+  // `expected_count + 1` wrapped to 0 in Strings and vector reserves
+  // amplified the lie into bad_alloc. Open's count sanity check (no
+  // count can exceed the file size) now rejects it up front.
+  const uint64_t huge = ~uint64_t{0};
+  std::memcpy(bytes.data() + entry.offset +
+                  offsetof(flat::FlatMeta, num_concepts),
+              &huge, sizeof(huge));
+  Restamp(bytes);
+  const std::string path = WriteCorrupted("flat_huge_meta.img", bytes);
+  Result<std::unique_ptr<FlatImageView>> image = FlatImageView::Open(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsInvalidArgument()) << image.status();
+  EXPECT_NE(image.status().message().find("num_concepts"), std::string::npos)
+      << image.status();
+}
+
 TEST(FlatImageHardening, CorruptEdgeTargetIsRejectedByTheCodec) {
   ASSERT_FALSE(SharedImagePath().empty());
   std::vector<std::byte> bytes = ReadFileBytes(SharedImagePath());

@@ -1,0 +1,73 @@
+// untrusted-bytes negative cases: patterns that look adjacent to raw-byte
+// misuse but are legal, so both frontends must stay silent here.
+
+#include <cstring>
+
+#include "medrelax/common/thread_annotations.h"
+
+namespace lintfixture {
+
+class MappedImage {
+ public:
+  const unsigned char* data() const MEDRELAX_UNTRUSTED_BYTES { return data_; }
+  unsigned long size() const { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  unsigned long size_ = 0;
+};
+
+class Buffer {
+ public:
+  unsigned long Find(char needle) const;
+};
+
+class SafeReader {
+ public:
+  explicit SafeReader(MappedImage& image) : image_(image) {}
+
+  // A bounds-checked copy out of the mapping is the sanctioned idiom:
+  // the tainted pointer is only handed to memcpy, never dereferenced.
+  unsigned int CopyOut() {
+    unsigned int value = 0;
+    std::memcpy(&value, image_.data(), sizeof(value));
+    return value;
+  }
+
+  // Reassignment to owned storage clears the taint: the arithmetic on
+  // the next line runs on our own buffer, not the mapping.
+  const unsigned char* OwnedCursor() {
+    const unsigned char* p = image_.data();
+    p = owned_;
+    return p + 1;
+  }
+
+  // Arithmetic on untainted locals stays silent even when a tainted
+  // accessor appears elsewhere in the function.
+  unsigned long Padding(unsigned long offset) {
+    const unsigned char* raw = image_.data();
+    (void)raw;
+    unsigned long aligned = offset + 7;
+    return aligned;
+  }
+
+ private:
+  MappedImage& image_;
+  const unsigned char* owned_ = nullptr;
+};
+
+class Framer {
+ public:
+  // A method call *on* the tainted object returns a plain value (a
+  // position), not the raw bytes: the result is untainted and ordinary
+  // integer arithmetic on it is fine.
+  unsigned long NextLineStart() {
+    unsigned long pos = buf_.Find(10);
+    return pos + 1;
+  }
+
+ private:
+  Buffer buf_ MEDRELAX_UNTRUSTED_BYTES;
+};
+
+}  // namespace lintfixture

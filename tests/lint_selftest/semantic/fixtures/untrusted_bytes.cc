@@ -1,0 +1,84 @@
+// untrusted-bytes fixtures: a MEDRELAX_UNTRUSTED_BYTES accessor or data
+// member exposes attacker-controlled bytes (a mapped snapshot image, a
+// connection's inbound buffer). Outside the blessed validating accessors,
+// raw-byte operations on such values — reinterpret_cast, pointer
+// arithmetic, unchecked indexing — must go through the bounds-checked
+// typed readers instead. Raw pointers only: std::string/std::span
+// operator[] lowers to a CALL_EXPR under clang, and the two frontends
+// must report identical sets.
+
+#include "medrelax/common/thread_annotations.h"
+
+namespace lintfixture {
+
+// Stand-in for io/mmap_file.h: the raw accessor is the taint source.
+class MappedImage {
+ public:
+  const unsigned char* data() const MEDRELAX_UNTRUSTED_BYTES { return data_; }
+  unsigned long size() const { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  unsigned long size_ = 0;
+};
+
+struct RecordHeader {
+  unsigned int magic;
+  unsigned int count;
+};
+
+class Reader {
+ public:
+  explicit Reader(MappedImage& image) : image_(image) {}
+
+  unsigned int PeekMagic() {
+    const unsigned char* raw = image_.data();
+    const RecordHeader* header =
+        reinterpret_cast<const RecordHeader*>(raw);  // EXPECT-LINT: untrusted-bytes
+    return header->magic;
+  }
+
+  unsigned char ByteAt(unsigned long i) {
+    const unsigned char* raw = image_.data();
+    return raw[i];  // EXPECT-LINT: untrusted-bytes
+  }
+
+  const unsigned char* Skip(unsigned long n) {
+    const unsigned char* raw = image_.data();
+    return raw + n;  // EXPECT-LINT: untrusted-bytes
+  }
+
+  unsigned int CastTheCallDirectly(MappedImage& image) {
+    const unsigned int* words =
+        reinterpret_cast<const unsigned int*>(image.data());  // EXPECT-LINT: untrusted-bytes
+    return *words;
+  }
+
+ private:
+  MappedImage& image_;
+};
+
+// Stand-in for net/connection.h: the inbound buffer member is tainted at
+// the declaration, so every raw use in the class's own methods reports.
+class Framer {
+ public:
+  int CountNewlines() {
+    int count = 0;
+    for (unsigned long i = 0; i < len_; ++i) {
+      if (buf_[i] == 10) {  // EXPECT-LINT: untrusted-bytes
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  const char* PastEnd() {
+    return buf_ + len_;  // EXPECT-LINT: untrusted-bytes
+  }
+
+ private:
+  const char* buf_ MEDRELAX_UNTRUSTED_BYTES = nullptr;
+  unsigned long len_ = 0;
+};
+
+}  // namespace lintfixture

@@ -66,6 +66,7 @@
 #include "medrelax/io/kb_io.h"
 #include "medrelax/net/event_loop.h"
 #include "medrelax/net/line_server.h"
+#include "medrelax/serve/protocol.h"
 #include "medrelax/serve/relaxation_service.h"
 
 using namespace medrelax;  // NOLINT — tool brevity
@@ -270,38 +271,33 @@ std::string FormatRelaxReply(RelaxationService& service,
   return FormatOutcome(*snap, *response, term);
 }
 
-/// RELAX [k=N] [ctx=LABEL] <term...> — options first, the rest is the
-/// term. Returns an "err ...\n" reply on parse failure, "" on success
-/// (with *request/*term filled in).
+/// RELAX [k=N] [timeout_ms=N] [ctx=LABEL] <term...> — the grammar and
+/// the overflow-checked numeric parsing live in serve/protocol.cc (the
+/// fuzzed surface); this adapter only resolves the context label against
+/// the live snapshot and fills the request. Returns an "err ...\n" reply
+/// on failure, "" on success (with *request/*term filled in).
 std::string ParseRelaxLine(RelaxationService& service, std::istringstream& in,
                            RelaxRequest* request, std::string* term) {
-  std::string token;
-  while (in >> token) {
-    if (term->empty() && token.rfind("k=", 0) == 0) {
-      request->top_k = std::strtoul(token.c_str() + 2, nullptr, 10);
-      if (request->top_k == 0) {
-        // The service coerces top_k == 0 to the snapshot default, so an
-        // explicit k=0 would silently alias "default" — reject the typo
-        // instead of answering something the client did not ask for.
-        return "err InvalidArgument: k must be positive"
-               " (omit k= for the snapshot default)\n";
-      }
-      continue;
-    }
-    if (term->empty() && token.rfind("ctx=", 0) == 0) {
-      std::shared_ptr<const Snapshot> snap = service.snapshot();
-      const std::string label = token.substr(4);
-      request->context = snap->ingestion().contexts.FindByLabel(label);
-      if (request->context == kNoContext) {
-        return StrFormat("err InvalidArgument: unknown context '%s'\n",
-                         label.c_str());
-      }
-      continue;
-    }
-    if (!term->empty()) *term += ' ';
-    *term += token;
+  std::string rest;
+  std::getline(in, rest);
+  Result<serve::RelaxLine> parsed = serve::ParseRelaxArgs(rest);
+  if (!parsed.ok()) {
+    return StrFormat("err %s\n", parsed.status().ToString().c_str());
   }
-  if (term->empty()) return "err InvalidArgument: RELAX needs a term\n";
+  if (parsed->has_context) {
+    std::shared_ptr<const Snapshot> snap = service.snapshot();
+    request->context =
+        snap->ingestion().contexts.FindByLabel(parsed->context_label);
+    if (request->context == kNoContext) {
+      return StrFormat("err InvalidArgument: unknown context '%s'\n",
+                       parsed->context_label.c_str());
+    }
+  }
+  request->top_k = static_cast<size_t>(parsed->top_k);
+  if (parsed->timeout_ms != 0) {
+    request->timeout = std::chrono::milliseconds(parsed->timeout_ms);
+  }
+  *term = parsed->term;
   request->term = *term;
   return "";
 }
