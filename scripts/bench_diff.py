@@ -2,6 +2,7 @@
 """Diff two google-benchmark JSON files against committed baselines.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--max-ratio N]
+                     [--floor NAME_REGEX:COUNTER:MIN]...
 
 The committed baselines (BENCH_scaling.json / BENCH_serving.json at the
 repo root) pin the *shape* of the bench suite and catch order-of-magnitude
@@ -17,10 +18,17 @@ check fails when:
 New benchmarks in the current run are reported but never fail the diff;
 refresh the baseline by re-running the bench with the CI filter set and
 committing the JSON.
+
+--floor adds machine-independent gates on *quality* counters (hit rates,
+coalescing ratios): every current benchmark matching NAME_REGEX must
+report COUNTER >= MIN, and a spec matching no benchmark fails (so a
+renamed bench can't silently drop its gate). Ratios measure noise-prone
+timings generously; floors pin semantics exactly.
 """
 
 import argparse
 import json
+import re
 import sys
 
 # Structural fields in each benchmark entry; everything else numeric is a
@@ -66,6 +74,12 @@ def main():
         help="allowed factor between baseline and current per metric "
              "(default %(default)s: machines differ, only order-of-magnitude "
              "moves fail)")
+    parser.add_argument(
+        "--floor", action="append", default=[],
+        metavar="NAME_REGEX:COUNTER:MIN",
+        help="require COUNTER >= MIN on every current-run benchmark whose "
+             "name matches NAME_REGEX (repeatable; fails when no benchmark "
+             "matches)")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
@@ -96,6 +110,31 @@ def main():
                     f"{name}: {key} moved {ratio:.2f}x "
                     f"(baseline {base_value:.4g}, current {cur_value:.4g}, "
                     f"allowed factor {args.max_ratio:g})")
+
+    for spec in args.floor:
+        try:
+            pattern, counter, minimum_text = spec.rsplit(":", 2)
+            minimum = float(minimum_text)
+            regex = re.compile(pattern)
+        except (ValueError, re.error) as exc:
+            print(f"bench_diff: bad --floor spec '{spec}': {exc}",
+                  file=sys.stderr)
+            return 2
+        matched = False
+        for name, bench in sorted(current.items()):
+            if not regex.search(name):
+                continue
+            matched = True
+            value = metrics(bench).get(counter)
+            if value is None:
+                failures.append(
+                    f"{name}: floored counter {counter} is missing")
+            elif value < minimum:
+                failures.append(
+                    f"{name}: {counter}={value:.4g} below floor {minimum:g}")
+        if not matched:
+            failures.append(
+                f"--floor '{spec}' matched no benchmark in the current run")
 
     for name in sorted(set(current) - set(baseline)):
         print(f"bench_diff: note: new benchmark not in baseline: {name}")

@@ -12,7 +12,11 @@
 # concurrent session must keep answering in well under 1s, and finally
 # fire a duplicate-heavy --replay burst at a compute-padded server to
 # assert the single-flight table coalesces identical in-flight misses
-# (STATS must report coalesced_hits > 0). The flat-image stages then
+# (STATS must report coalesced_hits > 0). The cache-stress stage then
+# points a scan-pollution burst at a small result cache and asserts the
+# decayed-activity policy holds the line: the second-hit doorkeeper
+# rejects one-time keys (admission_rejects > 0) and a Zipf re-burst
+# over the hot set still hits at >= 90%. The flat-image stages then
 # close the loop on the offline pipeline: medrelax_ingest freezes the
 # same world into a snapshot image, a server booted with --image must
 # replay the scripted session byte-identically (modulo the one-word
@@ -316,6 +320,105 @@ printf 'STATS\nQUIT\n' | "${CLIENT}" session "${PORT}" \
   > "${WORK}/img_stats.out"
 grep -q '^snapshot_source=mapped$' "${WORK}/img_stats.out"
 grep -q '^reloads_completed=1$' "${WORK}/img_stats.out"
+
+kill "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+# --- Cache stress: the activity policy keeps the hot set resident -----
+# A deliberately small result cache (--cache 32), a hot set of 8 keys,
+# then a one-shot scan burst of 128 brand-new keys — four times the
+# cache. Under strict LRU the scan would flush every hot entry; under
+# the default decayed-activity policy the second-hit admission
+# doorkeeper rejects the one-time keys at the full shard instead (STATS
+# must show admission_rejects > 0), and a Zipf-skewed re-burst over the
+# hot set afterwards must still hit nearly everywhere (hit-rate floor
+# over exactly that window, via a before/after STATS diff).
+"${SERVER}" serve "${WORLD}" --exact --workers 2 --cache 32 --listen 0 \
+  > "${WORK}/server5.stdout" 2> "${WORK}/server5.stderr" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^ok listening port=\([0-9][0-9]*\)$/\1/p' \
+         "${WORK}/server5.stdout")
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server_smoke: cache-stress server exited before listening" >&2
+    cat "${WORK}/server5.stderr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "server_smoke: cache-stress server never announced its port" >&2
+  exit 1
+fi
+
+# The hot set, hottest first: --zipf ranks replay lines by file order.
+# All eight terms are deterministic products of the seeded generator.
+cat > "${WORK}/hot.txt" <<'EOF'
+RELAX disorder of kidney
+RELAX disorder of lung
+RELAX disorder of liver
+RELAX disorder of heart
+RELAX disorder of skin
+RELAX disorder of stomach
+RELAX disorder of brain
+RELAX disorder of blood
+EOF
+
+# Scan pollution: 32 k-variants x 4 terms = 128 distinct cache keys,
+# each requested exactly once. k >= 17 keeps them disjoint from the hot
+# keys (which resolve to the snapshot default, k=10).
+: > "${WORK}/scan.txt"
+for k in $(seq 17 48); do
+  for t in 'disorder of bone' 'disorder of joint' \
+           'disorder of kidney' 'disorder of lung'; do
+    printf 'RELAX k=%s %s\n' "${k}" "${t}" >> "${WORK}/scan.txt"
+  done
+done
+
+# Seed pass: cycle the hot set in order (8 rounds), so every hot key is
+# cached and repeatedly touched before the pollution arrives.
+"${CLIENT}" load "${PORT}" --requests 64 --connections 1 \
+  --replay "${WORK}/hot.txt" > "${WORK}/hot_seed.out" 2>/dev/null
+grep -q '^ok load requests=64 answered=64 errors=0$' "${WORK}/hot_seed.out"
+
+# One connection so the 128-line file replays exactly once: every scan
+# key stays a first sighting and the doorkeeper must turn it away.
+"${CLIENT}" load "${PORT}" --requests 128 --connections 1 \
+  --replay "${WORK}/scan.txt" > "${WORK}/scan_load.out" 2>/dev/null
+grep -q '^ok load requests=128 answered=128 errors=0$' "${WORK}/scan_load.out"
+
+printf 'STATS\nQUIT\n' | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/stress_stats1.out"
+if ! grep -q '^admission_rejects=[1-9]' "${WORK}/stress_stats1.out"; then
+  echo "server_smoke: the scan burst produced no admission rejects —" \
+       "the second-hit doorkeeper is not engaging:" >&2
+  cat "${WORK}/stress_stats1.out" >&2
+  exit 1
+fi
+
+# Zipf(1.1) re-burst over the hot set (seeded, so the draw sequence is
+# reproducible); the scan burst must not have displaced those entries.
+"${CLIENT}" load "${PORT}" --requests 64 --connections 1 \
+  --replay "${WORK}/hot.txt" --zipf 1.1 > "${WORK}/hot_again.out" 2>/dev/null
+grep -q '^ok load requests=64 answered=64 errors=0$' "${WORK}/hot_again.out"
+
+printf 'STATS\nQUIT\n' | "${CLIENT}" session "${PORT}" \
+  > "${WORK}/stress_stats2.out"
+HOT_RATE=$(awk -F= '
+  FNR==NR { if ($1=="cache_hits") h1=$2; if ($1=="completed") c1=$2; next }
+           { if ($1=="cache_hits") h2=$2; if ($1=="completed") c2=$2 }
+  END { if (c2==c1) { print "0"; exit } printf "%.3f", (h2-h1)/(c2-c1) }' \
+  "${WORK}/stress_stats1.out" "${WORK}/stress_stats2.out")
+if ! awk -v r="${HOT_RATE}" 'BEGIN { exit !(r >= 0.90) }'; then
+  echo "server_smoke: hot-set hit rate after the scan burst is" \
+       "${HOT_RATE} (< 0.90) — scan pollution displaced the hot set" >&2
+  cat "${WORK}/stress_stats2.out" >&2
+  exit 1
+fi
 
 kill "${SERVER_PID}"
 wait "${SERVER_PID}" 2>/dev/null || true

@@ -323,6 +323,14 @@ size_t RelaxationService::queue_depth() const {
   return queue_.size();
 }
 
+ServiceStatsSnapshot RelaxationService::Stats() const {
+  ServiceStatsSnapshot snap = stats_.Snapshot();
+  snap.admission_rejects = cache_.admission_rejects();
+  snap.sweeps_completed = cache_.sweeps_completed();
+  snap.activity_evictions = cache_.activity_evictions();
+  return snap;
+}
+
 void RelaxationService::Shutdown() {
   std::deque<PendingRequest> orphaned;
   {

@@ -161,7 +161,10 @@ class RelaxationService {
     return registry_.Current();
   }
 
-  [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Service counters plus the result cache's activity-policy counters
+  /// (admission rejects, sweeps, sweep evictions) merged into one
+  /// coherent snapshot.
+  [[nodiscard]] ServiceStatsSnapshot Stats() const;
 
   /// Mutable counter sink for the transport layer: the TCP frontend
   /// records connection lifecycle events (opened/closed/rejected,

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "medrelax/common/cache_policy.h"
 #include "medrelax/common/mutex.h"
 #include "medrelax/relax/query_relaxer.h"
 
@@ -22,7 +23,7 @@ namespace medrelax {
 ///     differently configured snapshots never share entries;
 ///   - the snapshot generation, so a snapshot swap implicitly invalidates
 ///     every older entry — stale keys simply stop being looked up and age
-///     out of the LRU.
+///     out of the cache.
 struct CacheKey {
   ConceptId concept_id = kInvalidConcept;
   ContextId context = kNoContext;
@@ -53,19 +54,35 @@ struct CacheKeyHash {
 /// Knobs of the serving result cache.
 struct ResultCacheOptions {
   /// Total entries across all shards; 0 disables caching (every Lookup
-  /// misses, Insert is a no-op).
+  /// misses, Insert is a no-op). The bound is global: shard capacities
+  /// are sized so their sum never exceeds this value.
   size_t capacity = 4096;
-  /// Lock shards (rounded up to a power of two) so concurrent workers
+  /// Lock shards (rounded up to a power of two, then clamped so tiny
+  /// capacities still respect the global bound) so concurrent workers
   /// rarely contend on one mutex.
   size_t num_shards = 8;
+  /// Eviction policy (common/cache_policy.h). The decayed-activity
+  /// default keeps the hot set resident under skewed scan-polluted
+  /// traffic; `kLru` restores the pre-policy behavior exactly. The
+  /// policy never changes what an answer contains, so it is deliberately
+  /// not part of the options fingerprint.
+  CachePolicy policy;
 };
 
-/// A sharded LRU cache of finished relaxation outcomes. Values are
+/// A sharded cache of finished relaxation outcomes. Values are
 /// shared_ptr-to-const, so a hit hands back the cached outcome without
 /// copying and eviction never invalidates a response a client still holds.
 ///
-/// Thread-safe: each shard holds its own mutex; the hit/miss/eviction
-/// counters are atomics.
+/// Under the default decayed-activity policy (see CachePolicy) a hit
+/// bumps the entry's activity with a geometrically growing increment,
+/// first-time keys are rejected by a second-hit admission sketch while
+/// the shard is full, and overflowing shards are trimmed by a
+/// bottom-activity sweep instead of strict LRU eviction. Under `kLru`
+/// the cache behaves exactly as before the policy existed.
+///
+/// Thread-safe: each shard holds its own mutex; sweeps additionally
+/// serialize on a cache-level sweep mutex acquired *before* the swept
+/// shard's mutex (docs/CONCURRENCY.md); counters are atomics.
 class ResultCache {
  public:
   explicit ResultCache(const ResultCacheOptions& options);
@@ -73,18 +90,23 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// The cached outcome for `key`, promoting it to most-recently-used;
-  /// nullptr on a miss.
+  /// The cached outcome for `key`, promoting it to most-recently-used and
+  /// (under the activity policy) bumping its activity; nullptr on a miss.
   [[nodiscard]] std::shared_ptr<const RelaxationOutcome> Lookup(
-      const CacheKey& key);
+      const CacheKey& key) MEDRELAX_EXCLUDES(sweep_mu_);
 
-  /// Inserts (or refreshes) `key`, evicting the shard's least-recently-used
-  /// entry when the shard is at capacity.
+  /// Inserts (or refreshes) `key`. LRU policy: evicts the shard's
+  /// least-recently-used entry when the shard is at capacity. Activity
+  /// policy: a first-seen key against a full shard is rejected by the
+  /// admission sketch; an admitted overflow triggers a bottom-activity
+  /// sweep of the shard.
   void Insert(const CacheKey& key,
-              std::shared_ptr<const RelaxationOutcome> outcome);
+              std::shared_ptr<const RelaxationOutcome> outcome)
+      MEDRELAX_EXCLUDES(sweep_mu_);
 
-  /// Drops every entry (the counters survive).
-  void Clear();
+  /// Drops every entry and resets the admission sketches (the counters
+  /// survive).
+  void Clear() MEDRELAX_EXCLUDES(sweep_mu_);
 
   /// Current number of cached entries across all shards.
   [[nodiscard]] size_t size() const;
@@ -95,11 +117,31 @@ class ResultCache {
   [[nodiscard]] uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// All evictions, regardless of policy (LRU pop-backs plus sweep
+  /// victims).
   [[nodiscard]] uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Inserts rejected by the second-hit admission filter.
+  [[nodiscard]] uint64_t admission_rejects() const {
+    return admission_rejects_.load(std::memory_order_relaxed);
+  }
+  /// Bottom-activity sweep passes completed.
+  [[nodiscard]] uint64_t sweeps_completed() const {
+    return sweeps_completed_.load(std::memory_order_relaxed);
+  }
+  /// Entries evicted by sweeps (subset of evictions()).
+  [[nodiscard]] uint64_t activity_evictions() const {
+    return activity_evictions_.load(std::memory_order_relaxed);
+  }
+  /// Activity rescales performed when the bump increment overflowed.
+  [[nodiscard]] uint64_t rescales() const {
+    return rescales_.load(std::memory_order_relaxed);
+  }
 
-  /// Entries one shard may hold (capacity distributed over the shards).
+  /// Entries one shard may hold. Shard capacities are floor-divided from
+  /// the total, so num_shards() * shard_capacity() <= the configured
+  /// capacity always holds.
   [[nodiscard]] size_t shard_capacity() const { return shard_capacity_; }
   [[nodiscard]] size_t num_shards() const { return shards_.size(); }
 
@@ -107,16 +149,29 @@ class ResultCache {
   struct Entry {
     CacheKey key;
     std::shared_ptr<const RelaxationOutcome> outcome;
+    /// Decayed-activity score; meaningful only under kDecayedActivity.
+    double activity = 0.0;
   };
   struct Shard {
     /// One detector site for all shards: shards are never nested, and a
     /// per-shard order against the rest of the system is what matters.
     mutable Mutex mu{"ResultCache::Shard::mu"};
-    /// Front = most recently used; back = eviction candidate.
+    /// Front = most recently used; back = eviction candidate / sweep
+    /// tie-break loser.
     std::list<Entry> lru MEDRELAX_GUARDED_BY(mu);
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
         index MEDRELAX_GUARDED_BY(mu);
+    /// Current activity increment; grows by 1/decay_factor per hit so
+    /// older contributions decay relative to fresh ones.
+    double bump MEDRELAX_GUARDED_BY(mu) = 1.0;
+    /// Second-hit admission doorkeeper, consulted only when the shard is
+    /// full.
+    AdmissionSketch sketch MEDRELAX_GUARDED_BY(mu){0};
   };
+
+  /// Delegation target: sizing is computed once and lands in the const
+  /// members above the shard vector that shares it.
+  ResultCache(const ResultCacheOptions& options, ShardSizing sizing);
 
   [[nodiscard]] Shard& ShardFor(const CacheKey& key) {
     // The low hash bits pick the bucket inside the shard's map; use the
@@ -124,12 +179,29 @@ class ResultCache {
     return shards_[(HashCacheKey(key) >> 48) & shard_mask_];
   }
 
-  size_t shard_capacity_;
-  uint64_t shard_mask_;
-  std::vector<Shard> shards_;
+  /// Bumps `entry`'s activity with the shard's current increment, growing
+  /// the increment and rescaling the whole shard when it overflows.
+  void BumpActivity(Shard& shard, Entry& entry)
+      MEDRELAX_REQUIRES(shard.mu);
+  /// Evicts the bottom-activity fraction of `shard` (recency breaking
+  /// ties, least recent first). Serializes on sweep_mu_, then re-acquires
+  /// the shard mutex — sweep_mu_ is ordered before every shard mutex.
+  void SweepShard(Shard& shard) MEDRELAX_EXCLUDES(sweep_mu_);
+
+  const size_t shard_capacity_;
+  const uint64_t shard_mask_;
+  const CachePolicy policy_;
+  /// Serializes sweeps across the cache so concurrent overflowing inserts
+  /// do not stampede the same shard; acquired before the shard mutex.
+  mutable Mutex sweep_mu_{"ResultCache::sweep_mu"};
+  std::vector<Shard> shards_;  // lint:allow(guarded-by) per-shard mu inside
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> sweeps_completed_{0};
+  std::atomic<uint64_t> activity_evictions_{0};
+  std::atomic<uint64_t> rescales_{0};
 };
 
 }  // namespace medrelax

@@ -165,6 +165,19 @@ std::string ServiceStatsSnapshot::ToString(bool deterministic_only) const {
                    snapshot_source == 1 ? "mapped" : "built");
   out += StrFormat("reloads_completed=%zu\n",
                    static_cast<size_t>(reloads_completed));
+  out += StrFormat("admission_rejects=%zu\n",
+                   static_cast<size_t>(admission_rejects));
+  out += StrFormat("sweeps_completed=%zu\n",
+                   static_cast<size_t>(sweeps_completed));
+  out += StrFormat("activity_evictions=%zu\n",
+                   static_cast<size_t>(activity_evictions));
+  // Geometry-memo traffic (the relaxer-level aggregate) is a pure
+  // function of the request sequence — same counts over stdin and TCP,
+  // built and mapped — so it lives in the deterministic subset, unlike
+  // the wall-clock RelaxStats timings below.
+  out += StrFormat("geometry_cache_hits=%zu\n", relax.geometry_cache_hits);
+  out += StrFormat("geometry_cache_misses=%zu\n",
+                   relax.geometry_cache_misses);
   if (deterministic_only) return out;
   out += StrFormat("queue_depth_high_water=%zu\n",
                    static_cast<size_t>(queue_depth_high_water));
@@ -184,10 +197,6 @@ std::string ServiceStatsSnapshot::ToString(bool deterministic_only) const {
   out += StrFormat("relax_candidates_scanned=%zu\n",
                    relax.candidates_scanned);
   out += StrFormat("relax_neighbors_visited=%zu\n", relax.neighbors_visited);
-  out += StrFormat("relax_geometry_cache_hits=%zu\n",
-                   relax.geometry_cache_hits);
-  out += StrFormat("relax_geometry_cache_misses=%zu\n",
-                   relax.geometry_cache_misses);
   out += "latency_us_log2=";
   for (size_t i = 0; i < latency_buckets.size(); ++i) {
     out += StrFormat(i == 0 ? "%zu" : ",%zu",

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "medrelax/datasets/kb_generator.h"
@@ -52,12 +54,15 @@ std::shared_ptr<Snapshot> BuildSmallSnapshot(
 
 /// One image of the seed-7 world, written once and shared read-only by
 /// every test in this file (the corruption tests copy its bytes and
-/// patch their own throwaway files). Empty on write failure.
+/// patch their own throwaway files). Empty on write failure. The path is
+/// process-unique: ctest runs each case as its own process, and parallel
+/// cases racing one shared filename can map a half-written image.
 const std::string& SharedImagePath() {
   static const std::string path = []() -> std::string {
     std::shared_ptr<Snapshot> snap = BuildSmallSnapshot();
     if (snap == nullptr) return {};
-    std::string candidate = testing::TempDir() + "flat_image_shared.img";
+    std::string candidate = testing::TempDir() + "flat_image_shared." +
+                            std::to_string(::getpid()) + ".img";
     Status written = snap->WriteImage(candidate);
     if (!written.ok()) return {};
     return candidate;

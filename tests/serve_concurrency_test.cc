@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "medrelax/common/cache_policy.h"
 #include "medrelax/common/deadlock_detector.h"
 #include "medrelax/datasets/kb_generator.h"
 #include "medrelax/serve/relaxation_service.h"
@@ -168,9 +169,13 @@ TEST(ServeConcurrency, SharedCacheUnderContentionStaysConsistent) {
   options.num_workers = 4;
   options.queue_capacity = 2048;
   // A cache smaller than the working set: hits, misses, and evictions all
-  // happen concurrently.
+  // happen concurrently. Pinned to strict LRU: under the activity policy
+  // coalescing can collapse every cold key to a single insert attempt,
+  // and the second-hit doorkeeper then rejects them all — zero evictions.
+  // ActivitySweepUnderContentionKeepsShardBounded covers that policy.
   options.cache.capacity = 4;
   options.cache.num_shards = 1;
+  options.cache.policy.eviction = CachePolicy::Eviction::kLru;
   RelaxationService service(snap, options);
 
   // Skewed mix: a hot key every other request, cold keys rotating through
@@ -198,6 +203,66 @@ TEST(ServeConcurrency, SharedCacheUnderContentionStaysConsistent) {
   EXPECT_GT(stats.cache_hits, 0u);
   EXPECT_GT(service.cache().evictions(), 0u)
       << "the test must actually exercise concurrent eviction";
+}
+
+TEST(ServeConcurrency, ActivitySweepUnderContentionKeepsShardBounded) {
+  std::shared_ptr<Snapshot> snap = BuildSnapshot(7);
+  std::vector<ConceptId> queries = FlaggedConcepts(*snap, 12);
+  ASSERT_GE(queries.size(), 12u);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 4096;
+  // One tiny shard: every worker contends on the same shard mutex AND the
+  // same sweep mutex, so tsan sees Lookup bumps, doorkeeper inserts, and
+  // bottom-activity sweeps interleaved on one Entry list.
+  options.cache.capacity = 4;
+  options.cache.num_shards = 1;
+  RelaxationService service(snap, options);
+
+  // Seed pass, sequential for determinism: the first 4 distinct keys fill
+  // the shard unconditionally; the remaining 8 arrive full and are
+  // first sightings, so the doorkeeper rejects each and records its
+  // fingerprint.
+  for (ConceptId id : queries) {
+    RelaxRequest request;
+    request.concept_id = id;
+    Result<RelaxResponse> response = service.Relax(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+  const uint64_t seeded_rejects = service.cache().admission_rejects();
+  EXPECT_EQ(seeded_rejects, queries.size() - options.cache.capacity);
+
+  // Storm pass: re-offer every key concurrently. The 8 sketch-recorded
+  // cold keys are now second sightings, so their inserts are admitted
+  // into the full shard and each admission overflows it into a sweep —
+  // racing the hot keys' Lookup-side activity bumps.
+  std::vector<std::future<Result<RelaxResponse>>> futures;
+  futures.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    RelaxRequest request;
+    request.concept_id = queries[(i % 2 == 0)
+                                     ? static_cast<size_t>(i / 2) % 3
+                                     : 3 + (static_cast<size_t>(i) / 2) %
+                                               (queries.size() - 3)];
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  size_t ok = 0;
+  for (auto& future : futures) {
+    if (future.get().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, futures.size());
+
+  // Quiesce: joins the workers, so every in-flight Insert (and the sweep
+  // it may have kicked off) has finished before the size assertion.
+  service.Shutdown();
+  const ResultCache& cache = service.cache();
+  EXPECT_LE(cache.size(), options.cache.capacity)
+      << "a sweep must restore the capacity bound before Insert returns";
+  EXPECT_GT(cache.sweeps_completed(), 0u);
+  EXPECT_GT(cache.admission_rejects(), 0u);
+  EXPECT_EQ(cache.evictions(), cache.activity_evictions())
+      << "under the activity policy every eviction is a sweep eviction";
 }
 
 TEST(ServeConcurrency, CoalescedMissRunsRelaxerExactlyOnce) {
@@ -325,8 +390,11 @@ TEST(ServeConcurrency, PublishStormKeepsLockOrderAcyclic) {
   ServiceOptions options;
   options.num_workers = 2;
   options.queue_capacity = 512;
-  options.cache.capacity = 16;
-  options.cache.num_shards = 2;
+  // Smaller than the per-generation working set (8 keys), so the storm
+  // also drives overflow admissions and bottom-activity sweeps: the
+  // sweep mutex joins the order graph alongside the shard locks.
+  options.cache.capacity = 4;
+  options.cache.num_shards = 1;
   RelaxationService service(initial, options);
 
   constexpr int kSubmitters = 2;
@@ -394,6 +462,9 @@ TEST(ServeConcurrency, PublishStormKeepsLockOrderAcyclic) {
       detector.RegisterSite("RelaxationService::inflight_mu"),
       detector.RegisterSite("SnapshotRegistry::mu"),
       detector.RegisterSite("ResultCache::Shard::mu"),
+      detector.RegisterSite("ResultCache::sweep_mu"),
+      detector.RegisterSite("SimilarityModel::geometry_mu"),
+      detector.RegisterSite("SimilarityModel::geometry_sweep_mu"),
       detector.RegisterSite("ServiceStats::relax_mu"),
   };
   for (int a : sites) {

@@ -12,6 +12,7 @@
 //
 //   medrelax_client load <port> [--requests N] [--connections C]
 //                        [--line 'RELAX ...' | --replay FILE]
+//                        [--zipf THETA] [--seed S]
 //       C concurrent sessions issue N requests total, each waiting for
 //       its full reply frame before sending the next (closed loop).
 //       With --replay FILE the request stream is a session replay: every
@@ -19,7 +20,12 @@
 //       '#' lines skipped), so a recorded session with repeated or
 //       correlated keys reproduces the duplicate-heavy mix that
 //       exercises the server's single-flight coalescing and batch drain
-//       (docs/SERVING.md "Coalescing & batching"). Prints
+//       (docs/SERVING.md "Coalescing & batching"). With --zipf THETA the
+//       replay lines are not cycled in order: each request draws a line
+//       by Zipf(THETA) popularity rank (line 1 of FILE is the hottest),
+//       from a per-session mt19937 seeded with S + session index — the
+//       skewed-popularity mix the result cache's activity policy is
+//       built for (scripts/server_smoke.sh "cache-stress"). Prints
 //       "ok load requests=N answered=A errors=E" on stdout; timing goes
 //       to stderr so stdout stays machine-diffable.
 
@@ -28,14 +34,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,7 +56,8 @@ int Usage() {
                "usage:\n"
                "  medrelax_client session <port>\n"
                "  medrelax_client load <port> [--requests N]"
-               " [--connections C] [--line 'RELAX ...' | --replay FILE]\n");
+               " [--connections C] [--line 'RELAX ...' | --replay FILE]"
+               " [--zipf THETA] [--seed S]\n");
   return 2;
 }
 
@@ -61,6 +71,25 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
 size_t SizeFlag(int argc, char** argv, const char* flag, size_t fallback) {
   const char* v = FlagValue(argc, argv, flag);
   return v != nullptr ? std::strtoul(v, nullptr, 10) : fallback;
+}
+
+double DoubleFlag(int argc, char** argv, const char* flag, double fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+/// Cumulative Zipf(theta) popularity over `ranks` items: weight of rank r
+/// is 1/(r+1)^theta. Sampling is an upper_bound over this prefix table,
+/// so two runs with the same seed draw the same request sequence.
+std::vector<double> ZipfCdf(size_t ranks, double theta) {
+  std::vector<double> cdf(ranks);
+  double total = 0;
+  for (size_t r = 0; r < ranks; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
 }
 
 /// Blocking connect to 127.0.0.1:port. Returns the fd, or -1 with the
@@ -183,12 +212,15 @@ bool IsMultiLineReply(const std::string& command) {
 }
 
 /// One load session: greet, then `requests` closed-loop command/reply
-/// rounds cycling through `script` in order (one entry for --line, the
-/// whole replay file otherwise). Replies are framed like the server
-/// formats them: "err ..." is one line, multi-line "ok" frames end with
-/// "end", other "ok" replies are one line.
+/// rounds over `script` — in order (one entry for --line, the whole
+/// replay file otherwise), or by Zipf popularity rank when `zipf_cdf` is
+/// non-null (--zipf; `seed` makes the draw sequence reproducible).
+/// Replies are framed like the server formats them: "err ..." is one
+/// line, multi-line "ok" frames end with "end", other "ok" replies are
+/// one line.
 void LoadWorker(uint16_t port, size_t requests,
                 const std::vector<std::string>& script,
+                const std::vector<double>* zipf_cdf, uint64_t seed,
                 std::atomic<uint64_t>* answered, std::atomic<uint64_t>* errors) {
   const int fd = ConnectLoopback(port);
   if (fd < 0) {
@@ -203,8 +235,17 @@ void LoadWorker(uint16_t port, size_t requests,
     close(fd);
     return;
   }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
   for (size_t i = 0; i < requests; ++i) {
-    const std::string& command = script[i % script.size()];
+    size_t slot = i % script.size();
+    if (zipf_cdf != nullptr) {
+      slot = static_cast<size_t>(
+          std::upper_bound(zipf_cdf->begin(), zipf_cdf->end(), unit(rng)) -
+          zipf_cdf->begin());
+      if (slot >= script.size()) slot = script.size() - 1;
+    }
+    const std::string& command = script[slot];
     if (!SendAll(fd, command + "\n") || !reader.ReadLine(&line)) {
       errors->fetch_add(requests - i, std::memory_order_relaxed);
       close(fd);
@@ -264,6 +305,11 @@ int RunLoad(int argc, char** argv, uint16_t port) {
     script.push_back(line_flag != nullptr ? line_flag : "GEN");
   }
   if (connections == 0 || requests == 0) return Usage();
+  const double zipf_theta = DoubleFlag(argc, argv, "--zipf", 0.0);
+  if (zipf_theta < 0) return Usage();
+  const uint64_t seed = SizeFlag(argc, argv, "--seed", 42);
+  std::vector<double> zipf_cdf;
+  if (zipf_theta > 0) zipf_cdf = ZipfCdf(script.size(), zipf_theta);
 
   std::atomic<uint64_t> answered{0};
   std::atomic<uint64_t> errors{0};
@@ -275,6 +321,7 @@ int RunLoad(int argc, char** argv, uint16_t port) {
     size_t share = requests / connections;
     if (c == 0) share += requests % connections;
     threads.emplace_back(LoadWorker, port, share, std::cref(script),
+                         zipf_theta > 0 ? &zipf_cdf : nullptr, seed + c,
                          &answered, &errors);
   }
   for (std::thread& t : threads) t.join();

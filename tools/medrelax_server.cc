@@ -1,9 +1,9 @@
 // medrelax_server: the long-lived serving front end over medrelax/serve.
 //
 //   medrelax_server serve <dir> [--image FILE] [--workers N] [--queue N]
-//                         [--cache N] [--deadline-ms D] [--exact]
-//                         [--batch N] [--listen PORT] [--max-conns N]
-//                         [--max-line N]
+//                         [--cache N] [--cache-policy lru|activity]
+//                         [--deadline-ms D] [--exact] [--batch N]
+//                         [--listen PORT] [--max-conns N] [--max-line N]
 //       Loads <dir>/eks.tsv + <dir>/kb.tsv (as written by
 //       `medrelax_tool generate`), runs the offline ingestion into a
 //       serving snapshot, and answers a newline-delimited text protocol
@@ -78,9 +78,10 @@ int Usage() {
       stderr,
       "usage:\n"
       "  medrelax_server serve <dir> [--image FILE] [--workers N]"
-      " [--queue N] [--cache N] [--deadline-ms D] [--exact] [--batch N]\n"
-      "                       [--listen PORT] [--max-conns N]"
-      " [--max-line BYTES]\n"
+      " [--queue N] [--cache N] [--cache-policy lru|activity]\n"
+      "                       [--deadline-ms D] [--exact] [--batch N]"
+      " [--listen PORT] [--max-conns N]\n"
+      "                       [--max-line BYTES]\n"
       "      (--image FILE boots from a medrelax_ingest snapshot image;"
       " <dir> may be omitted)\n"
       "  medrelax_server load <dir> [--requests N] [--workers N]"
@@ -543,6 +544,21 @@ int RunServe(int argc, char** argv) {
       std::chrono::milliseconds(SizeFlag(argc, argv, "--deadline-ms", 0));
   service_options.max_batch =
       SizeFlag(argc, argv, "--batch", service_options.max_batch);
+  // --cache-policy lru|activity: "lru" pins the pre-activity strict-LRU
+  // behavior (the golden-parity escape hatch and the A/B baseline the
+  // smoke script's cache-stress stage compares against); the default is
+  // the decayed-activity policy from ResultCacheOptions.
+  if (const char* policy = FlagValue(argc, argv, "--cache-policy")) {
+    if (std::strcmp(policy, "lru") == 0) {
+      service_options.cache.policy.eviction = CachePolicy::Eviction::kLru;
+    } else if (std::strcmp(policy, "activity") == 0) {
+      service_options.cache.policy.eviction =
+          CachePolicy::Eviction::kDecayedActivity;
+    } else {
+      std::fprintf(stderr, "unknown --cache-policy '%s'\n", policy);
+      return Usage();
+    }
+  }
   // Test hook: scripts/server_smoke.sh pads every computed (cache-miss)
   // answer so concurrent duplicate requests deterministically pile onto
   // the in-flight leader and `coalesced_hits` is provably non-zero.
